@@ -1,0 +1,121 @@
+// Command deepsea-gen emits the synthetic inputs of the evaluation as
+// JSON for inspection or external tooling: the SDSS-style query trace,
+// its access histogram, selectivity/skew range sequences, and dataset
+// summaries.
+//
+// Usage:
+//
+//	deepsea-gen -what trace -n 1000
+//	deepsea-gen -what histogram -bins 42
+//	deepsea-gen -what ranges -n 50 -selectivity 0.05 -skew L
+//	deepsea-gen -what dataset -gb 100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"deepsea/internal/sdss"
+	"deepsea/internal/workload"
+)
+
+type rangeJSON struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+func main() {
+	what := flag.String("what", "trace", "trace | histogram | ranges | dataset")
+	n := flag.Int("n", 1000, "number of queries/ranges")
+	bins := flag.Int("bins", 42, "histogram bins")
+	gb := flag.Int64("gb", 100, "dataset size in GB")
+	selectivity := flag.Float64("selectivity", 0.01, "range width as a domain fraction")
+	skewFlag := flag.String("skew", "H", "U | L | H")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	switch *what {
+	case "trace":
+		trace := sdss.Trace(sdss.TraceOptions{N: *n, Seed: *seed})
+		out := make([]rangeJSON, len(trace))
+		for i, iv := range trace {
+			out[i] = rangeJSON{Lo: iv.Lo, Hi: iv.Hi}
+		}
+		check(enc.Encode(out))
+
+	case "histogram":
+		trace := sdss.Trace(sdss.TraceOptions{N: *n, Seed: *seed})
+		h := sdss.HitHistogram(trace, *bins)
+		type bin struct {
+			LoDeg float64 `json:"lo_deg"`
+			HiDeg float64 `json:"hi_deg"`
+			Hits  float64 `json:"hits"`
+		}
+		out := make([]bin, h.Bins())
+		for i := range out {
+			iv := h.BinInterval(i)
+			out[i] = bin{
+				LoDeg: float64(iv.Lo) / sdss.RAScale,
+				HiDeg: float64(iv.Hi+1) / sdss.RAScale,
+				Hits:  h.Counts[i],
+			}
+		}
+		check(enc.Encode(out))
+
+	case "ranges":
+		var skew workload.Skew
+		switch strings.ToUpper(*skewFlag) {
+		case "U":
+			skew = workload.Uniform
+		case "L":
+			skew = workload.Light
+		case "H":
+			skew = workload.Heavy
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -skew %q\n", *skewFlag)
+			os.Exit(2)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		ranges := workload.Ranges(*n, *selectivity, skew, workload.ItemSkDomain(), rng)
+		out := make([]rangeJSON, len(ranges))
+		for i, iv := range ranges {
+			out[i] = rangeJSON{Lo: iv.Lo, Hi: iv.Hi}
+		}
+		check(enc.Encode(out))
+
+	case "dataset":
+		data := workload.Generate(*gb, *seed, nil)
+		type table struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+			GB   string `json:"modelled_size"`
+		}
+		var out []table
+		for name, t := range data.Tables {
+			out = append(out, table{
+				Name: name,
+				Rows: t.NumRows(),
+				GB:   fmt.Sprintf("%.1f GB", float64(t.Bytes())/(1<<30)),
+			})
+		}
+		check(enc.Encode(out))
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,461 @@
+// Package deepsea is a from-scratch reproduction of "DeepSea:
+// Progressive Workload-Aware Partitioning of Materialized Views in
+// Scalable Data Analytics" (Du, Glavic, Tan, Miller; EDBT 2017).
+//
+// It bundles a simulated SQL-on-Hadoop engine (real row execution, a
+// Hive/MapReduce-shaped simulated cost model) with DeepSea's online
+// materialized-view manager: logical view matching, progressive
+// workload-aware partitioning with overlapping fragments, a decayed
+// cost-benefit model with MLE-smoothed fragment statistics, and
+// value-ranked pool selection under a storage budget.
+//
+// Quick start:
+//
+//	sys := deepsea.New()
+//	sys.MustCreateTable(deepsea.TableDef{
+//		Name: "sales",
+//		Columns: []deepsea.ColumnDef{
+//			{Name: "item", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: 999},
+//			{Name: "amount", Kind: deepsea.Float},
+//		},
+//	})
+//	sys.MustInsert("sales", []any{int64(1), 9.99})
+//	q := deepsea.Scan("sales").Where("item", 0, 499).
+//		GroupBy("item").Agg(deepsea.Sum("amount", "total"))
+//	res, err := sys.Run(q)
+//
+// Each Run both answers the query and lets the view manager adapt: it
+// may materialize intermediate results, refine fragment boundaries, or
+// evict pool entries, exactly as the paper's Algorithm 1 prescribes.
+package deepsea
+
+import (
+	"fmt"
+
+	"deepsea/internal/core"
+	"deepsea/internal/engine"
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+)
+
+// Kind is a column type.
+type Kind int
+
+// Column kinds.
+const (
+	Int Kind = iota
+	Float
+	String
+)
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	Name string
+	Kind Kind
+	// Ordered marks an integer column usable as a partition key; Lo and
+	// Hi bound its domain.
+	Ordered bool
+	Lo, Hi  int64
+	// Width optionally overrides the modelled byte width of the column
+	// (for simulating large datasets with few rows; see the examples).
+	Width int64
+}
+
+// TableDef declares a base table.
+type TableDef struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// Strategy selects the view-management behaviour.
+type Strategy = core.Config
+
+// Option configures a System.
+type Option func(*core.Config)
+
+// WithPoolLimit bounds the materialized view pool to smax bytes.
+func WithPoolLimit(smax int64) Option {
+	return func(c *core.Config) { c.Smax = smax }
+}
+
+// WithoutMaterialization disables view management entirely (the vanilla
+// engine baseline).
+func WithoutMaterialization() Option {
+	return func(c *core.Config) { c.Materialize = false }
+}
+
+// WithEquiDepthPartitioning switches to non-adaptive equi-depth
+// partitioning with k fragments per view.
+func WithEquiDepthPartitioning(k int) Option {
+	return func(c *core.Config) {
+		c.Partition = core.PartitionEquiDepth
+		c.EquiDepthK = k
+		c.MaxFragFraction = 0
+	}
+}
+
+// WithoutPartitioning stores views as single files.
+func WithoutPartitioning() Option {
+	return func(c *core.Config) { c.Partition = core.PartitionNone }
+}
+
+// WithHorizontalPartitioning disables overlapping fragments (splits
+// rewrite their parents).
+func WithHorizontalPartitioning() Option {
+	return func(c *core.Config) { c.Partition = core.PartitionAdaptive }
+}
+
+// WithUnboundedFragments disables the largest-fragment bound (the
+// paper's partitioning experiments run with it off), so cold regions
+// stay one big fragment until queries touch them.
+func WithUnboundedFragments() Option {
+	return func(c *core.Config) { c.MaxFragFraction = 0 }
+}
+
+// WithNectarSelection ranks pool entries with Nectar's measure instead
+// of DeepSea's decayed Φ.
+func WithNectarSelection() Option {
+	return func(c *core.Config) { c.Selection = core.SelectNectar }
+}
+
+// WithCostModel overrides the simulated cluster's cost constants.
+func WithCostModel(cm engine.CostModel) Option {
+	return func(c *core.Config) { c.CostModel = &cm }
+}
+
+// WithEstimateOnly runs the engine in estimate-only mode: no rows are
+// produced, only simulated costs (the paper's simulator mode for large
+// sweeps).
+func WithEstimateOnly() Option {
+	return func(c *core.Config) { c.ExecuteRows = false }
+}
+
+// WithConfig replaces the whole configuration (advanced use).
+func WithConfig(cfg Strategy) Option {
+	return func(c *core.Config) { *c = cfg }
+}
+
+// System is a DeepSea instance: a simulated analytics engine plus the
+// adaptive materialized-view pool.
+type System struct {
+	ds      *core.DeepSea
+	schemas map[string]relation.Schema
+}
+
+// New creates a System. Without options it runs full DeepSea with an
+// unlimited pool.
+func New(opts ...Option) *System {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &System{
+		ds:      core.New(cfg),
+		schemas: make(map[string]relation.Schema),
+	}
+}
+
+// CreateTable registers an empty base table.
+func (s *System) CreateTable(def TableDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("deepsea: table needs a name")
+	}
+	if _, ok := s.schemas[def.Name]; ok {
+		return fmt.Errorf("deepsea: table %q already exists", def.Name)
+	}
+	schema := relation.Schema{Name: def.Name}
+	for _, c := range def.Columns {
+		col := relation.Column{
+			Name:    c.Name,
+			Ordered: c.Ordered,
+			Lo:      c.Lo,
+			Hi:      c.Hi,
+			Width:   c.Width,
+		}
+		switch c.Kind {
+		case Int:
+			col.Type = relation.Int
+		case Float:
+			col.Type = relation.Float
+		case String:
+			col.Type = relation.String
+		default:
+			return fmt.Errorf("deepsea: column %q has unknown kind %d", c.Name, c.Kind)
+		}
+		if col.Ordered && col.Type != relation.Int {
+			return fmt.Errorf("deepsea: ordered column %q must be Int", c.Name)
+		}
+		schema.Cols = append(schema.Cols, col)
+	}
+	s.schemas[def.Name] = schema
+	s.ds.AddBaseTable(relation.NewTable(schema))
+	return nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (s *System) MustCreateTable(def TableDef) {
+	if err := s.CreateTable(def); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends one row; values must match the table's columns in
+// order (int64, float64 or string per column kind).
+func (s *System) Insert(table string, values []any) error {
+	schema, ok := s.schemas[table]
+	if !ok {
+		return fmt.Errorf("deepsea: unknown table %q", table)
+	}
+	if len(values) != len(schema.Cols) {
+		return fmt.Errorf("deepsea: table %q wants %d values, got %d",
+			table, len(schema.Cols), len(values))
+	}
+	row := make(relation.Row, len(values))
+	for i, v := range values {
+		col := schema.Cols[i]
+		switch col.Type {
+		case relation.Int:
+			x, ok := v.(int64)
+			if !ok {
+				if xi, oki := v.(int); oki {
+					x, ok = int64(xi), true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("deepsea: column %q wants int64, got %T", col.Name, v)
+			}
+			row[i] = relation.IntVal(x)
+		case relation.Float:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("deepsea: column %q wants float64, got %T", col.Name, v)
+			}
+			row[i] = relation.FloatVal(x)
+		default:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("deepsea: column %q wants string, got %T", col.Name, v)
+			}
+			row[i] = relation.StringVal(x)
+		}
+	}
+	s.ds.Eng.BaseTable(table).Append(row)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (s *System) MustInsert(table string, values []any) {
+	if err := s.Insert(table, values); err != nil {
+		panic(err)
+	}
+}
+
+// Run processes a query through Algorithm 1 and returns the report,
+// which includes the result rows, the simulated cost, and what the view
+// manager did (rewrites, materializations, evictions).
+func (s *System) Run(q *Query) (Report, error) {
+	plan, err := q.build(s)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := s.ds.ProcessQuery(plan)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{QueryReport: rep}, nil
+}
+
+// Now returns the simulated clock in seconds.
+func (s *System) Now() float64 { return s.ds.Now() }
+
+// PoolBytes returns the current materialized-pool size in bytes.
+func (s *System) PoolBytes() int64 { return s.ds.Pool.TotalSize() }
+
+// PoolContents describes the pool for inspection: one line per stored
+// view or fragment.
+func (s *System) PoolContents() []string {
+	var out []string
+	for _, pv := range s.ds.Pool.Views() {
+		if pv.Path != "" {
+			out = append(out, fmt.Sprintf("view %s (%d bytes)", pv.Path, pv.Size))
+		}
+		for attr, part := range pv.Parts {
+			for _, f := range part.Fragments() {
+				out = append(out, fmt.Sprintf("fragment %s on %s %s (%d bytes)",
+					f.Path, attr, f.Iv, f.Size))
+			}
+		}
+	}
+	return out
+}
+
+// Report is the outcome of one query.
+type Report struct {
+	core.QueryReport
+}
+
+// Rows returns the result as [][]any (nil in estimate-only mode).
+func (r Report) Rows() [][]any {
+	if r.Result == nil {
+		return nil
+	}
+	out := make([][]any, 0, len(r.Result.Rows))
+	for _, row := range r.Result.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			switch r.Result.Schema.Cols[i].Type {
+			case relation.Int:
+				vals[i] = v.I
+			case relation.Float:
+				vals[i] = v.F
+			default:
+				vals[i] = v.S
+			}
+		}
+		out = append(out, vals)
+	}
+	return out
+}
+
+// Columns returns the result column names.
+func (r Report) Columns() []string {
+	if r.Result == nil {
+		return nil
+	}
+	out := make([]string, len(r.Result.Schema.Cols))
+	for i, c := range r.Result.Schema.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// SimulatedSeconds returns the simulated elapsed time charged to the
+// query (execution plus any materialization work).
+func (r Report) SimulatedSeconds() float64 { return r.TotalSeconds }
+
+// internal plan building -----------------------------------------------
+
+// Query is a fluent relational query builder over base tables.
+type Query struct {
+	build func(*System) (query.Node, error)
+}
+
+// Scan starts a query from a base table.
+func Scan(table string) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		schema, ok := s.schemas[table]
+		if !ok {
+			return nil, fmt.Errorf("deepsea: unknown table %q", table)
+		}
+		return query.NewScan(table, schema), nil
+	}}
+}
+
+// Join equi-joins q with other on leftCol = rightCol.
+func (q *Query) Join(other *Query, leftCol, rightCol string) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		l, err := q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := other.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return &query.Join{Left: l, Right: r, LCol: leftCol, RCol: rightCol}, nil
+	}}
+}
+
+// Select keeps only the named columns (map-side projection).
+func (q *Query) Select(cols ...string) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		c, err := q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return &query.Project{Child: c, Cols: cols}, nil
+	}}
+}
+
+// Where restricts an ordered integer column to [lo, hi]. DeepSea uses
+// these range selections to derive partition boundaries.
+func (q *Query) Where(col string, lo, hi int64) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		c, err := q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("deepsea: empty range [%d,%d] on %s", lo, hi, col)
+		}
+		return &query.Select{Child: c,
+			Ranges: []query.RangePred{{Col: col, Iv: interval.New(lo, hi)}}}, nil
+	}}
+}
+
+// WhereEq adds an equality predicate on a string column.
+func (q *Query) WhereEq(col, value string) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		c, err := q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		return &query.Select{Child: c, Residuals: []query.CmpPred{{
+			Col: col, Op: query.Eq,
+			Val: relation.StringVal(value), Typ: relation.String,
+		}}}, nil
+	}}
+}
+
+// AggSpec names one aggregate output.
+type AggSpec struct{ spec query.AggSpec }
+
+// Count counts rows per group, emitted as the named column.
+func Count(as string) AggSpec {
+	return AggSpec{spec: query.AggSpec{Func: query.Count, As: as}}
+}
+
+// Sum sums col per group.
+func Sum(col, as string) AggSpec {
+	return AggSpec{spec: query.AggSpec{Func: query.Sum, Col: col, As: as}}
+}
+
+// Avg averages col per group.
+func Avg(col, as string) AggSpec {
+	return AggSpec{spec: query.AggSpec{Func: query.Avg, Col: col, As: as}}
+}
+
+// Min takes the per-group minimum of col.
+func Min(col, as string) AggSpec {
+	return AggSpec{spec: query.AggSpec{Func: query.Min, Col: col, As: as}}
+}
+
+// Max takes the per-group maximum of col.
+func Max(col, as string) AggSpec {
+	return AggSpec{spec: query.AggSpec{Func: query.Max, Col: col, As: as}}
+}
+
+// Grouped is the intermediate state of GroupBy awaiting Agg.
+type Grouped struct {
+	q    *Query
+	cols []string
+}
+
+// GroupBy starts an aggregation.
+func (q *Query) GroupBy(cols ...string) *Grouped { return &Grouped{q: q, cols: cols} }
+
+// Agg finishes the aggregation with the given aggregate outputs.
+func (g *Grouped) Agg(aggs ...AggSpec) *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		c, err := g.q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]query.AggSpec, len(aggs))
+		for i, a := range aggs {
+			specs[i] = a.spec
+		}
+		return &query.Aggregate{Child: c, GroupBy: g.cols, Aggs: specs}, nil
+	}}
+}

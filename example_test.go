@@ -1,0 +1,102 @@
+package deepsea_test
+
+import (
+	"fmt"
+
+	"deepsea"
+)
+
+// Example demonstrates the materialize-then-reuse lifecycle: the first
+// query pays for view creation, the second is answered from a fragment.
+func Example() {
+	sys := deepsea.New()
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "sales",
+		Columns: []deepsea.ColumnDef{
+			{Name: "item", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: 999, Width: 1 << 18},
+			{Name: "amount", Kind: deepsea.Float, Width: 1 << 18},
+			{Name: "details", Kind: deepsea.String, Width: 1 << 22},
+		},
+	})
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "product",
+		Columns: []deepsea.ColumnDef{
+			{Name: "p_item", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: 999, Width: 1 << 16},
+			{Name: "p_category", Kind: deepsea.String, Width: 1 << 16},
+		},
+	})
+	for i := 0; i < 2000; i++ {
+		sys.MustInsert("sales", []any{int64(i % 1000), float64(i%10) + 0.5, ""})
+	}
+	cats := []string{"books", "music"}
+	for i := 0; i < 1000; i++ {
+		sys.MustInsert("product", []any{int64(i), cats[i%2]})
+	}
+
+	q := func(lo, hi int64) *deepsea.Query {
+		return deepsea.Scan("sales").
+			Join(deepsea.Scan("product"), "item", "p_item").
+			Select("item", "p_category", "amount").
+			Where("item", lo, hi).
+			GroupBy("p_category").
+			Agg(deepsea.Count("n"))
+	}
+
+	first, _ := sys.Run(q(100, 299))
+	fmt.Println("first query rewritten:", first.Rewritten)
+	second, _ := sys.Run(q(150, 249))
+	fmt.Println("second query rewritten:", second.Rewritten)
+	fmt.Println("second cheaper:", second.SimulatedSeconds() < first.SimulatedSeconds())
+	// Output:
+	// first query rewritten: false
+	// second query rewritten: true
+	// second cheaper: true
+}
+
+// ExampleSystem_Run shows reading result rows and columns.
+func ExampleSystem_Run() {
+	sys := deepsea.New()
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "t",
+		Columns: []deepsea.ColumnDef{
+			{Name: "k", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: 9},
+			{Name: "v", Kind: deepsea.Float},
+		},
+	})
+	sys.MustInsert("t", []any{int64(1), 2.5})
+	sys.MustInsert("t", []any{int64(1), 1.5})
+	sys.MustInsert("t", []any{int64(2), 4.0})
+
+	rep, err := sys.Run(deepsea.Scan("t").Where("k", 0, 5).
+		GroupBy("k").Agg(deepsea.Sum("v", "total")))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Columns())
+	for _, row := range rep.Rows() {
+		fmt.Println(row[0], row[1])
+	}
+	// Output:
+	// [k total]
+	// 1 4
+	// 2 4
+}
+
+// ExampleWithPoolLimit shows a bounded pool evicting low-value entries.
+func ExampleWithPoolLimit() {
+	sys := deepsea.New(deepsea.WithPoolLimit(64 << 20))
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "t",
+		Columns: []deepsea.ColumnDef{
+			{Name: "k", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: 9},
+			{Name: "v", Kind: deepsea.Float},
+		},
+	})
+	sys.MustInsert("t", []any{int64(3), 1.0})
+	rep, _ := sys.Run(deepsea.Scan("t").Where("k", 0, 5).GroupBy("k").Agg(deepsea.Count("n")))
+	fmt.Println("within budget:", sys.PoolBytes() <= 64<<20)
+	fmt.Println("rows:", len(rep.Rows()))
+	// Output:
+	// within budget: true
+	// rows: 1
+}

@@ -1,0 +1,98 @@
+// Pool-limited selection: the same clickstream workload runs against two
+// systems with a small materialized-view pool — one ranking pool entries
+// with DeepSea's decayed, MLE-smoothed Φ, one with Nectar's measure.
+// After the workload narrows its focus, DeepSea retains the neighbours
+// of the hot fragments (fragment correlation, the paper's Section 10.3)
+// and answers drifting queries from the pool more often.
+//
+//	go run ./examples/bigbench-pool
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepsea"
+)
+
+const domainHi = 400000
+
+func buildSystem(opts ...deepsea.Option) *deepsea.System {
+	sys := deepsea.New(opts...)
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "clicks",
+		Columns: []deepsea.ColumnDef{
+			{Name: "item", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: domainHi, Width: 1 << 17},
+			{Name: "dwell", Kind: deepsea.Float, Width: 1 << 17},
+			{Name: "session", Kind: deepsea.String, Width: 1 << 20},
+		},
+	})
+	sys.MustCreateTable(deepsea.TableDef{
+		Name: "catalog",
+		Columns: []deepsea.ColumnDef{
+			{Name: "c_item", Kind: deepsea.Int, Ordered: true, Lo: 0, Hi: domainHi, Width: 1 << 14},
+			{Name: "c_dept", Kind: deepsea.String, Width: 1 << 14},
+		},
+	})
+	rng := rand.New(rand.NewSource(3))
+	depts := []string{"apparel", "garden", "electronics", "media", "grocery"}
+	for i := 0; i < 25000; i++ {
+		sys.MustInsert("clicks", []any{int64(rng.Intn(5000)) * 80, rng.Float64() * 300, ""})
+	}
+	for i := 0; i < 5000; i++ {
+		sys.MustInsert("catalog", []any{int64(i * 80), depts[i%len(depts)]})
+	}
+	return sys
+}
+
+func clicksByDept(lo, hi int64) *deepsea.Query {
+	return deepsea.Scan("clicks").
+		Join(deepsea.Scan("catalog"), "item", "c_item").
+		Select("item", "c_dept", "dwell").
+		Where("item", lo, hi).
+		GroupBy("c_dept").
+		Agg(deepsea.Count("clicks"), deepsea.Avg("dwell", "avg_dwell"))
+}
+
+func main() {
+	const pool = 1 << 30 // 1 GB: far smaller than the views' total size
+	arms := []struct {
+		name string
+		sys  *deepsea.System
+	}{
+		{"DeepSea Φ", buildSystem(deepsea.WithPoolLimit(pool))},
+		{"Nectar", buildSystem(deepsea.WithPoolLimit(pool), deepsea.WithNectarSelection())},
+	}
+
+	// Wide exploratory queries first, then a narrow drifting focus.
+	rng := rand.New(rand.NewSource(9))
+	type span struct{ lo, hi int64 }
+	var workload []span
+	for i := 0; i < 8; i++ {
+		mid := int64(200000) + rng.Int63n(2000) - 1000
+		workload = append(workload, span{mid - 50000, mid + 50000})
+	}
+	for i := 0; i < 16; i++ {
+		mid := int64(200000) + rng.Int63n(6000) - 3000
+		workload = append(workload, span{mid - 2000, mid + 2000})
+	}
+
+	for _, arm := range arms {
+		var total float64
+		var fromPool, evictions int
+		for _, q := range workload {
+			rep, err := arm.sys.Run(clicksByDept(q.lo, q.hi))
+			if err != nil {
+				panic(err)
+			}
+			total += rep.SimulatedSeconds()
+			if rep.Rewritten {
+				fromPool++
+			}
+			evictions += len(rep.Evicted)
+		}
+		fmt.Printf("%-10s total %7.0f simulated s  %2d/%d queries from pool  %3d evictions  pool %.2f GB\n",
+			arm.name, total, fromPool, len(workload), evictions,
+			float64(arm.sys.PoolBytes())/(1<<30))
+	}
+}

@@ -1,0 +1,3 @@
+module deepsea
+
+go 1.22

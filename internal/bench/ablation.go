@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/core"
+	"deepsea/internal/workload"
+)
+
+// AblationResult isolates the contribution of each design choice this
+// reproduction makes on top of the paper's base algorithm (see DESIGN.md
+// §5): guard fragments, by-product refinement pricing, the MLE hit
+// smoothing, overlapping fragments, and the Section 11 co-access merge
+// extension. Every arm runs the Figure 6 workload (small selectivity,
+// heavy skew — the regime where partitioning decisions matter most).
+type AblationResult struct {
+	Arms []*RunResult
+}
+
+// RunAblation runs the ablation arms.
+func RunAblation(p Params) (*AblationResult, error) {
+	gb := p.gb(100)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 60))
+	nq := p.queries(30)
+	ranges := workload.Ranges(nq, workload.Small, workload.Heavy, workload.ItemSkDomain(), rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	arms := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"DS (full)", nil},
+		{"- guards", func(c *core.Config) { c.NoGuards = true }},
+		{"- byproduct pricing", func(c *core.Config) { c.NoByproduct = true }},
+		{"- MLE smoothing", func(c *core.Config) { c.Selection = core.SelectDeepSeaRawHits }},
+		{"- overlap (horizontal)", func(c *core.Config) { c.Partition = core.PartitionAdaptive }},
+		{"+ co-access merging", func(c *core.Config) { c.MergeFragments = true }},
+	}
+	var out AblationResult
+	for _, arm := range arms {
+		cfg := scaleCfg(DSCfg(), gb, 100)
+		if arm.mutate != nil {
+			arm.mutate(&cfg)
+		}
+		r, err := RunWorkload(arm.name, data, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, r)
+	}
+	return &out, nil
+}
+
+// Print renders total and split costs per arm.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: DeepSea design choices (Q30, small selectivity, heavy skew)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\ttotal (s)\texec (s)\tmaterialization (s)\tmap tasks")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%d\n",
+			a.Name, a.Total(), a.ExecSeconds, a.MatSeconds, a.MapTasks)
+	}
+	tw.Flush()
+}

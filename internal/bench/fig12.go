@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/sdss"
+)
+
+// Fig1Result is the access histogram of the synthetic SDSS trace —
+// the reproduction of Figure 1 ("Histogram of selection ranges on SDSS").
+type Fig1Result struct {
+	Hist *sdss.Histogram
+}
+
+// RunFig1 builds the 10,000-query trace and bins its selection ranges.
+func RunFig1(p Params) *Fig1Result {
+	n := p.queries(10000)
+	trace := sdss.Trace(sdss.TraceOptions{N: n, Seed: p.Seed})
+	return &Fig1Result{Hist: sdss.HitHistogram(trace, 42)}
+}
+
+// Print renders the histogram as an ASCII bar chart, mirroring Figure 1's
+// axes (ra degrees vs hits).
+func (r *Fig1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: histogram of selection ranges on (synthetic) SDSS, attribute ra")
+	maxC := 0.0
+	for _, c := range r.Hist.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "ra range (deg)\thits\t")
+	for i := range r.Hist.Counts {
+		iv := r.Hist.BinInterval(i)
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("#", int(r.Hist.Counts[i]/maxC*50))
+		}
+		fmt.Fprintf(tw, "%3d..%3d\t%6.0f\t%s\n",
+			iv.Lo/sdss.RAScale, (iv.Hi+1)/sdss.RAScale, r.Hist.Counts[i], bar)
+	}
+	tw.Flush()
+}
+
+// Fig2Result summarises the evolution of selection ranges over the query
+// sequence — the reproduction of Figure 2.
+type Fig2Result struct {
+	// WindowSize is the number of queries per reported window.
+	WindowSize int
+	// Windows holds, per window, the 10th/50th/90th percentile of range
+	// midpoints in degrees.
+	Windows []Fig2Window
+}
+
+// Fig2Window is one reporting window.
+type Fig2Window struct {
+	FirstQuery int
+	P10        float64
+	P50        float64
+	P90        float64
+	FullScans  int
+}
+
+// RunFig2 builds the trace and summarises midpoint evolution per window.
+func RunFig2(p Params) *Fig2Result {
+	n := p.queries(10000)
+	trace := sdss.Trace(sdss.TraceOptions{N: n, Seed: p.Seed})
+	win := n / 20
+	if win < 1 {
+		win = 1
+	}
+	res := &Fig2Result{WindowSize: win}
+	dom := sdss.Domain()
+	for start := 0; start < n; start += win {
+		end := start + win
+		if end > n {
+			end = n
+		}
+		var mids []float64
+		full := 0
+		for _, iv := range trace[start:end] {
+			if iv == dom {
+				full++
+				continue
+			}
+			mids = append(mids, float64(iv.Lo+iv.Hi)/2/sdss.RAScale)
+		}
+		res.Windows = append(res.Windows, Fig2Window{
+			FirstQuery: start + 1,
+			P10:        percentile(mids, 0.10),
+			P50:        percentile(mids, 0.50),
+			P90:        percentile(mids, 0.90),
+			FullScans:  full,
+		})
+	}
+	return res
+}
+
+// Print renders the evolution as one row per window.
+func (r *Fig2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: evolution of selection ranges over the query sequence (degrees)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "query#\tp10\tmedian\tp90\tfull-domain scans")
+	for _, win := range r.Windows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%d\n",
+			win.FirstQuery, win.P10, win.P50, win.P90, win.FullScans)
+	}
+	tw.Flush()
+}
+
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// traceToItemSk maps scaled-ra trace intervals onto the item_sk domain.
+// Both domains are [0, 400000], so this is a clamp.
+func traceToItemSk(trace []interval.Interval) []interval.Interval {
+	dom := interval.New(0, 400000)
+	out := make([]interval.Interval, len(trace))
+	for i, iv := range trace {
+		x, ok := iv.Intersect(dom)
+		if !ok {
+			x = interval.New(dom.Lo, dom.Lo)
+		}
+		out[i] = x
+	}
+	return out
+}

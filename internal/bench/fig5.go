@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/core"
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+	"deepsea/internal/sdss"
+	"deepsea/internal/workload"
+)
+
+// Fig5aResult reproduces Figure 5a: DeepSea vs non-partitioned
+// materialization vs vanilla Hive on the SDSS-modelled workload with no
+// pool limit.
+type Fig5aResult struct {
+	Arms []*RunResult
+}
+
+// RunFig5a runs the three arms.
+func RunFig5a(p Params) (*Fig5aResult, error) {
+	data, queries := sdssWorkload(p)
+	var out Fig5aResult
+	for _, arm := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"H", HiveCfg()},
+		{"RS", ReStoreCfg()},
+		{"NP", NPCfg()},
+		{"DS", DSCfg()},
+	} {
+		r, err := RunWorkload(arm.name, data, queries, scaleCfg(arm.cfg, data.GB, 500))
+		if err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, r)
+	}
+	return &out, nil
+}
+
+// Print renders elapsed time per arm plus ratios, the quantities Figure
+// 5a's bars show.
+func (r *Fig5aResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5a: workload simulating SDSS, no pool limit — elapsed time")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\telapsed (s)\t% of Hive\trewritten queries")
+	hive := r.Arms[0].Total()
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1f%%\t%d\n", a.Name, a.Total(), a.Total()/hive*100, a.Rewritten)
+	}
+	fmt.Fprintln(tw, "(RS = ReStore-style physical matching, added for contrast)")
+	tw.Flush()
+}
+
+// Fig5bResult reproduces Figure 5b: Nectar vs Nectar+ vs DeepSea at pool
+// size limits of 10/25/50/100% of the base tables (plus the 5% row
+// discussed in the text, where all strategies oscillate).
+type Fig5bResult struct {
+	// PoolPct lists the pool sizes as percent of base-table bytes.
+	PoolPct []int
+	// Totals[arm][i] is the elapsed seconds at PoolPct[i].
+	Totals map[string][]float64
+	// Mats[arm][i] is the materialization share of Totals[arm][i].
+	Mats map[string][]float64
+	// HiveTotal is the no-materialization reference.
+	HiveTotal float64
+	ArmOrder  []string
+}
+
+// RunFig5b sweeps the pool size for the three selection strategies.
+func RunFig5b(p Params) (*Fig5bResult, error) {
+	data, queries := sdssWorkload(p)
+	base := data.TotalBytes()
+	res := &Fig5bResult{
+		PoolPct:  []int{5, 10, 25, 50, 100},
+		Totals:   make(map[string][]float64),
+		Mats:     make(map[string][]float64),
+		ArmOrder: []string{"N", "N+", "DS"},
+	}
+	hive, err := RunWorkload("H", data, queries, HiveCfg())
+	if err != nil {
+		return nil, err
+	}
+	res.HiveTotal = hive.Total()
+	for _, arm := range res.ArmOrder {
+		for _, pct := range res.PoolPct {
+			var cfg core.Config
+			switch arm {
+			case "N":
+				cfg = NectarCfg()
+			case "N+":
+				cfg = NectarPlusCfg()
+			default:
+				cfg = DSCfg()
+			}
+			cfg.Smax = base * int64(pct) / 100
+			r, err := RunWorkload(fmt.Sprintf("%s@%d%%", arm, pct), data, queries, scaleCfg(cfg, data.GB, 500))
+			if err != nil {
+				return nil, err
+			}
+			res.Totals[arm] = append(res.Totals[arm], r.Total())
+			res.Mats[arm] = append(res.Mats[arm], r.MatSeconds)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the pool-size sweep.
+func (r *Fig5bResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5b: selection strategies vs pool size (elapsed s; Hive reference", int(r.HiveTotal), "s)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "arm")
+	for _, pct := range r.PoolPct {
+		fmt.Fprintf(tw, "\t%d%%", pct)
+	}
+	fmt.Fprintln(tw)
+	for _, arm := range r.ArmOrder {
+		fmt.Fprint(tw, arm)
+		for i, tot := range r.Totals[arm] {
+			fmt.Fprintf(tw, "\t%.0f (m%.0f)", tot, r.Mats[arm][i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// sdssWorkload builds the Section 10.1 setup: a BigBench instance whose
+// item_sk distribution follows the SDSS histogram, and a 1000-query
+// workload of random join templates whose selection ranges replay the
+// SDSS trace in submission order (an evenly spaced subsample of the
+// 10,000-query trace, preserving its evolution).
+func sdssWorkload(p Params) (*workload.Data, []query.Node) {
+	gb := p.gb(500)
+	data := workload.Generate(gb, p.Seed, workload.Sampler(sdss.Sampler(40)))
+	nq := p.queries(1000)
+	trace := sdss.Trace(sdss.TraceOptions{N: 10 * nq, Seed: p.Seed + 1})
+	ranges := traceToItemSk(trace)
+	picked := make([]interval.Interval, 0, nq)
+	for i := 0; i < nq; i++ {
+		picked = append(picked, ranges[i*10])
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 2))
+	return data, mixedQueries(data, picked, rng)
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/core"
+	"deepsea/internal/workload"
+)
+
+// Fig6Result reproduces Figure 6: adaptive (DeepSea) versus equi-depth
+// partitioning with 6/15/30/60 fragments, over 10 instances of template
+// Q30 with small selectivity and heavy skew on a 100 GB instance, with
+// the largest-fragment bound disabled (Section 10.2). Three panels:
+// (a) the instrumented first query that materializes and partitions the
+// view, (b) the average time of the reusing queries Q30_2..10, and
+// (c) cumulative time, plus the map-task counts the section's cluster
+// utilization analysis discusses.
+type Fig6Result struct {
+	Arms []*RunResult
+}
+
+// RunFig6 runs the five arms.
+func RunFig6(p Params) (*Fig6Result, error) {
+	gb := p.gb(100)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 2))
+	ranges := workload.Ranges(10, workload.Small, workload.Heavy, workload.ItemSkDomain(), rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	arms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"DS", DSCfg()},
+		{"E-6", EquiDepthCfg(6)},
+		{"E-15", EquiDepthCfg(15)},
+		{"E-30", EquiDepthCfg(30)},
+		{"E-60", EquiDepthCfg(60)},
+	}
+	var out Fig6Result
+	for _, arm := range arms {
+		cfg := scaleCfg(arm.cfg, gb, 100)
+		cfg.MaxFragFraction = 0 // "we do not bound the size of the largest fragment"
+		r, err := RunWorkload(arm.name, data, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, r)
+	}
+	return &out, nil
+}
+
+// Creation returns the instrumented first-query seconds per arm (6a).
+func (r *Fig6Result) Creation(arm *RunResult) float64 { return arm.PerQuery[0] }
+
+// AvgReuse returns the mean seconds of queries 2..n (6b).
+func (r *Fig6Result) AvgReuse(arm *RunResult) float64 {
+	if len(arm.PerQuery) < 2 {
+		return 0
+	}
+	var t float64
+	for _, s := range arm.PerQuery[1:] {
+		t += s
+	}
+	return t / float64(len(arm.PerQuery)-1)
+}
+
+// Print renders the three panels.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: equi-depth vs adaptive partitioning (Q30 x10, small selectivity, heavy skew)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\t(a) create Q30_1 (s)\t(b) avg reuse Q30_2..n (s)\t(c) cumulative (s)\tmap tasks")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1f\t%.0f\t%d\n",
+			a.Name, r.Creation(a), r.AvgReuse(a), a.Total(), a.MapTasks)
+	}
+	tw.Flush()
+}

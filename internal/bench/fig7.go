@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/core"
+	"deepsea/internal/workload"
+)
+
+// fig7Setting is one of the nine selectivity × skew combinations.
+type fig7Setting struct {
+	name        string
+	selectivity float64
+	skew        workload.Skew
+}
+
+var fig7Settings = []fig7Setting{
+	{"BU", workload.Big, workload.Uniform},
+	{"BL", workload.Big, workload.Light},
+	{"BH", workload.Big, workload.Heavy},
+	{"MU", workload.Medium, workload.Uniform},
+	{"ML", workload.Medium, workload.Light},
+	{"MH", workload.Medium, workload.Heavy},
+	{"SU", workload.Small, workload.Uniform},
+	{"SL", workload.Small, workload.Light},
+	{"SH", workload.Small, workload.Heavy},
+}
+
+// Fig7Result reproduces Figure 7: per selectivity×skew setting, (a) the
+// projected elapsed time of 100 queries as a fraction of Hive's, for NP,
+// E (equi-depth) and DS; and (b) the number of queries needed to recoup
+// the materialization cost. The projection follows the paper's method:
+// run 10 queries, fit the steady-state per-query time by linear
+// regression, extrapolate to 100.
+type Fig7Result struct {
+	Settings []string
+	// Projection[arm][i] is projected-time(arm)/projected-time(Hive) for
+	// setting i.
+	Projection map[string][]float64
+	// Recoup[arm][i] is the query index at which the arm's cumulative
+	// time drops below Hive's (0 = never within the horizon).
+	Recoup   map[string][]int
+	ArmOrder []string
+	Horizon  int
+}
+
+// RunFig7 runs the sweep.
+func RunFig7(p Params) (*Fig7Result, error) {
+	gb := p.gb(500)
+	data := workload.Generate(gb, p.Seed, nil)
+	res := &Fig7Result{
+		Projection: make(map[string][]float64),
+		Recoup:     make(map[string][]int),
+		ArmOrder:   []string{"NP", "E", "DS"},
+		Horizon:    20,
+	}
+	arms := map[string]func() core.Config{
+		"H":  HiveCfg,
+		"NP": NPCfg,
+		"E":  func() core.Config { return EquiDepthCfg(15) },
+		"DS": DSCfg,
+	}
+	for _, st := range fig7Settings {
+		res.Settings = append(res.Settings, st.name)
+		rng := rand.New(rand.NewSource(p.Seed + 10))
+		ranges := workload.Ranges(res.Horizon, st.selectivity, st.skew, workload.ItemSkDomain(), rng)
+		queries := templateQueries(data, workload.Q30, ranges)
+
+		runs := make(map[string]*RunResult)
+		for name, mk := range arms {
+			r, err := RunWorkload(name+"/"+st.name, data, queries, scaleCfg(mk(), gb, 500))
+			if err != nil {
+				return nil, err
+			}
+			runs[name] = r
+		}
+		hiveProj := projectTo100(runs["H"])
+		for _, arm := range res.ArmOrder {
+			res.Projection[arm] = append(res.Projection[arm], projectTo100(runs[arm])/hiveProj)
+			res.Recoup[arm] = append(res.Recoup[arm], recoupPoint(runs[arm], runs["H"]))
+		}
+	}
+	return res, nil
+}
+
+// projectTo100 extrapolates a run's cumulative time to 100 queries using
+// the mean per-query time of the second half of the run (the steady
+// state, once views exist), the paper's linear-regression projection.
+func projectTo100(r *RunResult) float64 {
+	n := len(r.PerQuery)
+	cum := r.Total()
+	half := r.PerQuery[n/2:]
+	var slope float64
+	for _, s := range half {
+		slope += s
+	}
+	slope /= float64(len(half))
+	return cum + slope*float64(100-n)
+}
+
+// recoupPoint returns the 1-based query index at which arm's cumulative
+// time drops to or below the baseline's, or 0 if it never does within
+// the horizon.
+func recoupPoint(arm, baseline *RunResult) int {
+	ca, cb := arm.Cumulative(), baseline.Cumulative()
+	for i := range ca {
+		if ca[i] <= cb[i] {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Print renders both panels.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7a: projected time for 100 queries (fraction of Hive), Q30, per setting")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "arm")
+	for _, s := range r.Settings {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw)
+	for _, arm := range r.ArmOrder {
+		fmt.Fprint(tw, arm)
+		for _, v := range r.Projection[arm] {
+			fmt.Fprintf(tw, "\t%.2f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nFigure 7b: queries needed to recoup materialization cost (0 = not within %d)\n", r.Horizon)
+	tw = newTabWriter(w)
+	fmt.Fprint(tw, "arm")
+	for _, s := range r.Settings {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw)
+	for _, arm := range r.ArmOrder {
+		fmt.Fprint(tw, arm)
+		for _, v := range r.Recoup[arm] {
+			fmt.Fprintf(tw, "\t%d", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/core"
+	"deepsea/internal/workload"
+)
+
+// Fig8aResult reproduces Figure 8a: exploiting fragment correlations
+// under normally-distributed hits. Workload: 10 Q30 queries with big
+// selectivity and heavy skew followed by 10 with small selectivity and
+// heavy skew; 500 GB instance; pool limited to 7 GB. DeepSea's
+// MLE-smoothed selection keeps neighbours of hot fragments that Nectar
+// evicts.
+type Fig8aResult struct {
+	Arms []*RunResult
+}
+
+// RunFig8a runs Nectar vs DeepSea (plus the raw-hits ablation).
+func RunFig8a(p Params) (*Fig8aResult, error) {
+	gb := p.gb(500)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 20))
+	dom := workload.ItemSkDomain()
+	ranges := append(
+		workload.Ranges(10, workload.Big, workload.Heavy, dom, rng),
+		workload.Ranges(10, workload.Small, workload.Heavy, dom, rng)...)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	smax := int64(7) << 30 * gb / 500
+	arms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"N", NectarCfg()},
+		{"DS", DSCfg()},
+		{"DS-raw", func() core.Config { c := DSCfg(); c.Selection = core.SelectDeepSeaRawHits; return c }()},
+	}
+	var out Fig8aResult
+	for _, arm := range arms {
+		cfg := scaleCfg(arm.cfg, gb, 500)
+		cfg.Smax = smax
+		r, err := RunWorkload(arm.name, data, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, r)
+	}
+	return &out, nil
+}
+
+// Print renders the cumulative series.
+func (r *Fig8aResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8a: fragment-correlation selection, normal hits (cumulative s, pool 7 GB)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "query")
+	for _, a := range r.Arms {
+		fmt.Fprintf(tw, "\t%s", a.Name)
+	}
+	fmt.Fprintln(tw)
+	cums := make([][]float64, len(r.Arms))
+	for i, a := range r.Arms {
+		cums[i] = a.Cumulative()
+	}
+	for q := 0; q < len(cums[0]); q++ {
+		fmt.Fprintf(tw, "Q30_%d", q+1)
+		for i := range r.Arms {
+			fmt.Fprintf(tw, "\t%.0f", cums[i][q])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig8bResult reproduces Figure 8b: the same comparison when selection
+// midpoints follow a Zipf distribution, across pool sizes 4/8/25 GB —
+// DeepSea's normal-fit smoothing must not hurt under a radically
+// different distribution.
+type Fig8bResult struct {
+	PoolGB   []int64
+	Totals   map[string][]float64
+	ArmOrder []string
+}
+
+// RunFig8b runs the sweep.
+func RunFig8b(p Params) (*Fig8bResult, error) {
+	gb := p.gb(500)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 21))
+	dom := workload.ItemSkDomain()
+	nq := p.queries(60)
+	ranges := workload.ZipfRanges(nq, workload.Small, dom, 1.6, rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	res := &Fig8bResult{
+		PoolGB:   []int64{4, 8, 25},
+		Totals:   make(map[string][]float64),
+		ArmOrder: []string{"N", "DS"},
+	}
+	for _, arm := range res.ArmOrder {
+		for _, poolGB := range res.PoolGB {
+			var cfg core.Config
+			if arm == "N" {
+				cfg = NectarCfg()
+			} else {
+				cfg = DSCfg()
+			}
+			cfg = scaleCfg(cfg, gb, 500)
+			cfg.Smax = poolGB << 30 * gb / 500
+			r, err := RunWorkload(fmt.Sprintf("%s@%dGB", arm, poolGB), data, queries, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Totals[arm] = append(res.Totals[arm], r.Total())
+		}
+	}
+	return res, nil
+}
+
+// Print renders the pool sweep.
+func (r *Fig8bResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8b: selection ranges following a Zipf distribution (elapsed s)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "arm")
+	for _, g := range r.PoolGB {
+		fmt.Fprintf(tw, "\t%d GB", g)
+	}
+	fmt.Fprintln(tw)
+	for _, arm := range r.ArmOrder {
+		fmt.Fprint(tw, arm)
+		for _, tot := range r.Totals[arm] {
+			fmt.Fprintf(tw, "\t%.0f", tot)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/workload"
+)
+
+// Fig9Result reproduces Figure 9: overlapping versus horizontal
+// partitioning over a shifting workload — 30 Q30 queries with small
+// selectivity and heavy skew whose midpoints jump from 20,000 to 40,000
+// to 60,000 every 10 queries, over the item_sk domain [0, 400000]
+// (Section 10.4). Overlapping partitioning avoids rewriting the large
+// unqueried tail fragment at each shift.
+type Fig9Result struct {
+	Horizontal  *RunResult
+	Overlapping *RunResult
+}
+
+// RunFig9 runs both partitioning disciplines.
+func RunFig9(p Params) (*Fig9Result, error) {
+	gb := p.gb(100)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 30))
+	ranges := workload.ShiftingRanges(
+		[]int64{20000, 40000, 60000}, 10,
+		workload.Small, workload.Heavy, workload.ItemSkDomain(), rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	hc := scaleCfg(DSHorizontalCfg(), gb, 100)
+	oc := scaleCfg(DSCfg(), gb, 100)
+	// Like Figure 6, the partitioning experiments leave the largest
+	// fragment unbounded; splitting (or overlapping) the big cold
+	// fragment at each shift is precisely what the experiment measures.
+	hc.MaxFragFraction = 0
+	oc.MaxFragFraction = 0
+	h, err := RunWorkload("Horizontal", data, queries, hc)
+	if err != nil {
+		return nil, err
+	}
+	o, err := RunWorkload("Overlapping", data, queries, oc)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Horizontal: h, Overlapping: o}, nil
+}
+
+// Print renders the cumulative series at every query, mirroring the
+// figure's x-axis Q30_1..Q30_30.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: overlapping vs horizontal partitioning (cumulative s)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "query\thorizontal\toverlapping")
+	ch, co := r.Horizontal.Cumulative(), r.Overlapping.Cumulative()
+	for q := range ch {
+		fmt.Fprintf(tw, "Q30_%d\t%.0f\t%.0f\n", q+1, ch[q], co[q])
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "repartitioning cost: horizontal=%.0f s, overlapping=%.0f s\n",
+		r.Horizontal.MatSeconds, r.Overlapping.MatSeconds)
+}

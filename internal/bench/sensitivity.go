@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/engine"
+	"deepsea/internal/workload"
+)
+
+// SensitivityResult addresses the simulator's main threat to validity:
+// do the headline orderings survive when the cost-model constants move?
+// The Figure 6 comparison (DS vs E-15 vs no-partitioning, small
+// selectivity, heavy skew) reruns under perturbed cluster models —
+// slower scans, cheaper writes, heavier job startup, larger blocks —
+// and reports whether DS still wins cumulatively.
+type SensitivityResult struct {
+	Rows []SensitivityRow
+}
+
+// SensitivityRow is one perturbed cost model.
+type SensitivityRow struct {
+	Model   string
+	DS      float64
+	E15     float64
+	NP      float64
+	DSWins  bool
+	EBeatNP bool
+}
+
+// RunSensitivity runs the sweep.
+func RunSensitivity(p Params) (*SensitivityResult, error) {
+	gb := p.gb(100)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 70))
+	nq := p.queries(20)
+	ranges := workload.Ranges(nq, workload.Small, workload.Heavy, workload.ItemSkDomain(), rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+
+	base := engine.DefaultCostModel()
+	models := []struct {
+		name   string
+		mutate func(*engine.CostModel)
+	}{
+		{"default", nil},
+		{"scan 2x slower", func(m *engine.CostModel) { m.ScanBW /= 2 }},
+		{"scan 2x faster", func(m *engine.CostModel) { m.ScanBW *= 2 }},
+		{"write 2x cheaper", func(m *engine.CostModel) { m.WriteBW *= 2 }},
+		{"write 2x dearer", func(m *engine.CostModel) { m.WriteBW /= 2 }},
+		{"job startup 3x", func(m *engine.CostModel) { m.JobStartup *= 3 }},
+		{"128 MB blocks", func(m *engine.CostModel) { m.BlockSize *= 2 }},
+		{"file open 4x", func(m *engine.CostModel) { m.FileOpen *= 4 }},
+	}
+
+	res := &SensitivityResult{}
+	for _, mm := range models {
+		cm := base
+		if mm.mutate != nil {
+			mm.mutate(&cm)
+		}
+		totals := map[string]float64{}
+		for _, name := range []string{"DS", "E-15", "NP"} {
+			var cfg = DSCfg()
+			switch name {
+			case "E-15":
+				cfg = EquiDepthCfg(15)
+			case "NP":
+				cfg = NPCfg()
+			}
+			cfg.CostModel = &cm
+			cfg = scaleCfg(cfg, gb, 100)
+			r, err := RunWorkload(name+"/"+mm.name, data, queries, cfg)
+			if err != nil {
+				return nil, err
+			}
+			totals[name] = r.Total()
+		}
+		res.Rows = append(res.Rows, SensitivityRow{
+			Model:   mm.name,
+			DS:      totals["DS"],
+			E15:     totals["E-15"],
+			NP:      totals["NP"],
+			DSWins:  totals["DS"] <= totals["E-15"] && totals["DS"] <= totals["NP"],
+			EBeatNP: totals["E-15"] <= totals["NP"],
+		})
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *SensitivityResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Cost-model sensitivity: Figure 6 comparison under perturbed cluster constants")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "model\tDS (s)\tE-15 (s)\tNP (s)\tDS best?\tpartitioning beats NP?")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%v\t%v\n",
+			row.Model, row.DS, row.E15, row.NP, row.DSWins, row.EBeatNP)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deepsea/internal/workload"
+)
+
+// Tab1Result exercises the full Table 1 parameter grid — instance size ×
+// pool size × selectivity × skew — running DeepSea on each combination.
+// Table 1 itself is the experiment design, not a result; this sweep
+// demonstrates every cell runs and reports the elapsed time per cell.
+type Tab1Result struct {
+	Rows []Tab1Row
+}
+
+// Tab1Row is one parameter combination.
+type Tab1Row struct {
+	InstanceGB  int64
+	PoolLabel   string
+	Selectivity string
+	Skew        string
+	ElapsedSec  float64
+	Rewritten   int
+}
+
+// RunTab1 sweeps a representative subset of the grid: the default
+// instance with every (pool, selectivity, skew) combination, ten queries
+// each.
+func RunTab1(p Params) (*Tab1Result, error) {
+	gb := p.gb(100)
+	data := workload.Generate(gb, p.Seed, nil)
+	base := data.TotalBytes()
+
+	// Pool sizes follow Table 1 (50/125/250/500 GB, ∞ for a 100 GB
+	// instance) as fractions of the base-table bytes so Short mode
+	// scales along.
+	pools := []struct {
+		label string
+		smax  int64
+	}{
+		{"50GB", base * 50 / 100},
+		{"125GB", base * 125 / 100},
+		{"250GB", base * 250 / 100},
+		{"500GB", base * 500 / 100},
+		{"inf", 0},
+	}
+	sels := []struct {
+		label string
+		v     float64
+	}{{"S", workload.Small}, {"M", workload.Medium}, {"B", workload.Big}}
+	skews := []workload.Skew{workload.Uniform, workload.Light, workload.Heavy}
+
+	res := &Tab1Result{}
+	for _, pool := range pools {
+		for _, sel := range sels {
+			for _, skew := range skews {
+				rng := rand.New(rand.NewSource(p.Seed + 50))
+				ranges := workload.Ranges(10, sel.v, skew, workload.ItemSkDomain(), rng)
+				queries := templateQueries(data, workload.Q30, ranges)
+				cfg := scaleCfg(DSCfg(), gb, 100)
+				cfg.Smax = pool.smax
+				r, err := RunWorkload("DS", data, queries, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Tab1Row{
+					InstanceGB:  gb,
+					PoolLabel:   pool.label,
+					Selectivity: sel.label,
+					Skew:        skew.String(),
+					ElapsedSec:  r.Total(),
+					Rewritten:   r.Rewritten,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the grid.
+func (r *Tab1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 sweep: DeepSea across the parameter grid")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "instance\tpool\tselectivity\tskew\telapsed (s)\trewritten")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%dGB\t%s\t%s\t%s\t%.0f\t%d\n",
+			row.InstanceGB, row.PoolLabel, row.Selectivity, row.Skew,
+			row.ElapsedSec, row.Rewritten)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"deepsea/internal/engine"
+	"deepsea/internal/interval"
+	"deepsea/internal/matching"
+	"deepsea/internal/pool"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+	"deepsea/internal/stats"
+)
+
+// DeepSea is one instance of the system: an engine plus the pool,
+// statistics, signature index and configuration that drive Algorithm 1.
+type DeepSea struct {
+	Cfg   Config
+	Eng   *engine.Engine
+	Pool  *pool.Pool
+	Stats *stats.Registry
+	Tree  *matching.FilterTree
+
+	rewriter *matching.Rewriter
+
+	// mleCache memoizes MLE fits within one selection pass.
+	mleCache     map[string]stats.NormalModel
+	mleCacheTime float64
+}
+
+// New assembles a DeepSea instance (or a baseline, depending on cfg).
+func New(cfg Config) *DeepSea {
+	cm := engine.DefaultCostModel()
+	if cfg.CostModel != nil {
+		cm = *cfg.CostModel
+	}
+	eng := engine.New(cm)
+	eng.ExecuteRows = cfg.ExecuteRows
+	p := pool.New(cfg.Smax)
+	st := stats.NewRegistry(stats.Decay{TMax: cfg.DecayTMax})
+	tree := matching.NewFilterTree()
+	return &DeepSea{
+		Cfg:   cfg,
+		Eng:   eng,
+		Pool:  p,
+		Stats: st,
+		Tree:  tree,
+		rewriter: &matching.Rewriter{
+			Eng:          eng,
+			Pool:         p,
+			Stats:        st,
+			Tree:         tree,
+			PhysicalOnly: cfg.PhysicalMatch,
+		},
+	}
+}
+
+// AddBaseTable registers a base table with the engine.
+func (d *DeepSea) AddBaseTable(t *relation.Table) { d.Eng.AddBaseTable(t) }
+
+// Now returns the simulated clock.
+func (d *DeepSea) Now() float64 { return d.Eng.Now() }
+
+// ProcessQuery implements Algorithm 1 for one query and returns a report
+// of how it was answered and what the pool did in response.
+func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
+	if !d.Cfg.Materialize {
+		// Vanilla engine: the optimizer pushes selections down to the
+		// scans (DeepSea deliberately does not, Section 10.2); execute
+		// and account time, nothing else.
+		res, err := d.Eng.Run(query.PushDownRanges(q), nil)
+		if err != nil {
+			return QueryReport{}, err
+		}
+		d.Eng.Advance(res.Cost.Seconds)
+		return QueryReport{
+			Result:       res.Table,
+			ExecCost:     res.Cost,
+			TotalSeconds: res.Cost.Seconds,
+		}, nil
+	}
+
+	// Step 1-2: compute rewritings and update statistics (Section 8.4).
+	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
+	if err != nil {
+		return QueryReport{}, err
+	}
+	d.updateUseStats(rewritings, origCost)
+
+	// Step 3: SELECTREWRITING — cheapest executable plan.
+	qbest := q
+	var bestRW *matching.Rewriting
+	bestSeconds := origCost.Seconds
+	for i := range rewritings {
+		rw := &rewritings[i]
+		if rw.UsesPool && rw.EstCost.Seconds < bestSeconds {
+			bestSeconds = rw.EstCost.Seconds
+			qbest = rw.Plan
+			bestRW = rw
+		}
+	}
+
+	// Steps 4-5: candidate generation (Definitions 6 and 7) and
+	// registration (ADDCANDIDATES).
+	vcands := d.viewCandidates(q, qbest)
+	fcands := d.fragCandidates(q, bestRW)
+
+	// Step 6: VIEWSELECTION — filter (7.2) and greedy selection (7.3).
+	selViews, selFrags, evict := d.selectConfiguration(vcands, fcands)
+
+	// Step 7: INSTRUMENTQUERY — capture candidate intermediates.
+	capture := make(map[query.Node]bool)
+	for _, vc := range vcands {
+		capture[vc.node] = true
+	}
+	for _, fc := range selFrags {
+		if fc.fromGap {
+			capture[fc.gapNode] = true
+		}
+	}
+
+	// Step 8: EXECUTEQUERY.
+	res, err := d.Eng.Run(qbest, capture)
+	if err != nil {
+		return QueryReport{}, err
+	}
+
+	// Step 9: UPDATESTATS — precise sizes for captured candidates.
+	if d.Cfg.ExecuteRows {
+		for _, vc := range vcands {
+			if tbl := res.Captured[vc.node]; tbl != nil {
+				vs := d.Stats.View(vc.id)
+				if !vs.Measured {
+					vs.Size = tbl.Bytes()
+				}
+			}
+		}
+	}
+
+	report := QueryReport{
+		Result:   res.Table,
+		ExecCost: res.Cost,
+	}
+	if bestRW != nil {
+		report.Rewritten = true
+		report.UsedView = bestRW.ViewID
+		report.FragmentsRead = len(bestRW.CoverFrags)
+		report.RemainderGaps = len(bestRW.Gaps)
+	}
+
+	// Materialize selected views and fragments.
+	var matCost engine.Cost
+	for _, sv := range selViews {
+		usedByQuery := bestRW != nil && bestRW.ViewID == sv.vc.id
+		c, created, err := d.materializeView(sv, res.Captured[sv.vc.node], usedByQuery)
+		if err != nil {
+			return QueryReport{}, err
+		}
+		if !created {
+			continue
+		}
+		matCost.Add(c)
+		report.MaterializedViews = append(report.MaterializedViews, sv.vc.id)
+	}
+	for _, fc := range selFrags {
+		c, created, err := d.materializeFrag(fc, res.Captured)
+		if err != nil {
+			return QueryReport{}, err
+		}
+		matCost.Add(c)
+		for _, iv := range created {
+			report.MaterializedFrags = append(report.MaterializedFrags,
+				fmt.Sprintf("%s.%s%s", shortID(fc.viewID), fc.attr, iv))
+		}
+	}
+
+	// Optional extension: merge co-accessed adjacent fragments.
+	mergeCost, mergedFrags, err := d.maybeMergeFragments(bestRW)
+	if err != nil {
+		return QueryReport{}, err
+	}
+	matCost.Add(mergeCost)
+	report.MergedFrags = mergedFrags
+
+	// Evict what the selection rejected.
+	for _, item := range evict {
+		d.evict(item)
+		report.Evicted = append(report.Evicted, item.Key())
+	}
+	d.Pool.GC()
+
+	report.MatCost = matCost
+	report.TotalSeconds = res.Cost.Seconds + matCost.Seconds
+	d.Eng.Advance(report.TotalSeconds)
+	return report, nil
+}
+
+// evict removes one pool item and its storage.
+func (d *DeepSea) evict(item pool.Candidate) {
+	pv := d.Pool.View(item.ViewID)
+	if pv == nil {
+		return
+	}
+	switch item.Kind {
+	case pool.WholeView:
+		if pv.Path != "" {
+			d.Eng.DeleteMaterialized(pv.Path)
+			pv.Path = ""
+			pv.Size = 0
+		}
+	case pool.Frag:
+		part := pv.Parts[item.Attr]
+		if part == nil {
+			return
+		}
+		if f, ok := part.Lookup(item.Iv); ok {
+			d.Eng.DeleteMaterialized(f.Path)
+			part.Remove(item.Iv)
+		}
+	}
+}
+
+// shortID returns a compact stable hash of a view id for paths and logs.
+func shortID(id string) string {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("v%08x", h.Sum32())
+}
+
+func (d *DeepSea) viewPath(id string) string {
+	return "views/" + shortID(id) + "/full"
+}
+
+func (d *DeepSea) fragPath(id, attr string, iv interval.Interval) string {
+	return fmt.Sprintf("views/%s/%s/%s", shortID(id), attr, iv)
+}

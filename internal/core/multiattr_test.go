@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+)
+
+// q30OnDate is the same join/aggregate as q30 but selecting on a second
+// ordered attribute (ss_date), exercising the paper's "multiple
+// partitions of a view ... on different attributes" (Definition 3).
+func q30OnDate(lo, hi int64) query.Node {
+	return &query.Aggregate{
+		Child: &query.Select{
+			Child: &query.Project{
+				Child: &query.Join{
+					Left:  query.NewScan("sales2", sales2Schema()),
+					Right: query.NewScan("item", itemSchema()),
+					LCol:  "ss_item_sk",
+					RCol:  "i_item_sk",
+				},
+				Cols: []string{"ss_item_sk", "ss_date", "ss_qty", "i_category"},
+			},
+			Ranges: []query.RangePred{{Col: "ss_date", Iv: interval.New(lo, hi)}},
+		},
+		GroupBy: []string{"i_category"},
+		Aggs:    []query.AggSpec{{Func: query.Sum, Col: "ss_qty", As: "total"}},
+	}
+}
+
+func q30OnItem2(lo, hi int64) query.Node {
+	return &query.Aggregate{
+		Child: &query.Select{
+			Child: &query.Project{
+				Child: &query.Join{
+					Left:  query.NewScan("sales2", sales2Schema()),
+					Right: query.NewScan("item", itemSchema()),
+					LCol:  "ss_item_sk",
+					RCol:  "i_item_sk",
+				},
+				Cols: []string{"ss_item_sk", "ss_date", "ss_qty", "i_category"},
+			},
+			Ranges: []query.RangePred{{Col: "ss_item_sk", Iv: interval.New(lo, hi)}},
+		},
+		GroupBy: []string{"i_category"},
+		Aggs:    []query.AggSpec{{Func: query.Sum, Col: "ss_qty", As: "total"}},
+	}
+}
+
+func sales2Schema() relation.Schema {
+	return relation.Schema{
+		Name: "sales2",
+		Cols: []relation.Column{
+			{Name: "ss_item_sk", Type: relation.Int, Ordered: true, Lo: testDomLo, Hi: testDomHi, Width: 1 << 18},
+			{Name: "ss_date", Type: relation.Int, Ordered: true, Lo: 0, Hi: 3649, Width: 1 << 18},
+			{Name: "ss_qty", Type: relation.Int, Width: 1 << 18},
+			{Name: "ss_pad", Type: relation.String, Width: 3 << 19},
+		},
+	}
+}
+
+// newTestSystem2 is newTestSystem plus the two-key sales2 fact table.
+func newTestSystem2(t *testing.T, mutate func(*Config)) *DeepSea {
+	t.Helper()
+	d := newTestSystem(t, mutate)
+	rng := rand.New(rand.NewSource(13))
+	sales2 := relation.NewTable(sales2Schema())
+	for i := 0; i < 20000; i++ {
+		sales2.Append(relation.Row{
+			relation.IntVal(rng.Int63n(testDomHi + 1)),
+			relation.IntVal(rng.Int63n(3650)),
+			relation.IntVal(rng.Int63n(9) + 1),
+			relation.StringVal(""),
+		})
+	}
+	d.AddBaseTable(sales2)
+	return d
+}
+
+func TestMultiAttributePartitions(t *testing.T) {
+	vanilla := newTestSystem2(t, func(c *Config) { c.Materialize = false })
+	d := newTestSystem2(t, nil)
+
+	type q struct {
+		onDate bool
+		lo, hi int64
+	}
+	workload := []q{
+		{false, 1000, 1999}, {false, 1100, 1899}, // item_sk regime
+		{true, 100, 299}, {true, 150, 349}, // date regime
+		{false, 1200, 1700}, {true, 120, 310},
+	}
+	build := func(w q) query.Node {
+		if w.onDate {
+			return q30OnDate(w.lo, w.hi)
+		}
+		return q30OnItem2(w.lo, w.hi)
+	}
+	for i, w := range workload {
+		want := run(t, vanilla, build(w)).Result.Fingerprint()
+		rep := run(t, d, build(w))
+		if rep.Result.Fingerprint() != want {
+			t.Fatalf("query %d wrong result", i)
+		}
+	}
+
+	// The join view must now hold partitions on BOTH attributes.
+	attrs := make(map[string]bool)
+	for _, pv := range d.Pool.Views() {
+		for attr, part := range pv.Parts {
+			if part.NumFragments() > 0 {
+				attrs[attr] = true
+			}
+		}
+	}
+	if !attrs["ss_item_sk"] || !attrs["ss_date"] {
+		t.Errorf("partitions on %v, want both ss_item_sk and ss_date", attrs)
+	}
+
+	// Repeats in each regime must be answered from fragments of the
+	// matching partition.
+	for _, w := range []q{{false, 1150, 1800}, {true, 160, 300}} {
+		rep := run(t, d, build(w))
+		if !rep.Rewritten || rep.FragmentsRead == 0 {
+			t.Errorf("regime onDate=%v not served from fragments (rewritten=%v frags=%d)",
+				w.onDate, rep.Rewritten, rep.FragmentsRead)
+		}
+	}
+}

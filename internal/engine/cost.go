@@ -1,0 +1,139 @@
+// Package engine executes logical plans over in-memory tables while
+// accounting simulated elapsed time with a Hive/MapReduce-shaped cost
+// model. Execution is real — rows in, rows out, so rewritten plans can be
+// checked for correctness — but time is simulated, so experiments at
+// "500 GB" scale run in seconds and are fully deterministic.
+package engine
+
+import "fmt"
+
+// CostModel holds the constants of the simulated cluster. The defaults
+// approximate the paper's testbed: 31 worker nodes with 6 task slots
+// each, HDFS with 128 MB blocks and 3-way replication, and MapReduce-era
+// per-job and per-task overheads. Only ratios matter for reproducing the
+// paper's result shapes; see DESIGN.md.
+type CostModel struct {
+	// ScanBW is the aggregate read bandwidth of the cluster in bytes/s.
+	ScanBW float64
+	// WriteBW is the aggregate HDFS write bandwidth in bytes/s. Writes
+	// are much more expensive than reads (replication), the paper's
+	// wwrite >> wread.
+	WriteBW float64
+	// ShuffleBW is the aggregate map->reduce shuffle bandwidth in bytes/s.
+	ShuffleBW float64
+	// JobStartup is the fixed cost of launching one MapReduce job.
+	JobStartup float64
+	// TaskWave is the fixed cost of one wave of map tasks: tasks run in
+	// parallel across Slots, so a scan pays TaskWave once per
+	// ceil(tasks/Slots) rather than per task.
+	TaskWave float64
+	// TaskSched is the serialized scheduler cost per map task.
+	TaskSched float64
+	// FileOpen is the per-file open/straggler cost of reading one stored
+	// file; many small files cost more than few large ones.
+	FileOpen float64
+	// FileCreate is the fixed cost of creating one output file (fragment).
+	FileCreate float64
+	// BlockSize is the HDFS block size in bytes; a map task covers at
+	// most one block.
+	BlockSize int64
+	// Slots is the number of parallel task slots in the cluster, kept
+	// for reporting (bandwidths above are already aggregate).
+	Slots int
+}
+
+// DefaultCostModel returns the calibrated constants used by the
+// experiments: an aggregate effective scan bandwidth of a 31-node
+// MapReduce-era cluster, writes ~2.5x more expensive per byte than reads
+// (HDFS replication — the paper's wwrite >> wread), and fixed job/wave
+// overheads.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ScanBW:     0.4e9,
+		WriteBW:    0.15e9,
+		ShuffleBW:  0.8e9,
+		JobStartup: 6.0,
+		TaskWave:   3.0,
+		TaskSched:  0.02,
+		FileOpen:   0.5,
+		FileCreate: 1.5,
+		// The paper notes HDFS uses 128 MB or 64 MB blocks depending on
+		// the version; 64 MB keeps 1%-selectivity fragments above the
+		// block-size lower bound at the evaluated view sizes.
+		BlockSize: 64 * 1024 * 1024,
+		Slots:     31 * 6,
+	}
+}
+
+// Tasks returns the number of map tasks needed to read bytes spread over
+// the given number of files: at least one task per file, at least one
+// task per block.
+func (cm *CostModel) Tasks(bytes, files int64) int64 {
+	if files < 1 {
+		files = 1
+	}
+	blocks := (bytes + cm.BlockSize - 1) / cm.BlockSize
+	if blocks < files {
+		blocks = files
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// ReadCost returns the simulated seconds to scan bytes spread over files:
+// waves of parallel map tasks plus serialized scheduling, per-file opens
+// and the byte transfer itself.
+func (cm *CostModel) ReadCost(bytes, files int64) (float64, int64) {
+	tasks := cm.Tasks(bytes, files)
+	slots := int64(cm.Slots)
+	if slots < 1 {
+		slots = 1
+	}
+	waves := (tasks + slots - 1) / slots
+	if files < 1 {
+		files = 1
+	}
+	sec := cm.TaskWave*float64(waves) +
+		cm.TaskSched*float64(tasks) +
+		cm.FileOpen*float64(files) +
+		float64(bytes)/cm.ScanBW
+	return sec, tasks
+}
+
+// WriteCost returns the simulated seconds to write bytes into the given
+// number of new files.
+func (cm *CostModel) WriteCost(bytes, files int64) float64 {
+	if files < 1 {
+		files = 1
+	}
+	return cm.FileCreate*float64(files) + float64(bytes)/cm.WriteBW
+}
+
+// Cost aggregates the simulated cost of an operation, with a breakdown
+// for reporting (the paper analyses map-task counts in Section 10.2).
+type Cost struct {
+	Seconds      float64
+	ReadBytes    int64
+	WriteBytes   int64
+	ShuffleBytes int64
+	MapTasks     int64
+	Jobs         int64
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.Seconds += o.Seconds
+	c.ReadBytes += o.ReadBytes
+	c.WriteBytes += o.WriteBytes
+	c.ShuffleBytes += o.ShuffleBytes
+	c.MapTasks += o.MapTasks
+	c.Jobs += o.Jobs
+}
+
+// String renders the cost compactly.
+func (c Cost) String() string {
+	return fmt.Sprintf("%.2fs (read=%dB write=%dB shuffle=%dB tasks=%d jobs=%d)",
+		c.Seconds, c.ReadBytes, c.WriteBytes, c.ShuffleBytes, c.MapTasks, c.Jobs)
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+
+	"deepsea/internal/relation"
+	"deepsea/internal/storage"
+)
+
+// Engine is the simulated SQL-on-Hadoop execution engine. It owns the
+// base-table catalog, the materialized view/fragment store, the simulated
+// file system and the simulated clock.
+//
+// With ExecuteRows enabled (the default) every plan is evaluated over
+// real rows, so rewriting correctness is observable; with it disabled the
+// engine runs in estimate-only mode, in which only the cost model runs —
+// the mode the paper's own simulator uses for large parameter sweeps.
+type Engine struct {
+	cm   CostModel
+	fs   *storage.FS
+	base map[string]*relation.Table
+	mat  map[string]*relation.Table
+
+	// ExecuteRows selects real execution (true) or estimate-only mode.
+	ExecuteRows bool
+
+	clock float64
+}
+
+// New returns an engine with the given cost model. The simulated clock
+// starts at one second so that the paper's decay function t/tnow is
+// always well defined.
+func New(cm CostModel) *Engine {
+	return &Engine{
+		cm:          cm,
+		fs:          storage.NewFS(cm.BlockSize),
+		base:        make(map[string]*relation.Table),
+		mat:         make(map[string]*relation.Table),
+		ExecuteRows: true,
+		clock:       1,
+	}
+}
+
+// CostModel returns the engine's cost model.
+func (e *Engine) CostModel() *CostModel { return &e.cm }
+
+// FS exposes the simulated file system (pool accounting, tests).
+func (e *Engine) FS() *storage.FS { return e.fs }
+
+// Now returns the simulated time in seconds.
+func (e *Engine) Now() float64 { return e.clock }
+
+// Advance moves the simulated clock forward by d seconds.
+func (e *Engine) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("engine: clock moved backwards by %g", d))
+	}
+	e.clock += d
+}
+
+// AddBaseTable registers a base table in the catalog.
+func (e *Engine) AddBaseTable(t *relation.Table) {
+	e.base[t.Schema.Name] = t
+}
+
+// BaseTable returns a base table by name, or nil.
+func (e *Engine) BaseTable(name string) *relation.Table { return e.base[name] }
+
+// BaseBytes returns the total modelled size of all base tables.
+func (e *Engine) BaseBytes() int64 {
+	var total int64
+	for _, t := range e.base {
+		total += t.Bytes()
+	}
+	return total
+}
+
+// WriteMaterialized stores a materialized result under path (exec mode)
+// and returns the write cost. The caller decides whether the cost is
+// charged to the workload (view creation is; test setup is not).
+func (e *Engine) WriteMaterialized(path string, t *relation.Table) Cost {
+	bytes := t.Bytes()
+	e.fs.Write(path, bytes)
+	e.mat[path] = t
+	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
+}
+
+// WriteMaterializedSize records a materialized file of the given size
+// without row data (estimate-only mode) and returns the write cost.
+func (e *Engine) WriteMaterializedSize(path string, bytes int64) Cost {
+	e.fs.Write(path, bytes)
+	delete(e.mat, path)
+	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
+}
+
+// ReadMaterialized returns the stored rows for path (nil in estimate-only
+// mode) and the cost of a full scan of the file.
+func (e *Engine) ReadMaterialized(path string) (*relation.Table, Cost, error) {
+	if !e.fs.Exists(path) {
+		return nil, Cost{}, fmt.Errorf("engine: materialized file %s does not exist", path)
+	}
+	bytes, _ := e.fs.Read(path)
+	sec, tasks := e.cm.ReadCost(bytes, 1)
+	return e.mat[path], Cost{Seconds: sec, ReadBytes: bytes, MapTasks: tasks}, nil
+}
+
+// Materialized returns the stored rows for path without accounting any
+// cost (used by the executor, which accounts reads itself).
+func (e *Engine) Materialized(path string) *relation.Table { return e.mat[path] }
+
+// MaterializedBytes returns the stored size of path (0 if absent).
+func (e *Engine) MaterializedBytes(path string) int64 { return e.fs.Size(path) }
+
+// DeleteMaterialized evicts a stored file. Deletion is metadata-only and
+// costs nothing, like an HDFS delete.
+func (e *Engine) DeleteMaterialized(path string) {
+	e.fs.Delete(path)
+	delete(e.mat, path)
+}

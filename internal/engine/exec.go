@@ -1,0 +1,517 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+)
+
+// Result is the outcome of running a plan.
+type Result struct {
+	// Table holds the output rows; nil in estimate-only mode.
+	Table *relation.Table
+	// Cost is the simulated cost of the run.
+	Cost Cost
+	// Captured maps requested plan nodes to their materialized outputs
+	// (nil tables in estimate-only mode; sizes are still estimated by
+	// the caller via EstimateSize).
+	Captured map[query.Node]*relation.Table
+}
+
+// Run evaluates the plan. In exec mode rows are really computed; in
+// estimate-only mode the cost model alone runs and Table is nil. capture
+// may list plan nodes whose intermediate outputs the caller wants (for
+// view materialization); it may be nil.
+func (e *Engine) Run(plan query.Node, capture map[query.Node]bool) (Result, error) {
+	if !e.ExecuteRows {
+		c, err := e.EstimateCost(plan)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Cost: c}, nil
+	}
+	res := Result{Captured: make(map[query.Node]*relation.Table)}
+	out, err := e.eval(plan, capture, &res)
+	if err != nil {
+		return Result{}, err
+	}
+	e.settle(&out)
+	res.Table = out.tbl
+	res.Cost = out.cost
+	return res, nil
+}
+
+// evalOut carries a subtree's rows, accumulated cost, and — when the
+// subtree's output currently "lives in storage" (a scan or view read not
+// yet consumed by a job) — the bytes/files the consuming job will read.
+// Map-side operators (select/project) pass pending state through: the
+// consuming job reads the stored bytes and filters for free.
+type evalOut struct {
+	tbl     *relation.Table
+	cost    Cost
+	pending bool
+	// needsWrite marks job outputs (join/aggregate) that must still be
+	// written to HDFS. Map-side selections and projections shrink
+	// srcBytes before the write happens, which is how Hive's fused
+	// projection keeps intermediates narrow.
+	needsWrite bool
+	srcBytes   int64
+	srcFiles   int64
+}
+
+// settle charges the materialization (for job outputs) and the read of a
+// pending stored output.
+func (e *Engine) settle(o *evalOut) {
+	if !o.pending {
+		return
+	}
+	if o.needsWrite {
+		o.cost.Add(Cost{
+			Seconds:    e.cm.WriteCost(o.srcBytes, o.srcFiles),
+			WriteBytes: o.srcBytes,
+		})
+		o.needsWrite = false
+	}
+	sec, tasks := e.cm.ReadCost(o.srcBytes, o.srcFiles)
+	o.cost.Add(Cost{Seconds: sec, ReadBytes: o.srcBytes, MapTasks: tasks})
+	o.pending = false
+}
+
+func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result) (evalOut, error) {
+	out, err := e.evalNode(n, capture, res)
+	if err != nil {
+		return out, err
+	}
+	if capture != nil && capture[n] {
+		res.Captured[n] = out.tbl
+	}
+	return out, nil
+}
+
+func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result) (evalOut, error) {
+	switch t := n.(type) {
+	case *query.Scan:
+		tbl, ok := e.base[t.Table]
+		if !ok {
+			return evalOut{}, fmt.Errorf("engine: unknown base table %q", t.Table)
+		}
+		return evalOut{tbl: tbl, pending: true, srcBytes: tbl.Bytes(), srcFiles: 1}, nil
+
+	case *query.Select:
+		child, err := e.eval(t.Child, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		child.tbl = filterTable(child.tbl, t.Ranges, t.Residuals)
+		if child.needsWrite {
+			child.srcBytes = child.tbl.Bytes()
+		}
+		return child, nil
+
+	case *query.Project:
+		child, err := e.eval(t.Child, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		child.tbl = projectTable(child.tbl, t.Cols)
+		if child.needsWrite {
+			child.srcBytes = child.tbl.Bytes()
+		}
+		return child, nil
+
+	case *query.Join:
+		l, err := e.eval(t.Left, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		r, err := e.eval(t.Right, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		e.settle(&l)
+		e.settle(&r)
+		outTbl := hashJoin(l.tbl, r.tbl, t.LCol, t.RCol, t.Schema())
+		cost := l.cost
+		cost.Add(r.cost)
+		shuffle := l.tbl.Bytes() + r.tbl.Bytes()
+		cost.Add(Cost{
+			Seconds:      e.cm.JobStartup + float64(shuffle)/e.cm.ShuffleBW,
+			ShuffleBytes: shuffle,
+			Jobs:         1,
+		})
+		// The output write is deferred to settle so that fused map-side
+		// projections/selections shrink it first.
+		return evalOut{tbl: outTbl, cost: cost, pending: true, needsWrite: true,
+			srcBytes: outTbl.Bytes(), srcFiles: 1}, nil
+
+	case *query.Aggregate:
+		child, err := e.eval(t.Child, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		e.settle(&child)
+		outTbl := aggregate(child.tbl, t)
+		cost := child.cost
+		shuffle := child.tbl.Bytes()
+		cost.Add(Cost{
+			Seconds:      e.cm.JobStartup + float64(shuffle)/e.cm.ShuffleBW,
+			ShuffleBytes: shuffle,
+			Jobs:         1,
+		})
+		return evalOut{tbl: outTbl, cost: cost, pending: true, needsWrite: true,
+			srcBytes: outTbl.Bytes(), srcFiles: 1}, nil
+
+	case *query.ViewScan:
+		return e.evalViewScan(t, capture, res)
+
+	default:
+		return evalOut{}, fmt.Errorf("engine: unsupported node type %T", n)
+	}
+}
+
+func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, res *Result) (evalOut, error) {
+	out := relation.NewTable(v.ViewSchema)
+	var srcBytes, srcFiles int64
+	var cost Cost
+
+	appendFiltered := func(tbl *relation.Table, clip *interval.Interval) error {
+		if tbl == nil {
+			return fmt.Errorf("engine: view %s has no stored rows (estimate-only data?)", v.ViewID)
+		}
+		attrIdx := -1
+		if clip != nil {
+			attrIdx = tbl.Schema.ColIndex(v.PartAttr)
+			if attrIdx < 0 {
+				return fmt.Errorf("engine: partition attribute %q missing from view %s", v.PartAttr, v.ViewID)
+			}
+		}
+		for _, row := range tbl.Rows {
+			if clip != nil && !clip.Contains(row[attrIdx].I) {
+				continue
+			}
+			if !rowPasses(&tbl.Schema, row, v.CompRanges, v.CompResiduals) {
+				continue
+			}
+			out.Append(row)
+		}
+		return nil
+	}
+
+	if len(v.FragIDs) > 0 {
+		for i, path := range v.FragIDs {
+			if !e.fs.Exists(path) {
+				return evalOut{}, fmt.Errorf("engine: fragment %s of view %s missing", path, v.ViewID)
+			}
+			srcBytes += e.fs.Size(path)
+			srcFiles++
+			clip := v.Reads[i]
+			if err := appendFiltered(e.mat[path], &clip); err != nil {
+				return evalOut{}, err
+			}
+		}
+	} else {
+		if !e.fs.Exists(v.ViewPath) {
+			return evalOut{}, fmt.Errorf("engine: view file %s missing", v.ViewPath)
+		}
+		srcBytes = e.fs.Size(v.ViewPath)
+		srcFiles = 1
+		if err := appendFiltered(e.mat[v.ViewPath], nil); err != nil {
+			return evalOut{}, err
+		}
+	}
+
+	outTbl := out
+	if v.CompProject != nil {
+		outTbl = projectTable(outTbl, v.CompProject)
+	}
+
+	// Remainder plans compute uncovered gaps from base data; their rows
+	// are unioned in after name-based column alignment.
+	for _, rem := range v.Remainders {
+		sub, err := e.eval(rem, capture, res)
+		if err != nil {
+			return evalOut{}, err
+		}
+		e.settle(&sub)
+		cost.Add(sub.cost)
+		aligned, err := alignColumns(sub.tbl, outTbl.Schema)
+		if err != nil {
+			return evalOut{}, err
+		}
+		outTbl.Rows = append(outTbl.Rows, aligned.Rows...)
+	}
+
+	return evalOut{tbl: outTbl, cost: cost, pending: true, srcBytes: srcBytes, srcFiles: srcFiles}, nil
+}
+
+// filterTable applies a conjunction of range and residual predicates.
+func filterTable(t *relation.Table, ranges []query.RangePred, residuals []query.CmpPred) *relation.Table {
+	if len(ranges) == 0 && len(residuals) == 0 {
+		return t
+	}
+	out := relation.NewTable(t.Schema)
+	for _, row := range t.Rows {
+		if rowPasses(&t.Schema, row, ranges, residuals) {
+			out.Append(row)
+		}
+	}
+	return out
+}
+
+func rowPasses(s *relation.Schema, row relation.Row, ranges []query.RangePred, residuals []query.CmpPred) bool {
+	for _, p := range ranges {
+		i := s.ColIndex(p.Col)
+		if i < 0 || !p.Iv.Contains(row[i].I) {
+			return false
+		}
+	}
+	for _, p := range residuals {
+		i := s.ColIndex(p.Col)
+		if i < 0 || !p.Eval(row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func projectTable(t *relation.Table, cols []string) *relation.Table {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.ColIndex(c)
+		if idx[i] < 0 {
+			panic(fmt.Sprintf("engine: projection column %q missing from %s", c, t.Schema.String()))
+		}
+	}
+	out := relation.NewTable(t.Schema.Project(cols))
+	for _, row := range t.Rows {
+		nr := make(relation.Row, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// alignColumns reorders t's columns by name to match the target schema.
+func alignColumns(t *relation.Table, target relation.Schema) (*relation.Table, error) {
+	same := len(t.Schema.Cols) == len(target.Cols)
+	if same {
+		for i := range target.Cols {
+			if t.Schema.Cols[i].Name != target.Cols[i].Name {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return t, nil
+	}
+	if len(t.Schema.Cols) != len(target.Cols) {
+		return nil, fmt.Errorf("engine: cannot align %s to %s", t.Schema.String(), target.String())
+	}
+	cols := make([]string, len(target.Cols))
+	for i, c := range target.Cols {
+		if t.Schema.ColIndex(c.Name) < 0 {
+			return nil, fmt.Errorf("engine: cannot align %s to %s", t.Schema.String(), target.String())
+		}
+		cols[i] = c.Name
+	}
+	return projectTable(t, cols), nil
+}
+
+// hashJoin computes the equi-join of l and r, building a hash table on
+// the smaller input.
+func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema) *relation.Table {
+	li := l.Schema.ColIndex(lCol)
+	ri := r.Schema.ColIndex(rCol)
+	if li < 0 || ri < 0 {
+		panic(fmt.Sprintf("engine: join columns %q/%q missing", lCol, rCol))
+	}
+	out := relation.NewTable(outSchema)
+	// Output rows are always left-columns ++ right-columns. The probe
+	// side's cardinality is a good initial capacity for FK joins.
+	if len(l.Rows) <= len(r.Rows) {
+		ht := make(map[int64][]relation.Row, len(l.Rows))
+		for _, row := range l.Rows {
+			k := row[li].I
+			ht[k] = append(ht[k], row)
+		}
+		out.Rows = make([]relation.Row, 0, len(r.Rows))
+		for _, rr := range r.Rows {
+			for _, lr := range ht[rr[ri].I] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	} else {
+		ht := make(map[int64][]relation.Row, len(r.Rows))
+		for _, row := range r.Rows {
+			k := row[ri].I
+			ht[k] = append(ht[k], row)
+		}
+		out.Rows = make([]relation.Row, 0, len(l.Rows))
+		for _, lr := range l.Rows {
+			for _, rr := range ht[lr[li].I] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	}
+	return out
+}
+
+func concatRows(l, r relation.Row) relation.Row {
+	out := make(relation.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	count int64
+	sum   float64
+	minI  int64
+	maxI  int64
+	minF  float64
+	maxF  float64
+	minS  string
+	maxS  string
+	seen  bool
+}
+
+func aggregate(t *relation.Table, a *query.Aggregate) *relation.Table {
+	inSchema := &t.Schema
+	gIdx := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		gIdx[i] = inSchema.ColIndex(g)
+		if gIdx[i] < 0 {
+			panic(fmt.Sprintf("engine: group-by column %q missing", g))
+		}
+	}
+	aIdx := make([]int, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		if sp.Func == query.Count {
+			aIdx[i] = -1
+			continue
+		}
+		aIdx[i] = inSchema.ColIndex(sp.Col)
+		if aIdx[i] < 0 {
+			panic(fmt.Sprintf("engine: aggregate column %q missing", sp.Col))
+		}
+	}
+
+	type group struct {
+		key    relation.Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0) // deterministic output order
+	var keyBuf []byte
+	for _, row := range t.Rows {
+		keyBuf = keyBuf[:0]
+		for _, i := range gIdx {
+			keyBuf = appendValueKey(keyBuf, row[i])
+		}
+		k := string(keyBuf)
+		g, ok := groups[k]
+		if !ok {
+			key := make(relation.Row, len(gIdx))
+			for i, j := range gIdx {
+				key[i] = row[j]
+			}
+			g = &group{key: key, states: make([]aggState, len(a.Aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, sp := range a.Aggs {
+			st := &g.states[i]
+			st.count++
+			if sp.Func == query.Count {
+				continue
+			}
+			v := row[aIdx[i]]
+			typ := inSchema.Cols[aIdx[i]].Type
+			switch typ {
+			case relation.Int:
+				st.sum += float64(v.I)
+				if !st.seen || v.I < st.minI {
+					st.minI = v.I
+				}
+				if !st.seen || v.I > st.maxI {
+					st.maxI = v.I
+				}
+			case relation.Float:
+				st.sum += v.F
+				if !st.seen || v.F < st.minF {
+					st.minF = v.F
+				}
+				if !st.seen || v.F > st.maxF {
+					st.maxF = v.F
+				}
+			default:
+				if !st.seen || v.S < st.minS {
+					st.minS = v.S
+				}
+				if !st.seen || v.S > st.maxS {
+					st.maxS = v.S
+				}
+			}
+			st.seen = true
+		}
+	}
+
+	out := relation.NewTable(a.Schema())
+	for _, k := range order {
+		g := groups[k]
+		row := make(relation.Row, 0, len(gIdx)+len(a.Aggs))
+		row = append(row, g.key...)
+		for i, sp := range a.Aggs {
+			st := &g.states[i]
+			var typ relation.Type
+			if aIdx[i] >= 0 {
+				typ = inSchema.Cols[aIdx[i]].Type
+			}
+			switch sp.Func {
+			case query.Count:
+				row = append(row, relation.IntVal(st.count))
+			case query.Sum:
+				row = append(row, relation.FloatVal(st.sum))
+			case query.Avg:
+				row = append(row, relation.FloatVal(st.sum/float64(st.count)))
+			case query.Min:
+				row = append(row, pickValue(typ, st.minI, st.minF, st.minS))
+			case query.Max:
+				row = append(row, pickValue(typ, st.maxI, st.maxF, st.maxS))
+			}
+		}
+		out.Append(row)
+	}
+	return out
+}
+
+func pickValue(typ relation.Type, i int64, f float64, s string) relation.Value {
+	switch typ {
+	case relation.Int:
+		return relation.IntVal(i)
+	case relation.Float:
+		return relation.FloatVal(f)
+	default:
+		return relation.StringVal(s)
+	}
+}
+
+func appendValueKey(buf []byte, v relation.Value) []byte {
+	for k := 0; k < 8; k++ {
+		buf = append(buf, byte(v.I>>(8*k)))
+	}
+	f := math.Float64bits(v.F)
+	for k := 0; k < 8; k++ {
+		buf = append(buf, byte(f>>(8*k)))
+	}
+	buf = append(buf, v.S...)
+	buf = append(buf, 0x1f)
+	return buf
+}

@@ -1,0 +1,49 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchFragments builds an overlapping fragment population like a
+// long-running DeepSea partition: a coarse base partition plus many
+// small refined fragments clustered around a hot spot.
+func benchFragments(n int) Set {
+	rng := rand.New(rand.NewSource(1))
+	dom := New(0, 400000)
+	set := EquiDepth(dom, 8)
+	for i := 0; i < n; i++ {
+		lo := int64(195000) + rng.Int63n(10000)
+		set = append(set, New(lo, lo+4000))
+	}
+	return set
+}
+
+func BenchmarkGreedyCoverHotSpot(b *testing.B) {
+	set := benchFragments(200)
+	want := New(198000, 202000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, full := GreedyCover(want, set); !full {
+			b.Fatal("cover failed")
+		}
+	}
+}
+
+func BenchmarkGapsSparseCover(b *testing.B) {
+	set := benchFragments(50)
+	want := New(0, 400000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Gaps(want)
+	}
+}
+
+func BenchmarkSplitCandidates(b *testing.B) {
+	frag := New(100000, 300000)
+	query := New(150000, 160000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitCandidates(frag, query)
+	}
+}

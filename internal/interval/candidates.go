@@ -1,0 +1,79 @@
+package interval
+
+// SplitCandidates implements Definition 7 (partition candidates) for a
+// single existing fragment interval frag and a query selection interval
+// query. It returns the candidate intervals induced by using the query's
+// end points as split points:
+//
+//	case 1: no overlap                       -> no candidates
+//	case 2: frag contained in query          -> no candidates
+//	case 3: query overlaps frag from left    -> [frag.Lo, query.Hi], (query.Hi, frag.Hi]
+//	case 4: query overlaps frag from right   -> [frag.Lo, query.Lo), [query.Lo, frag.Hi]
+//	case 5: query strictly inside frag       -> [frag.Lo, query.Lo), [query.Lo, query.Hi], (query.Hi, frag.Hi]
+//
+// Half-open ends are realised exactly on the integer domain
+// ((u, u'] = [u+1, u']). Boundary-aligned overlaps degenerate into fewer
+// candidates; a query end point that coincides with a fragment end point
+// produces no split at that end, matching the paper's intent that split
+// points must fall strictly inside a fragment.
+func SplitCandidates(frag, query Interval) []Interval {
+	if !frag.Overlaps(query) {
+		return nil // case 1
+	}
+	if query.ContainsInterval(frag) {
+		return nil // case 2
+	}
+	splitLo := query.Lo > frag.Lo && query.Lo <= frag.Hi // query.Lo cuts frag
+	splitHi := query.Hi >= frag.Lo && query.Hi < frag.Hi // just after query.Hi cuts frag
+	switch {
+	case splitLo && splitHi: // case 5
+		return []Interval{
+			{Lo: frag.Lo, Hi: query.Lo - 1},
+			{Lo: query.Lo, Hi: query.Hi},
+			{Lo: query.Hi + 1, Hi: frag.Hi},
+		}
+	case splitHi: // case 3: query covers frag's left part
+		return []Interval{
+			{Lo: frag.Lo, Hi: query.Hi},
+			{Lo: query.Hi + 1, Hi: frag.Hi},
+		}
+	case splitLo: // case 4: query covers frag's right part
+		return []Interval{
+			{Lo: frag.Lo, Hi: query.Lo - 1},
+			{Lo: query.Lo, Hi: frag.Hi},
+		}
+	default:
+		return nil
+	}
+}
+
+// CandidatesForQuery applies SplitCandidates to every fragment of an
+// existing partitioning and returns the union of the per-fragment
+// candidate sets, deduplicated and excluding intervals already present in
+// frags. If frags is empty the partitioning is initialised with the whole
+// domain first (Definition 7, case "PSTAT(V,A) = ∅").
+func CandidatesForQuery(dom Interval, frags Set, query Interval) []Interval {
+	q, ok := query.Intersect(dom)
+	if !ok {
+		return nil
+	}
+	if len(frags) == 0 {
+		frags = Set{dom}
+	}
+	existing := make(map[Interval]bool, len(frags))
+	for _, f := range frags {
+		existing[f] = true
+	}
+	var out []Interval
+	seen := make(map[Interval]bool)
+	for _, f := range frags {
+		for _, c := range SplitCandidates(f, q) {
+			if existing[c] || seen[c] {
+				continue
+			}
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

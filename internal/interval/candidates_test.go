@@ -1,0 +1,120 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitCandidatesCases(t *testing.T) {
+	frag := New(10, 20)
+	tests := []struct {
+		name  string
+		query Interval
+		want  []Interval
+	}{
+		{"case1 disjoint left", New(0, 5), nil},
+		{"case1 disjoint right", New(25, 30), nil},
+		{"case2 query contains frag", New(5, 25), nil},
+		{"case2 query equals frag", New(10, 20), nil},
+		{"case3 overlap from left", New(5, 15), []Interval{New(10, 15), New(16, 20)}},
+		{"case4 overlap from right", New(15, 25), []Interval{New(10, 14), New(15, 20)}},
+		{"case5 strictly inside", New(12, 18), []Interval{New(10, 11), New(12, 18), New(19, 20)}},
+		{"aligned left end", New(10, 15), []Interval{New(10, 15), New(16, 20)}},
+		{"aligned right end", New(15, 20), []Interval{New(10, 14), New(15, 20)}},
+		{"single point inside", New(15, 15), []Interval{New(10, 14), New(15, 15), New(16, 20)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SplitCandidates(frag, tt.query)
+			if len(got) != len(tt.want) {
+				t.Fatalf("SplitCandidates(%v, %v) = %v, want %v", frag, tt.query, got, tt.want)
+			}
+			for k := range got {
+				if got[k] != tt.want[k] {
+					t.Fatalf("SplitCandidates(%v, %v) = %v, want %v", frag, tt.query, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// The paper's Example 3: V partitioned as [0,10], (10,20], (20,30] with
+// query σ5<=A<=25 yields candidates [0,5), [5,10], (20,25], (25,30].
+// On the integer domain: [0,4], [5,10], [21,25], [26,30].
+func TestSplitCandidatesPaperExample3(t *testing.T) {
+	frags := Set{New(0, 10), New(11, 20), New(21, 30)}
+	got := CandidatesForQuery(New(0, 30), frags, New(5, 25))
+	want := []Interval{New(0, 4), New(5, 10), New(21, 25), New(26, 30)}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesForQueryEmptyPartitionInitialisesDomain(t *testing.T) {
+	dom := New(0, 100)
+	got := CandidatesForQuery(dom, nil, New(20, 60))
+	want := []Interval{New(0, 19), New(20, 60), New(61, 100)}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesForQueryClampsToDomain(t *testing.T) {
+	dom := New(0, 100)
+	got := CandidatesForQuery(dom, nil, New(-50, 60))
+	// Clamped query is [0,60]: splits domain into [0,60], [61,100].
+	want := []Interval{New(0, 60), New(61, 100)}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesForQueryDisjointQuery(t *testing.T) {
+	if got := CandidatesForQuery(New(0, 100), Set{New(0, 100)}, New(200, 300)); got != nil {
+		t.Fatalf("candidates for out-of-domain query = %v, want nil", got)
+	}
+}
+
+func TestCandidatesExcludeExistingFragments(t *testing.T) {
+	frags := Set{New(0, 10), New(11, 30)}
+	// Query [11,20] splits [11,30] into [11,20] and [21,30]; neither
+	// exists yet so both are candidates, and nothing is emitted for [0,10].
+	got := CandidatesForQuery(New(0, 30), frags, New(11, 20))
+	want := []Interval{New(11, 20), New(21, 30)}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+}
+
+// Candidates produced for a fragment must tile that fragment exactly (they
+// are splits, never new coverage), and each candidate must be contained in
+// its source fragment.
+func TestSplitCandidatesTileProperty(t *testing.T) {
+	f := func(fLo int16, fSpan uint8, qLo int16, qSpan uint8) bool {
+		frag := New(int64(fLo), int64(fLo)+int64(fSpan))
+		query := New(int64(qLo), int64(qLo)+int64(qSpan))
+		cands := SplitCandidates(frag, query)
+		if cands == nil {
+			return true
+		}
+		return Set(cands).IsHorizontalPartition(frag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyCoverSimplePartition(t *testing.T) {
+	frags := Set{New(0, 10), New(11, 20), New(21, 30)}
+	idx, full := GreedyCover(New(5, 25), frags)
+	if !full {
+		t.Fatal("expected full cover")
+	}
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("indices = %v, want [0 1 2]", idx)
+	}
+}
+
+func TestGreedyCoverPrefersLargestLowerBound(t *testing.T) {
+	// Both fragments cover point 5; the greedy rule (Algorithm 2) picks
+	// the one with the larger lower bound.
+	frags := Set{New(0, 30), New(5, 20), New(21, 40)}
+	idx, full := GreedyCover(New(5, 35), frags)
+	if !full {
+		t.Fatal("expected full cover")
+	}
+	if idx[0] != 1 {
+		t.Fatalf("first pick = %d, want fragment [5,20]", idx[0])
+	}
+	if idx[1] != 2 {
+		t.Fatalf("second pick = %d, want fragment [21,40]", idx[1])
+	}
+}
+
+func TestGreedyCoverPartial(t *testing.T) {
+	frags := Set{New(0, 10), New(15, 20)}
+	idx, full := GreedyCover(New(5, 18), frags)
+	if full {
+		t.Fatal("cover across the gap [11,14] should not be full")
+	}
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("indices = %v, want [0]", idx)
+	}
+}
+
+func TestGreedyCoverEmptyCandidates(t *testing.T) {
+	idx, full := GreedyCover(New(0, 10), nil)
+	if full || len(idx) != 0 {
+		t.Fatalf("GreedyCover over no candidates = %v,%v", idx, full)
+	}
+}
+
+func TestClippedCoverDisjointReads(t *testing.T) {
+	// Overlapping fragments: reads must tile the query range exactly once.
+	frags := Set{New(0, 25), New(20, 40), New(35, 60)}
+	want := New(10, 50)
+	idx, reads, full := ClippedCover(want, frags)
+	if !full {
+		t.Fatal("expected full cover")
+	}
+	if len(idx) != len(reads) {
+		t.Fatalf("len(idx)=%d len(reads)=%d", len(idx), len(reads))
+	}
+	next := want.Lo
+	for k, r := range reads {
+		if r.Lo != next {
+			t.Fatalf("read %d starts at %d, want %d", k, r.Lo, next)
+		}
+		frag := frags[idx[k]]
+		if !frag.ContainsInterval(r) {
+			t.Fatalf("read %v outside its fragment %v", r, frag)
+		}
+		next = r.Hi + 1
+	}
+	if next != want.Hi+1 {
+		t.Fatalf("reads end at %d, want %d", next-1, want.Hi)
+	}
+}
+
+// For any covering fragment set, GreedyCover must find a full cover, and
+// the clipped reads must tile the query range with no gaps or overlap.
+func TestGreedyCoverCompleteness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dom := New(0, 500)
+		// Start from a partition, then add random overlapping extras so
+		// the set is a covering overlapping partitioning.
+		set := EquiDepth(dom, 1+rng.Intn(8))
+		for k := 0; k < rng.Intn(5); k++ {
+			lo := rng.Int63n(490)
+			set = append(set, New(lo, lo+rng.Int63n(500-lo)+1))
+		}
+		qlo := rng.Int63n(450)
+		want := New(qlo, qlo+rng.Int63n(500-qlo))
+		idx, reads, full := ClippedCover(want, set)
+		if !full {
+			return false
+		}
+		next := want.Lo
+		for k, r := range reads {
+			if r.Lo != next || !set[idx[k]].ContainsInterval(r) {
+				return false
+			}
+			next = r.Hi + 1
+		}
+		return next == want.Hi+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package matching implements DeepSea's view and partition matching
+// (Section 8): a filter-tree index over view signatures, enumeration of
+// rewritings of a query using (partitioned) views, fragment-cover
+// construction via Algorithm 2, and remainder-plan generation for
+// partially covered selection ranges.
+package matching
+
+import (
+	"sort"
+
+	"deepsea/internal/relation"
+	"deepsea/internal/signature"
+)
+
+// Entry is one indexed view: its identity, signature, and output schema.
+type Entry struct {
+	// ID is the view's signature key.
+	ID string
+	// Sig is the view's signature.
+	Sig *signature.Signature
+	// Schema is the view's output schema (with domain metadata).
+	Schema relation.Schema
+}
+
+// FilterTree indexes view signatures for fast candidate pruning. The
+// original filter tree of Goldstein and Larson is a multi-level trie
+// keyed by signature parts (relations, then join predicates, ...); since
+// our sufficient condition requires those parts to be *equal* between
+// view and query, the trie collapses to a hash on the combined family key
+// — same pruning power, simpler structure. Detailed range/residual/
+// output checks run only within the matching family.
+type FilterTree struct {
+	families map[string][]*Entry
+	byID     map[string]*Entry
+}
+
+// NewFilterTree returns an empty index.
+func NewFilterTree() *FilterTree {
+	return &FilterTree{
+		families: make(map[string][]*Entry),
+		byID:     make(map[string]*Entry),
+	}
+}
+
+// Add indexes a view entry. Adding an already-indexed ID is a no-op.
+func (ft *FilterTree) Add(e *Entry) {
+	if _, ok := ft.byID[e.ID]; ok {
+		return
+	}
+	ft.byID[e.ID] = e
+	fam := e.Sig.FamilyKey()
+	ft.families[fam] = append(ft.families[fam], e)
+	sort.Slice(ft.families[fam], func(i, j int) bool {
+		return ft.families[fam][i].ID < ft.families[fam][j].ID
+	})
+}
+
+// Lookup returns the entry with the given ID.
+func (ft *FilterTree) Lookup(id string) (*Entry, bool) {
+	e, ok := ft.byID[id]
+	return e, ok
+}
+
+// Len returns the number of indexed views.
+func (ft *FilterTree) Len() int { return len(ft.byID) }
+
+// Candidates returns the entries whose family matches the query
+// signature — the survivors of the index's pruning, still subject to the
+// detailed sufficient condition.
+func (ft *FilterTree) Candidates(q *signature.Signature) []*Entry {
+	return ft.families[q.FamilyKey()]
+}

@@ -1,0 +1,199 @@
+// Package pool maintains the materialized view pool: which views and
+// partitions are currently stored, their total size against the limit
+// Smax, and the greedy value-ranked selection of the next configuration
+// (Section 7.3).
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/partition"
+	"deepsea/internal/relation"
+)
+
+// View is one materialized view in the pool. A view may be stored
+// unpartitioned (Path non-empty), partitioned on one or more attributes,
+// or both.
+type View struct {
+	// ID is the view's signature key.
+	ID string
+	// Schema is the view's output schema.
+	Schema relation.Schema
+	// Path is the unpartitioned file's location; empty if the view is
+	// stored only as partitions.
+	Path string
+	// Size is the unpartitioned file's size in bytes (0 if none).
+	Size int64
+	// Parts maps a partition attribute to its partition.
+	Parts map[string]*partition.Partition
+}
+
+// PartAttrs returns the view's partition attributes in sorted order,
+// for deterministic iteration.
+func (v *View) PartAttrs() []string {
+	out := make([]string, 0, len(v.Parts))
+	for a := range v.Parts {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSize returns the bytes this view occupies across its
+// unpartitioned file and all partitions.
+func (v *View) TotalSize() int64 {
+	total := v.Size
+	for _, p := range v.Parts {
+		total += p.TotalSize()
+	}
+	return total
+}
+
+// Pool is the materialized view pool (the configuration C).
+type Pool struct {
+	// Smax is the pool size limit in bytes; 0 means unlimited.
+	Smax int64
+
+	views map[string]*View
+}
+
+// New returns an empty pool with the given size limit.
+func New(smax int64) *Pool {
+	return &Pool{Smax: smax, views: make(map[string]*View)}
+}
+
+// View returns the pool entry for id, or nil.
+func (p *Pool) View(id string) *View { return p.views[id] }
+
+// Has reports whether a view with any materialized content exists.
+func (p *Pool) Has(id string) bool {
+	_, ok := p.views[id]
+	return ok
+}
+
+// Ensure returns the view entry for id, creating an empty one on first
+// use.
+func (p *Pool) Ensure(id string, schema relation.Schema) *View {
+	v, ok := p.views[id]
+	if !ok {
+		v = &View{ID: id, Schema: schema, Parts: make(map[string]*partition.Partition)}
+		p.views[id] = v
+	}
+	return v
+}
+
+// Remove deletes a view and all its partitions from the pool metadata.
+func (p *Pool) Remove(id string) { delete(p.views, id) }
+
+// Views returns the pool's views sorted by id.
+func (p *Pool) Views() []*View {
+	out := make([]*View, 0, len(p.views))
+	for _, v := range p.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalSize returns S(C), the bytes occupied by all views and fragments.
+func (p *Pool) TotalSize() int64 {
+	var total int64
+	for _, v := range p.views {
+		total += v.TotalSize()
+	}
+	return total
+}
+
+// Fits reports whether adding extra bytes keeps the pool within Smax.
+func (p *Pool) Fits(extra int64) bool {
+	return p.Smax <= 0 || p.TotalSize()+extra <= p.Smax
+}
+
+// GC removes view entries that hold no materialized content.
+func (p *Pool) GC() {
+	for id, v := range p.views {
+		empty := v.Path == ""
+		for _, part := range v.Parts {
+			if part.NumFragments() > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			delete(p.views, id)
+		}
+	}
+}
+
+// CandidateKind distinguishes selection candidates.
+type CandidateKind int
+
+// Selection candidate kinds.
+const (
+	// WholeView is an unpartitioned view (a candidate to create, or a
+	// pool resident treated as a single evictable unit).
+	WholeView CandidateKind = iota
+	// Frag is a fragment of a partitioned view.
+	Frag
+)
+
+// Candidate is one element of ALLCAND: a view or fragment ranked by its
+// value Φ during selection.
+type Candidate struct {
+	Kind   CandidateKind
+	ViewID string
+	// Attr and Iv identify a fragment candidate (Kind == Frag).
+	Attr string
+	Iv   interval.Interval
+	// Size is the (estimated or actual) storage size.
+	Size int64
+	// Value is the selection measure (Φ for DeepSea, N/N+ for the
+	// Nectar baselines).
+	Value float64
+	// InPool reports whether the candidate is already materialized.
+	InPool bool
+}
+
+// Key returns a stable identity for the candidate.
+func (c Candidate) Key() string {
+	if c.Kind == WholeView {
+		return "view:" + c.ViewID
+	}
+	return fmt.Sprintf("frag:%s:%s:%s", c.ViewID, c.Attr, c.Iv)
+}
+
+// SelectGreedy implements Section 7.3: rank ALLCAND by value in
+// decreasing order and greedily keep elements while they fit within smax
+// (0 = unlimited). The paper's formula reads as a strict prefix
+// (n = argmax_j Σ_{i<=j} S(ALLCAND[i]) <= Smax), but taken literally a
+// single top-ranked element larger than the pool would block everything
+// behind it — fragment values Φ(I) are size-independent (the S(I) terms
+// cancel), so this happens routinely under tight pools. We therefore
+// skip elements that do not fit and continue (first-fit decreasing), the
+// operational reading of the greedy. Ties prefer candidates already in
+// the pool (avoiding pointless churn), then lower keys for determinism.
+// The returned slices partition cands into kept and rejected.
+func SelectGreedy(cands []Candidate, smax int64) (keep, reject []Candidate) {
+	ranked := append([]Candidate(nil), cands...)
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.Value != b.Value {
+			return a.Value > b.Value
+		}
+		if a.InPool != b.InPool {
+			return a.InPool
+		}
+		return a.Key() < b.Key()
+	})
+	var used int64
+	for _, c := range ranked {
+		if smax > 0 && used+c.Size > smax {
+			reject = append(reject, c)
+			continue
+		}
+		used += c.Size
+		keep = append(keep, c)
+	}
+	return keep, reject
+}

@@ -1,0 +1,167 @@
+package pool
+
+import (
+	"testing"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/partition"
+	"deepsea/internal/relation"
+)
+
+func testSchema() relation.Schema {
+	return relation.Schema{Name: "v", Cols: []relation.Column{
+		{Name: "a", Type: relation.Int, Ordered: true, Lo: 0, Hi: 100},
+	}}
+}
+
+func TestEnsureAndRemove(t *testing.T) {
+	p := New(1000)
+	v := p.Ensure("v1", testSchema())
+	if p.Ensure("v1", testSchema()) != v {
+		t.Error("Ensure created a duplicate")
+	}
+	if !p.Has("v1") || p.Has("v2") {
+		t.Error("Has misreports")
+	}
+	p.Remove("v1")
+	if p.Has("v1") {
+		t.Error("Remove failed")
+	}
+	if p.View("v1") != nil {
+		t.Error("View returned removed entry")
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	p := New(0)
+	v := p.Ensure("v1", testSchema())
+	v.Path = "v1/full"
+	v.Size = 100
+	part := partition.New("v1", "a", interval.New(0, 100), false)
+	part.Add(partition.Fragment{Iv: interval.New(0, 50), Path: "f0", Size: 40})
+	part.Add(partition.Fragment{Iv: interval.New(51, 100), Path: "f1", Size: 60})
+	v.Parts["a"] = part
+	if got := p.TotalSize(); got != 200 {
+		t.Errorf("TotalSize = %d, want 200", got)
+	}
+	if got := v.TotalSize(); got != 200 {
+		t.Errorf("View.TotalSize = %d, want 200", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	p := New(150)
+	v := p.Ensure("v1", testSchema())
+	v.Size = 100
+	if !p.Fits(50) {
+		t.Error("Fits(50) = false, want true")
+	}
+	if p.Fits(51) {
+		t.Error("Fits(51) = true, want false")
+	}
+	unlimited := New(0)
+	if !unlimited.Fits(1 << 60) {
+		t.Error("unlimited pool rejected bytes")
+	}
+}
+
+func TestGC(t *testing.T) {
+	p := New(0)
+	v := p.Ensure("empty", testSchema())
+	v.Parts["a"] = partition.New("empty", "a", interval.New(0, 100), false)
+	full := p.Ensure("full", testSchema())
+	full.Path = "x"
+	p.GC()
+	if p.Has("empty") {
+		t.Error("GC kept empty view")
+	}
+	if !p.Has("full") {
+		t.Error("GC removed non-empty view")
+	}
+}
+
+func TestSelectGreedyRanksByValue(t *testing.T) {
+	cands := []Candidate{
+		{Kind: WholeView, ViewID: "low", Size: 10, Value: 1},
+		{Kind: WholeView, ViewID: "high", Size: 10, Value: 100},
+		{Kind: WholeView, ViewID: "mid", Size: 10, Value: 50},
+	}
+	keep, reject := SelectGreedy(cands, 20)
+	if len(keep) != 2 || keep[0].ViewID != "high" || keep[1].ViewID != "mid" {
+		t.Errorf("keep = %v", keep)
+	}
+	if len(reject) != 1 || reject[0].ViewID != "low" {
+		t.Errorf("reject = %v", reject)
+	}
+}
+
+func TestSelectGreedySkipsOversizedItems(t *testing.T) {
+	// An item larger than the remaining space must not block lower-value
+	// items that still fit (fragment values are size-independent, so a
+	// huge cold fragment can outrank small hot ones).
+	cands := []Candidate{
+		{Kind: WholeView, ViewID: "a", Size: 10, Value: 100},
+		{Kind: WholeView, ViewID: "blocker", Size: 1000, Value: 50},
+		{Kind: WholeView, ViewID: "small", Size: 5, Value: 10},
+	}
+	keep, reject := SelectGreedy(cands, 100)
+	if len(keep) != 2 || keep[0].ViewID != "a" || keep[1].ViewID != "small" {
+		t.Errorf("keep = %v, want a then small", keep)
+	}
+	if len(reject) != 1 || reject[0].ViewID != "blocker" {
+		t.Errorf("reject = %v", reject)
+	}
+}
+
+func TestSelectGreedyUnlimited(t *testing.T) {
+	cands := []Candidate{
+		{Kind: WholeView, ViewID: "a", Size: 1 << 40, Value: 1},
+		{Kind: WholeView, ViewID: "b", Size: 1 << 40, Value: 2},
+	}
+	keep, reject := SelectGreedy(cands, 0)
+	if len(keep) != 2 || len(reject) != 0 {
+		t.Errorf("unlimited selection dropped candidates: keep=%v reject=%v", keep, reject)
+	}
+}
+
+func TestSelectGreedyTiePrefersInPool(t *testing.T) {
+	cands := []Candidate{
+		{Kind: WholeView, ViewID: "new", Size: 10, Value: 5},
+		{Kind: WholeView, ViewID: "resident", Size: 10, Value: 5, InPool: true},
+	}
+	keep, _ := SelectGreedy(cands, 10)
+	if len(keep) != 1 || keep[0].ViewID != "resident" {
+		t.Errorf("keep = %v, want resident first", keep)
+	}
+}
+
+func TestSelectGreedyDeterministic(t *testing.T) {
+	cands := []Candidate{
+		{Kind: Frag, ViewID: "v", Attr: "a", Iv: interval.New(0, 10), Size: 10, Value: 5},
+		{Kind: Frag, ViewID: "v", Attr: "a", Iv: interval.New(11, 20), Size: 10, Value: 5},
+	}
+	k1, _ := SelectGreedy(cands, 10)
+	k2, _ := SelectGreedy([]Candidate{cands[1], cands[0]}, 10)
+	if k1[0].Key() != k2[0].Key() {
+		t.Error("selection depends on input order")
+	}
+}
+
+func TestCandidateKey(t *testing.T) {
+	v := Candidate{Kind: WholeView, ViewID: "x"}
+	f := Candidate{Kind: Frag, ViewID: "x", Attr: "a", Iv: interval.New(0, 5)}
+	if v.Key() == f.Key() {
+		t.Error("view and fragment keys collide")
+	}
+}
+
+func TestPartAttrsSorted(t *testing.T) {
+	v := &View{ID: "v", Parts: map[string]*partition.Partition{
+		"zeta":  partition.New("v", "zeta", interval.New(0, 1), false),
+		"alpha": partition.New("v", "alpha", interval.New(0, 1), false),
+	}}
+	got := v.PartAttrs()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("PartAttrs = %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+package query
+
+// PushDownRanges returns a copy of the plan with every range and
+// residual predicate moved down to the scan of the base table that owns
+// the predicate's column — the standard selection-pushdown rewrite a
+// production optimizer performs. The vanilla-Hive baseline runs
+// pushed-down plans; DeepSea deliberately does not push selections below
+// its view candidates (Section 10.2: "Our materialization strategy
+// requires that selections are not pushed down and hence we incur a
+// performance hit initially"), which is exactly the initial overhead the
+// Figure 7b recoup experiment measures.
+//
+// Predicates whose column is not produced by a single scan (e.g. an
+// aggregate alias) stay where they are.
+func PushDownRanges(root Node) Node {
+	plan, _, _ := pushDown(root)
+	return plan
+}
+
+type pendingPred struct {
+	rangePreds []RangePred
+	cmpPreds   []CmpPred
+}
+
+// pushDown rebuilds the subtree, returning pending predicates that could
+// not be attached yet (their owning scan is deeper in this subtree only
+// if hoisted from above).
+func pushDown(n Node) (Node, []RangePred, []CmpPred) {
+	switch t := n.(type) {
+	case *Scan:
+		return t, nil, nil
+
+	case *Select:
+		child, pr, pc := pushDown(t.Child)
+		pr = append(pr, t.Ranges...)
+		pc = append(pc, t.Residuals...)
+		return attach(child, pr, pc)
+
+	case *Project:
+		child, pr, pc := pushDown(t.Child)
+		child, pr, pc = attachTo(child, pr, pc)
+		cp := *t
+		cp.Child = child
+		return &cp, pr, pc
+
+	case *Join:
+		l, plr, plc := pushDown(t.Left)
+		r, prr, prc := pushDown(t.Right)
+		l, plr, plc = attachTo(l, plr, plc)
+		r, prr, prc = attachTo(r, prr, prc)
+		cp := *t
+		cp.Left = l
+		cp.Right = r
+		return &cp, append(plr, prr...), append(plc, prc...)
+
+	case *Aggregate:
+		child, pr, pc := pushDown(t.Child)
+		child, pr, pc = attachTo(child, pr, pc)
+		cp := *t
+		cp.Child = child
+		// Predicates that could not be attached below the aggregate stay
+		// above it.
+		out, rr, rc := attach(&cp, pr, pc)
+		return out, rr, rc
+
+	case *ViewScan:
+		return t, nil, nil
+
+	default:
+		return n, nil, nil
+	}
+}
+
+// attachTo tries to place each pending predicate directly above the
+// lowest node in this subtree that produces its column; unplaced
+// predicates are returned.
+func attachTo(n Node, ranges []RangePred, cmps []CmpPred) (Node, []RangePred, []CmpPred) {
+	out, restR, restC := attach(n, ranges, cmps)
+	return out, restR, restC
+}
+
+// attach wraps n in a Select holding the predicates n's schema can
+// evaluate; the rest are returned for placement higher up.
+func attach(n Node, ranges []RangePred, cmps []CmpPred) (Node, []RangePred, []CmpPred) {
+	schema := n.Schema()
+	var hereR, restR []RangePred
+	for _, p := range ranges {
+		if schema.Has(p.Col) {
+			hereR = append(hereR, p)
+		} else {
+			restR = append(restR, p)
+		}
+	}
+	var hereC, restC []CmpPred
+	for _, p := range cmps {
+		if schema.Has(p.Col) {
+			hereC = append(hereC, p)
+		} else {
+			restC = append(restC, p)
+		}
+	}
+	if len(hereR) == 0 && len(hereC) == 0 {
+		return n, restR, restC
+	}
+	// Push through to the scan level where possible: if n is itself a
+	// join/project chain, recurse one level.
+	switch t := n.(type) {
+	case *Join:
+		l, lr, lc := attach(t.Left, hereR, hereC)
+		r, rr2, rc2 := attach(t.Right, lr, lc)
+		cp := *t
+		cp.Left = l
+		cp.Right = r
+		if len(rr2) > 0 || len(rc2) > 0 {
+			return &Select{Child: &cp, Ranges: rr2, Residuals: rc2}, restR, restC
+		}
+		return &cp, restR, restC
+	case *Project:
+		child, cr, cc := attach(t.Child, hereR, hereC)
+		cp := *t
+		cp.Child = child
+		if len(cr) > 0 || len(cc) > 0 {
+			return &Select{Child: &cp, Ranges: cr, Residuals: cc}, restR, restC
+		}
+		return &cp, restR, restC
+	default:
+		return &Select{Child: n, Ranges: hereR, Residuals: hereC}, restR, restC
+	}
+}

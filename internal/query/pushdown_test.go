@@ -1,0 +1,114 @@
+package query
+
+import (
+	"testing"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/relation"
+)
+
+// findSelects collects every Select and the node type directly beneath.
+func findSelects(root Node) []string {
+	var out []string
+	Walk(root, func(n Node) {
+		if s, ok := n.(*Select); ok {
+			switch s.Child.(type) {
+			case *Scan:
+				out = append(out, "scan")
+			case *Join:
+				out = append(out, "join")
+			case *Project:
+				out = append(out, "project")
+			case *Aggregate:
+				out = append(out, "aggregate")
+			default:
+				out = append(out, "other")
+			}
+		}
+	})
+	return out
+}
+
+func TestPushDownMovesRangeToScan(t *testing.T) {
+	plan := testPlan() // Select sits above the projection
+	pushed := PushDownRanges(plan)
+	under := findSelects(pushed)
+	if len(under) != 1 || under[0] != "scan" {
+		t.Fatalf("selects after pushdown sit above %v, want [scan]", under)
+	}
+	// The predicate must land on the fact scan (owner of f_key).
+	found := false
+	Walk(pushed, func(n Node) {
+		if s, ok := n.(*Select); ok {
+			if sc, ok := s.Child.(*Scan); ok && sc.Table == "fact" {
+				if len(s.Ranges) == 1 && s.Ranges[0].Col == "f_key" {
+					found = true
+				}
+			}
+		}
+	})
+	if !found {
+		t.Error("range predicate not attached to the fact scan")
+	}
+}
+
+func TestPushDownPreservesSchema(t *testing.T) {
+	plan := testPlan()
+	pushed := PushDownRanges(plan)
+	a, b := plan.Schema(), pushed.Schema()
+	if a.String() != b.String() {
+		t.Errorf("pushdown changed output schema: %s vs %s", a.String(), b.String())
+	}
+}
+
+func TestPushDownResidual(t *testing.T) {
+	plan := &Select{
+		Child: &Join{
+			Left:  NewScan("fact", factSchema()),
+			Right: NewScan("dim", dimSchema()),
+			LCol:  "f_key", RCol: "d_key",
+		},
+		Residuals: []CmpPred{{Col: "d_name", Op: Eq,
+			Val: relation.StringVal("x"), Typ: relation.String}},
+	}
+	pushed := PushDownRanges(plan)
+	found := false
+	Walk(pushed, func(n Node) {
+		if s, ok := n.(*Select); ok {
+			if sc, ok := s.Child.(*Scan); ok && sc.Table == "dim" && len(s.Residuals) == 1 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("residual not pushed to the dim scan")
+	}
+}
+
+func TestPushDownKeepsPostAggregatePredicates(t *testing.T) {
+	// A range on an aggregate alias cannot move below the aggregate.
+	agg := &Aggregate{
+		Child:   NewScan("fact", factSchema()),
+		GroupBy: []string{"f_key"},
+		Aggs:    []AggSpec{{Func: Count, As: "n"}},
+	}
+	plan := &Select{Child: agg,
+		Ranges: []RangePred{{Col: "n", Iv: interval.New(5, 10)}}}
+	pushed := PushDownRanges(plan)
+	under := findSelects(pushed)
+	if len(under) != 1 || under[0] != "aggregate" {
+		t.Fatalf("post-aggregate predicate moved: selects above %v", under)
+	}
+}
+
+func TestPushDownNoPredicatesIsIdentityShape(t *testing.T) {
+	plan := &Join{
+		Left:  NewScan("fact", factSchema()),
+		Right: NewScan("dim", dimSchema()),
+		LCol:  "f_key", RCol: "d_key",
+	}
+	pushed := PushDownRanges(plan)
+	if len(findSelects(pushed)) != 0 {
+		t.Error("pushdown invented selections")
+	}
+}

@@ -1,0 +1,86 @@
+package query
+
+import "fmt"
+
+// Replace returns a copy of the plan rooted at root in which the subtree
+// identified by target (pointer identity) is replaced by repl. Nodes on
+// the path from the root to the target are shallow-copied so the original
+// plan is left untouched; untouched subtrees are shared. Replace panics
+// if target does not occur in root, which indicates a rewriting bug.
+func Replace(root, target, repl Node) Node {
+	out, found := replace(root, target, repl)
+	if !found {
+		panic(fmt.Sprintf("query: Replace target %s not found in plan", target))
+	}
+	return out
+}
+
+func replace(n, target, repl Node) (Node, bool) {
+	if n == target {
+		return repl, true
+	}
+	switch t := n.(type) {
+	case *Scan:
+		return n, false
+	case *Select:
+		c, ok := replace(t.Child, target, repl)
+		if !ok {
+			return n, false
+		}
+		cp := *t
+		cp.Child = c
+		return &cp, true
+	case *Project:
+		c, ok := replace(t.Child, target, repl)
+		if !ok {
+			return n, false
+		}
+		cp := *t
+		cp.Child = c
+		return &cp, true
+	case *Aggregate:
+		c, ok := replace(t.Child, target, repl)
+		if !ok {
+			return n, false
+		}
+		cp := *t
+		cp.Child = c
+		return &cp, true
+	case *Join:
+		if l, ok := replace(t.Left, target, repl); ok {
+			cp := *t
+			cp.Left = l
+			return &cp, true
+		}
+		if r, ok := replace(t.Right, target, repl); ok {
+			cp := *t
+			cp.Right = r
+			return &cp, true
+		}
+		return n, false
+	case *ViewScan:
+		for i, rem := range t.Remainders {
+			if r, ok := replace(rem, target, repl); ok {
+				cp := *t
+				cp.Remainders = append([]Node(nil), t.Remainders...)
+				cp.Remainders[i] = r
+				return &cp, true
+			}
+		}
+		return n, false
+	default:
+		panic(fmt.Sprintf("query: Replace over unknown node type %T", n))
+	}
+}
+
+// Contains reports whether target occurs in the plan rooted at root
+// (pointer identity).
+func Contains(root, target Node) bool {
+	found := false
+	Walk(root, func(n Node) {
+		if n == target {
+			found = true
+		}
+	})
+	return found
+}

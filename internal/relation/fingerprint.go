@@ -1,0 +1,42 @@
+package relation
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fingerprint returns an order-independent digest of the table's rows.
+// Two tables with the same multiset of rows produce equal fingerprints
+// regardless of row order. Tests use it to check that rewritten plans
+// (views, fragment covers, remainder unions) return exactly the rows of
+// the original plan.
+func (t *Table) Fingerprint() string {
+	keys := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		keys[i] = rowKey(r)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func rowKey(r Row) string {
+	buf := make([]byte, 0, len(r)*10)
+	for _, v := range r {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+		buf = append(buf, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		buf = append(buf, b[:]...)
+		buf = append(buf, v.S...)
+		buf = append(buf, 0x1f)
+	}
+	return string(buf)
+}

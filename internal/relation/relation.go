@@ -1,0 +1,203 @@
+// Package relation provides the relational substrate DeepSea operates
+// over: typed values, schemas, and in-memory tables with a byte-size
+// model that stands in for on-disk HDFS file sizes.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates the value types supported by the engine.
+type Type int
+
+// Supported column types.
+const (
+	Int Type = iota
+	Float
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a single column value. Exactly one field is meaningful,
+// selected by the column's Type. Null values are not modelled; generators
+// always produce complete rows (the paper's workloads are selections,
+// joins and aggregates over generated data).
+type Value struct {
+	I int64
+	F float64
+	S string
+}
+
+// IntVal wraps an int64 as a Value.
+func IntVal(v int64) Value { return Value{I: v} }
+
+// FloatVal wraps a float64 as a Value.
+func FloatVal(v float64) Value { return Value{F: v} }
+
+// StringVal wraps a string as a Value.
+func StringVal(v string) Value { return Value{S: v} }
+
+// Row is a tuple; the i-th Value corresponds to the i-th schema column.
+type Row []Value
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+	// Ordered marks attributes with a total order usable as partition
+	// keys. Only Int columns may be ordered in this implementation.
+	Ordered bool
+	// Lo and Hi bound the attribute's domain when Ordered. D(A) = [Lo,Hi].
+	Lo, Hi int64
+	// Width overrides the modelled byte width of this column when
+	// positive. Workload generators use it to scale simulated rows up to
+	// paper-scale data sizes: one simulated row stands for many real
+	// rows, so a 200k-row table can model a 100 GB instance while the
+	// cost model still sees realistic byte counts.
+	Width int64
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	Name string
+	Cols []Column
+}
+
+// ColIndex returns the index of the named column, or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Col returns the named column. It panics if the column does not exist;
+// plan construction validates names before execution.
+func (s *Schema) Col(name string) Column {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: schema %q has no column %q", s.Name, name))
+	}
+	return s.Cols[i]
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Project returns a new schema with only the named columns, in the given
+// order. The schema name is preserved.
+func (s *Schema) Project(names []string) Schema {
+	out := Schema{Name: s.Name, Cols: make([]Column, 0, len(names))}
+	for _, n := range names {
+		out.Cols = append(out.Cols, s.Col(n))
+	}
+	return out
+}
+
+// String renders the schema as name(col:TYPE, ...).
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = fmt.Sprintf("%s:%s", c.Name, c.Type)
+	}
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(parts, ", "))
+}
+
+// Bytes per value by type. These constants define the storage size model:
+// a row's size is the sum of its column widths. They approximate the
+// serialized width of columns in a Hive text/ORC file closely enough for
+// cost-model purposes.
+const (
+	intWidth    = 8
+	floatWidth  = 8
+	stringWidth = 32
+)
+
+// ColWidth returns the modelled byte width of a column of type t.
+func ColWidth(t Type) int64 {
+	switch t {
+	case Int:
+		return intWidth
+	case Float:
+		return floatWidth
+	case String:
+		return stringWidth
+	default:
+		return intWidth
+	}
+}
+
+// EffectiveWidth returns the column's modelled byte width, honouring an
+// explicit Width override.
+func (c Column) EffectiveWidth() int64 {
+	if c.Width > 0 {
+		return c.Width
+	}
+	return ColWidth(c.Type)
+}
+
+// RowWidth returns the modelled byte width of one row of the schema.
+func (s *Schema) RowWidth() int64 {
+	var w int64
+	for _, c := range s.Cols {
+		w += c.EffectiveWidth()
+	}
+	return w
+}
+
+// Table is an in-memory relation instance.
+type Table struct {
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema Schema) *Table {
+	return &Table{Schema: schema}
+}
+
+// NumRows returns the table's cardinality.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Bytes returns the modelled storage size of the table.
+func (t *Table) Bytes() int64 {
+	return int64(len(t.Rows)) * t.Schema.RowWidth()
+}
+
+// Append adds a row. The row must match the schema width; mismatches are
+// programming errors and panic.
+func (t *Table) Append(r Row) {
+	if len(r) != len(t.Schema.Cols) {
+		panic(fmt.Sprintf("relation: row width %d != schema width %d for %s",
+			len(r), len(t.Schema.Cols), t.Schema.Name))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Clone returns a deep copy of the table (rows share Value structs by
+// value, so mutation of the clone cannot affect the original).
+func (t *Table) Clone() *Table {
+	out := &Table{Schema: t.Schema, Rows: make([]Row, len(t.Rows))}
+	for i, r := range t.Rows {
+		nr := make(Row, len(r))
+		copy(nr, r)
+		out.Rows[i] = nr
+	}
+	return out
+}

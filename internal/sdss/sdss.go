@@ -1,0 +1,252 @@
+// Package sdss synthesizes a query trace with the published
+// characteristics of the Sloan Digital Sky Survey workload the paper
+// builds on (Section 1, Figures 1 and 2): selection ranges on attribute
+// ra of table PhotoPrimary whose hit histogram is strongly multi-modal
+// (hot spots around 150–250 degrees, a secondary ridge near 330, long
+// cold stretches) and whose focus shifts over the query sequence (the
+// first ~30% of queries concentrate on 200–300 degrees, later queries on
+// values around 100 degrees, with occasional whole-domain scans).
+//
+// The real trace is not redistributable, so this package generates a
+// synthetic equivalent that preserves exactly the two properties DeepSea
+// exploits — non-uniform access and evolving access patterns — plus the
+// data-distribution histogram used to shape item_sk values in the
+// BigBench instance (Section 10.1).
+package sdss
+
+import (
+	"math"
+	"math/rand"
+
+	"deepsea/internal/interval"
+)
+
+// RA degrees are scaled by RAScale into integer key space: the paper's
+// domain of ra is roughly [-20, 400] degrees; ×1000 gives an integer
+// domain aligned with the item_sk domain [0, 400000].
+const RAScale = 1000
+
+// Domain returns the scaled ra domain.
+func Domain() interval.Interval { return interval.New(0, 400*RAScale) }
+
+// mode is one Gaussian bump of access mass.
+type mode struct {
+	mu     float64 // degrees
+	sigma  float64 // degrees
+	weight float64
+}
+
+// The stationary access distribution of Figure 1: dominant mass between
+// 150 and 260 degrees, a secondary ridge near 330, a small bump near 30,
+// and a uniform floor.
+var fig1Modes = []mode{
+	{mu: 175, sigma: 18, weight: 0.35},
+	{mu: 235, sigma: 22, weight: 0.30},
+	{mu: 330, sigma: 12, weight: 0.15},
+	{mu: 30, sigma: 10, weight: 0.08},
+}
+
+const uniformFloor = 0.12 // remaining mass spread over the whole domain
+
+// Histogram is a binned access-count histogram over the scaled domain.
+type Histogram struct {
+	Dom      interval.Interval
+	BinWidth int64
+	Counts   []float64
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// BinInterval returns the key interval of bin i.
+func (h *Histogram) BinInterval(i int) interval.Interval {
+	lo := h.Dom.Lo + int64(i)*h.BinWidth
+	hi := lo + h.BinWidth - 1
+	if hi > h.Dom.Hi {
+		hi = h.Dom.Hi
+	}
+	return interval.New(lo, hi)
+}
+
+// Total returns the summed counts.
+func (h *Histogram) Total() float64 {
+	var t float64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// AccessHistogram returns the stationary Figure 1 histogram with the
+// given number of bins (the paper plots 30-degree buckets; any bin count
+// works).
+func AccessHistogram(bins int) *Histogram {
+	dom := Domain()
+	h := &Histogram{
+		Dom:      dom,
+		BinWidth: (dom.Len() + int64(bins) - 1) / int64(bins),
+		Counts:   make([]float64, bins),
+	}
+	for i := 0; i < bins; i++ {
+		iv := h.BinInterval(i)
+		mid := float64(iv.Lo+iv.Hi) / 2 / RAScale // degrees
+		h.Counts[i] = densityAt(mid) * float64(iv.Len())
+	}
+	return h
+}
+
+// densityAt evaluates the stationary access density at a position in
+// degrees.
+func densityAt(deg float64) float64 {
+	d := uniformFloor / 400
+	for _, m := range fig1Modes {
+		d += m.weight * gaussian(deg, m.mu, m.sigma)
+	}
+	return d
+}
+
+func gaussian(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// Sampler returns a workload.Sampler-compatible function that draws item
+// indices whose keys follow the Figure 1 histogram — used to shape the
+// BigBench data distribution in the Section 10.1 experiment.
+func Sampler(bins int) func(rng *rand.Rand, n int) int {
+	h := AccessHistogram(bins)
+	cum := make([]float64, len(h.Counts))
+	var total float64
+	for i, c := range h.Counts {
+		total += c
+		cum[i] = total
+	}
+	return func(rng *rand.Rand, n int) int {
+		u := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		iv := h.BinInterval(lo)
+		key := iv.Lo + rng.Int63n(iv.Len())
+		// Map the key back to an item index (keys are evenly spread).
+		idx := int(float64(key-h.Dom.Lo) / float64(h.Dom.Len()) * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+}
+
+// phase describes one regime of the evolving trace (Figure 2).
+type phase struct {
+	until  float64 // fraction of the trace this phase ends at
+	modes  []mode
+	fullPr float64 // probability of a whole-domain query
+}
+
+// The Figure 2 evolution: queries initially concentrate on 200–300
+// degrees, an early burst selects the whole domain, and later queries
+// focus around 100 degrees.
+var fig2Phases = []phase{
+	{until: 0.10, modes: []mode{{mu: 250, sigma: 25, weight: 1}}, fullPr: 0.02},
+	{until: 0.30, modes: []mode{{mu: 230, sigma: 30, weight: 0.8}, {mu: 280, sigma: 12, weight: 0.2}}},
+	{until: 0.55, modes: []mode{{mu: 100, sigma: 15, weight: 0.7}, {mu: 230, sigma: 30, weight: 0.3}}},
+	{until: 0.80, modes: []mode{{mu: 100, sigma: 8, weight: 0.9}, {mu: 170, sigma: 20, weight: 0.1}}},
+	{until: 1.00, modes: []mode{{mu: 120, sigma: 10, weight: 0.6}, {mu: 330, sigma: 12, weight: 0.4}}},
+}
+
+// TraceOptions tunes trace generation.
+type TraceOptions struct {
+	// N is the number of queries.
+	N int
+	// Seed drives the generator.
+	Seed int64
+	// MeanWidthDeg is the mean selection-range width in degrees
+	// (defaults to 4 degrees — narrow ranges like the SDSS workload).
+	MeanWidthDeg float64
+}
+
+// Trace generates the evolving query trace: n selection ranges over the
+// scaled ra domain following the Figure 2 phase structure.
+func Trace(opts TraceOptions) []interval.Interval {
+	if opts.N <= 0 {
+		opts.N = 10000
+	}
+	if opts.MeanWidthDeg <= 0 {
+		opts.MeanWidthDeg = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dom := Domain()
+	out := make([]interval.Interval, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		frac := float64(i) / float64(opts.N)
+		ph := fig2Phases[len(fig2Phases)-1]
+		for _, p := range fig2Phases {
+			if frac < p.until {
+				ph = p
+				break
+			}
+		}
+		if rng.Float64() < ph.fullPr {
+			out = append(out, dom)
+			continue
+		}
+		m := pickMode(ph.modes, rng)
+		midDeg := m.mu + rng.NormFloat64()*m.sigma
+		widthDeg := opts.MeanWidthDeg * (0.25 + rng.ExpFloat64())
+		lo := int64((midDeg - widthDeg/2) * RAScale)
+		hi := int64((midDeg + widthDeg/2) * RAScale)
+		if lo < dom.Lo {
+			lo = dom.Lo
+		}
+		if hi > dom.Hi {
+			hi = dom.Hi
+		}
+		if hi < lo {
+			hi = lo
+		}
+		out = append(out, interval.New(lo, hi))
+	}
+	return out
+}
+
+func pickMode(modes []mode, rng *rand.Rand) mode {
+	var total float64
+	for _, m := range modes {
+		total += m.weight
+	}
+	u := rng.Float64() * total
+	for _, m := range modes {
+		u -= m.weight
+		if u <= 0 {
+			return m
+		}
+	}
+	return modes[len(modes)-1]
+}
+
+// HitHistogram bins a trace's selection ranges into an access histogram
+// (each query increments every bin its range overlaps) — the computation
+// behind Figure 1.
+func HitHistogram(trace []interval.Interval, bins int) *Histogram {
+	dom := Domain()
+	h := &Histogram{
+		Dom:      dom,
+		BinWidth: (dom.Len() + int64(bins) - 1) / int64(bins),
+		Counts:   make([]float64, bins),
+	}
+	for _, iv := range trace {
+		first := int((iv.Lo - dom.Lo) / h.BinWidth)
+		last := int((iv.Hi - dom.Lo) / h.BinWidth)
+		for b := first; b <= last && b < bins; b++ {
+			h.Counts[b]++
+		}
+	}
+	return h
+}

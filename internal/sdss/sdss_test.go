@@ -1,0 +1,133 @@
+package sdss
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsea/internal/interval"
+)
+
+func TestAccessHistogramShape(t *testing.T) {
+	h := AccessHistogram(40)
+	if h.Bins() != 40 {
+		t.Fatalf("bins = %d", h.Bins())
+	}
+	// The dominant mass must sit between 150 and 260 degrees.
+	massIn := func(loDeg, hiDeg float64) float64 {
+		var m float64
+		for i := range h.Counts {
+			iv := h.BinInterval(i)
+			mid := float64(iv.Lo+iv.Hi) / 2 / RAScale
+			if mid >= loDeg && mid <= hiDeg {
+				m += h.Counts[i]
+			}
+		}
+		return m
+	}
+	hot := massIn(140, 270)
+	cold := massIn(40, 90)
+	if hot < 3*cold {
+		t.Errorf("hot region mass %.2f not dominant over cold %.2f", hot, cold)
+	}
+	if h.Total() <= 0 {
+		t.Error("empty histogram")
+	}
+}
+
+func TestTraceEvolution(t *testing.T) {
+	trace := Trace(TraceOptions{N: 10000, Seed: 1})
+	if len(trace) != 10000 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	dom := Domain()
+	meanMid := func(ivs []interval.Interval) float64 {
+		var m float64
+		n := 0
+		for _, iv := range ivs {
+			if iv == dom {
+				continue // skip whole-domain scans
+			}
+			m += float64(iv.Lo+iv.Hi) / 2
+			n++
+		}
+		return m / float64(n)
+	}
+	early := meanMid(trace[:2500])
+	late := meanMid(trace[6000:8000])
+	// Early queries focus near 230-250 degrees, later ones near 100.
+	if early < 180*RAScale || early > 300*RAScale {
+		t.Errorf("early mean midpoint %.0f not in the 200-300 degree regime", early/RAScale)
+	}
+	if late > 150*RAScale {
+		t.Errorf("late mean midpoint %.0f did not shift toward 100 degrees", late/RAScale)
+	}
+	for _, iv := range trace {
+		if !dom.ContainsInterval(iv) {
+			t.Fatalf("range %v outside domain", iv)
+		}
+	}
+}
+
+func TestTraceContainsFullDomainQueries(t *testing.T) {
+	trace := Trace(TraceOptions{N: 5000, Seed: 2})
+	dom := Domain()
+	full := 0
+	for _, iv := range trace[:500] {
+		if iv == dom {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Error("no whole-domain queries in the early trace (Figure 2's vertical line)")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a := Trace(TraceOptions{N: 100, Seed: 7})
+	b := Trace(TraceOptions{N: 100, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestSamplerFollowsHistogram(t *testing.T) {
+	s := Sampler(40)
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	counts := make([]int, n)
+	for i := 0; i < 200000; i++ {
+		counts[s(rng, n)]++
+	}
+	// Index corresponding to ~175 degrees must be sampled far more often
+	// than one at ~60 degrees.
+	hotIdx := int(175.0 / 400 * float64(n))
+	coldIdx := int(60.0 / 400 * float64(n))
+	hot, cold := 0, 0
+	for d := -20; d <= 20; d++ {
+		hot += counts[hotIdx+d]
+		cold += counts[coldIdx+d]
+	}
+	if hot < 3*cold {
+		t.Errorf("hot index count %d not dominant over cold %d", hot, cold)
+	}
+}
+
+func TestHitHistogram(t *testing.T) {
+	trace := []interval.Interval{
+		interval.New(0, 9999),        // bin 0
+		interval.New(0, 19999),       // bins 0-1
+		interval.New(350000, 355000), // bin 35
+	}
+	h := HitHistogram(trace, 40)
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 count = %g, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 {
+		t.Errorf("bin 1 count = %g, want 1", h.Counts[1])
+	}
+	if h.Counts[35] != 1 {
+		t.Errorf("bin 35 count = %g, want 1", h.Counts[35])
+	}
+}

@@ -1,0 +1,166 @@
+package signature
+
+import (
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+)
+
+// Compensation describes the operations that must be applied on top of a
+// matched view to produce exactly the query subtree's result.
+type Compensation struct {
+	// Ranges are extra range selections (query range strictly inside the
+	// view's range for that column).
+	Ranges []query.RangePred
+	// Residuals are extra residual predicates present in the query but
+	// not in the view.
+	Residuals []query.CmpPred
+	// Project lists the query's output columns when the view exposes
+	// more columns than the query needs; nil when outputs are identical
+	// as sets.
+	Project []string
+}
+
+// Match checks the sufficient condition for the view signature to answer
+// the query signature and, on success, returns the required
+// compensation. The condition (after Goldstein–Larson, restricted to the
+// operator shapes this engine supports) is:
+//
+//  1. equal relation multisets,
+//  2. equal join predicate sets,
+//  3. equal aggregation shape (group-by and aggregate lists), and both
+//     sides either aggregated or not,
+//  4. the view's residual predicates are a subset of the query's, and
+//     every compensating residual references a view output column,
+//  5. per column, the view's range contains the query's range, and every
+//     compensating range selection references a view output column,
+//  6. the query's output columns are a subset of the view's.
+//
+// Compensating a range or residual above an aggregation is sound here
+// because condition 3 forces equal group-by lists: a retained predicate
+// column is necessarily a group-by column, and filtering groups on it
+// commutes with the aggregation.
+func Match(view, q *Signature) (Compensation, bool) {
+	var comp Compensation
+	if !equalStrings(view.Relations, q.Relations) {
+		return comp, false
+	}
+	if !equalStrings(view.JoinPairs, q.JoinPairs) {
+		return comp, false
+	}
+	if view.HasAgg != q.HasAgg {
+		return comp, false
+	}
+	if view.HasAgg {
+		if !equalStrings(view.GroupBy, q.GroupBy) || !equalStrings(view.Aggs, q.Aggs) {
+			return comp, false
+		}
+	}
+
+	viewOut := make(map[string]bool, len(view.Output))
+	for _, c := range view.Output {
+		viewOut[c] = true
+	}
+
+	// Condition 4: residuals.
+	qres := make(map[string]query.CmpPred, len(q.Residuals))
+	for _, r := range q.Residuals {
+		qres[r.Key] = r.Pred
+	}
+	for _, r := range view.Residuals {
+		if _, ok := qres[r.Key]; !ok {
+			return comp, false // view more restrictive than query
+		}
+		delete(qres, r.Key)
+	}
+	for _, r := range q.Residuals {
+		p, remaining := qres[r.Key]
+		if !remaining {
+			continue
+		}
+		if !viewOut[p.Col] {
+			return comp, false // cannot compensate: column projected away
+		}
+		comp.Residuals = append(comp.Residuals, p)
+		delete(qres, r.Key)
+	}
+
+	// Condition 5: ranges. Missing entries mean "unrestricted"; a view
+	// range with no matching query range only matches if the view range
+	// covers the column's whole domain.
+	for col, vr := range view.Ranges {
+		qr, ok := q.Ranges[col]
+		if !ok {
+			dom, known := domainOf(view, q, col)
+			if !known || !vr.ContainsInterval(dom) {
+				return comp, false
+			}
+			continue
+		}
+		if !vr.ContainsInterval(qr) {
+			return comp, false
+		}
+		if vr != qr {
+			if !viewOut[col] {
+				return comp, false
+			}
+			comp.Ranges = append(comp.Ranges, query.RangePred{Col: col, Iv: qr})
+		}
+	}
+	for col, qr := range q.Ranges {
+		if _, ok := view.Ranges[col]; ok {
+			continue // handled above
+		}
+		if !viewOut[col] {
+			return comp, false
+		}
+		comp.Ranges = append(comp.Ranges, query.RangePred{Col: col, Iv: qr})
+	}
+
+	// Condition 6: output columns.
+	sameOut := len(view.Output) == len(q.Output)
+	for _, c := range q.Output {
+		if !viewOut[c] {
+			return comp, false
+		}
+	}
+	if sameOut {
+		qOut := make(map[string]bool, len(q.Output))
+		for _, c := range q.Output {
+			qOut[c] = true
+		}
+		for _, c := range view.Output {
+			if !qOut[c] {
+				sameOut = false
+				break
+			}
+		}
+	}
+	if !sameOut {
+		comp.Project = append([]string(nil), q.Output...)
+	}
+	return comp, true
+}
+
+// domainOf looks up the domain of an ordered column from either
+// signature's schema.
+func domainOf(view, q *Signature, col string) (interval.Interval, bool) {
+	for _, s := range [...]*Signature{view, q} {
+		sch := s.Schema()
+		if i := sch.ColIndex(col); i >= 0 && sch.Cols[i].Ordered {
+			return interval.New(sch.Cols[i].Lo, sch.Cols[i].Hi), true
+		}
+	}
+	return interval.Interval{}, false
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsea/internal/interval"
+)
+
+// benchPartition builds a partition statistic with many tracked
+// fragments and a realistic hit history.
+func benchPartition(nFrags, hitsPerFrag int) *PartitionStat {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPartitionStat("v", "a", interval.New(0, 400000))
+	t := 1.0
+	for i := 0; i < nFrags; i++ {
+		lo := rng.Int63n(395000)
+		f := p.Frag(interval.New(lo, lo+4000))
+		f.Size = 1 << 27
+		for h := 0; h < hitsPerFrag; h++ {
+			t += 10
+			f.RecordHit(t)
+		}
+	}
+	return p
+}
+
+func BenchmarkFitNormal(b *testing.B) {
+	p := benchPartition(100, 20)
+	d := Decay{TMax: 3000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// tnow within the decay window of the most recent hits.
+		m := p.FitNormal(21000, d)
+		if !m.Valid() {
+			b.Fatal("invalid model")
+		}
+	}
+}
+
+func BenchmarkDecayedHitsLongHistory(b *testing.B) {
+	f := &FragStat{Iv: interval.New(0, 1000), Size: 1}
+	for t := 1.0; t < 100000; t += 10 {
+		f.RecordHit(t)
+	}
+	d := Decay{TMax: 3000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.DecayedHits(100001, d)
+	}
+}
+
+func BenchmarkViewBenefitLongHistory(b *testing.B) {
+	v := &ViewStat{ID: "v", Size: 1 << 30, Cost: 100}
+	for t := 1.0; t < 100000; t += 10 {
+		v.RecordUse(t, 50)
+	}
+	d := Decay{TMax: 3000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Benefit(100001, d)
+	}
+}

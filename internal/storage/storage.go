@@ -1,0 +1,134 @@
+// Package storage simulates the distributed file system (HDFS) that
+// DeepSea's materialized views and fragments live on. It tracks file
+// sizes and block counts; actual row payloads are kept by the engine.
+//
+// The simulation preserves the two HDFS properties the paper's cost
+// behaviour depends on: reads are parallelised per block (so the number
+// of map tasks for a scan is ceil(size/blockSize)), and every file costs
+// at least one task to open, which is why very fine-grained partitions
+// (E-60 in Figure 6b) lose to coarser ones.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultBlockSize is the modelled HDFS block size (128 MB), the lower
+// bound for fragment sizes in Section 9 ("Bounding Fragment Size").
+const DefaultBlockSize = 128 * 1024 * 1024
+
+// File records the existence and size of one stored file.
+type File struct {
+	Path string
+	Size int64
+}
+
+// FS is a simulated file system. It is not safe for concurrent use; the
+// simulator processes one query at a time, as does the paper's.
+type FS struct {
+	blockSize int64
+	files     map[string]File
+	// bytesWritten and bytesRead accumulate lifetime I/O for reporting.
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// NewFS returns an empty simulated file system. A blockSize of 0 selects
+// DefaultBlockSize.
+func NewFS(blockSize int64) *FS {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &FS{blockSize: blockSize, files: make(map[string]File)}
+}
+
+// BlockSize returns the modelled block size in bytes.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Blocks returns the number of blocks a file of the given size occupies
+// (at least one: even an empty file costs a task to open).
+func (fs *FS) Blocks(size int64) int64 {
+	if size <= 0 {
+		return 1
+	}
+	return (size + fs.blockSize - 1) / fs.blockSize
+}
+
+// Write creates or replaces a file of the given size and accounts the
+// written bytes.
+func (fs *FS) Write(path string, size int64) {
+	if size < 0 {
+		panic(fmt.Sprintf("storage: negative size %d for %s", size, path))
+	}
+	fs.files[path] = File{Path: path, Size: size}
+	fs.bytesWritten += size
+}
+
+// Read accounts a full read of the named file and returns its size. It
+// returns an error if the file does not exist: reading a missing file
+// means the pool and the FS disagree, which is a bug worth surfacing.
+func (fs *FS) Read(path string) (int64, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("storage: read of missing file %s", path)
+	}
+	fs.bytesRead += f.Size
+	return f.Size, nil
+}
+
+// ReadPartial accounts a read of n bytes from the named file (fragment
+// clipping reads only part of a file's key range).
+func (fs *FS) ReadPartial(path string, n int64) error {
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("storage: read of missing file %s", path)
+	}
+	fs.bytesRead += n
+	return nil
+}
+
+// Delete removes a file. Deleting a missing file is a no-op: eviction may
+// race with replacement of a fragment by its splits.
+func (fs *FS) Delete(path string) {
+	delete(fs.files, path)
+}
+
+// Exists reports whether a file is present.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the size of a file, or 0 if absent.
+func (fs *FS) Size(path string) int64 {
+	return fs.files[path].Size
+}
+
+// TotalSize returns the sum of all file sizes — the S(C) of the current
+// configuration.
+func (fs *FS) TotalSize() int64 {
+	var total int64
+	for _, f := range fs.files {
+		total += f.Size
+	}
+	return total
+}
+
+// NumFiles returns the number of stored files.
+func (fs *FS) NumFiles() int { return len(fs.files) }
+
+// List returns all files sorted by path, for deterministic inspection.
+func (fs *FS) List() []File {
+	out := make([]File, 0, len(fs.files))
+	for _, f := range fs.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// BytesWritten returns lifetime bytes written.
+func (fs *FS) BytesWritten() int64 { return fs.bytesWritten }
+
+// BytesRead returns lifetime bytes read.
+func (fs *FS) BytesRead() int64 { return fs.bytesRead }

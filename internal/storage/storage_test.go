@@ -1,0 +1,87 @@
+package storage
+
+import "testing"
+
+func TestBlocks(t *testing.T) {
+	fs := NewFS(100)
+	tests := []struct {
+		size int64
+		want int64
+	}{
+		{0, 1}, {1, 1}, {99, 1}, {100, 1}, {101, 2}, {250, 3},
+	}
+	for _, tt := range tests {
+		if got := fs.Blocks(tt.size); got != tt.want {
+			t.Errorf("Blocks(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultBlockSize(t *testing.T) {
+	fs := NewFS(0)
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want %d", fs.BlockSize(), DefaultBlockSize)
+	}
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	fs := NewFS(100)
+	fs.Write("v1/f0", 500)
+	if !fs.Exists("v1/f0") || fs.Size("v1/f0") != 500 {
+		t.Fatal("file not recorded")
+	}
+	n, err := fs.Read("v1/f0")
+	if err != nil || n != 500 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if fs.BytesRead() != 500 || fs.BytesWritten() != 500 {
+		t.Errorf("I/O accounting: read=%d written=%d", fs.BytesRead(), fs.BytesWritten())
+	}
+	fs.Delete("v1/f0")
+	if fs.Exists("v1/f0") {
+		t.Error("file survived delete")
+	}
+	if _, err := fs.Read("v1/f0"); err == nil {
+		t.Error("read of deleted file did not error")
+	}
+}
+
+func TestReadPartial(t *testing.T) {
+	fs := NewFS(100)
+	fs.Write("f", 1000)
+	if err := fs.ReadPartial("f", 300); err != nil {
+		t.Fatal(err)
+	}
+	if fs.BytesRead() != 300 {
+		t.Errorf("BytesRead = %d, want 300", fs.BytesRead())
+	}
+	if err := fs.ReadPartial("missing", 10); err == nil {
+		t.Error("partial read of missing file did not error")
+	}
+}
+
+func TestTotalSizeAndList(t *testing.T) {
+	fs := NewFS(100)
+	fs.Write("b", 10)
+	fs.Write("a", 20)
+	fs.Write("b", 30) // replace
+	if fs.TotalSize() != 50 {
+		t.Errorf("TotalSize = %d, want 50", fs.TotalSize())
+	}
+	if fs.NumFiles() != 2 {
+		t.Errorf("NumFiles = %d, want 2", fs.NumFiles())
+	}
+	l := fs.List()
+	if len(l) != 2 || l[0].Path != "a" || l[1].Path != "b" {
+		t.Errorf("List = %v", l)
+	}
+}
+
+func TestWritePanicsOnNegativeSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative write did not panic")
+		}
+	}()
+	NewFS(0).Write("x", -1)
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"deepsea/internal/interval"
+)
+
+// Selectivity presets from Table 1: the fraction of the domain a query's
+// selection range covers.
+const (
+	Small  = 0.01 // "S"
+	Medium = 0.05 // "M"
+	Big    = 0.25 // "B"
+)
+
+// Skew identifies the distribution of selection-range midpoints
+// (Table 1).
+type Skew int
+
+// Skew settings.
+const (
+	// Uniform midpoints ("U").
+	Uniform Skew = iota
+	// Light skew ("L"): normally distributed midpoints with a standard
+	// deviation of 7.5% of the domain.
+	Light
+	// Heavy skew ("H"): normally distributed midpoints with a standard
+	// deviation of 0.25% of the domain.
+	Heavy
+)
+
+// String returns the Table 1 abbreviation.
+func (s Skew) String() string {
+	switch s {
+	case Uniform:
+		return "U"
+	case Light:
+		return "L"
+	case Heavy:
+		return "H"
+	default:
+		return "?"
+	}
+}
+
+// Sigma returns the skew's midpoint standard deviation as a fraction of
+// the domain (0 for uniform).
+func (s Skew) Sigma() float64 {
+	switch s {
+	case Light:
+		return 0.075
+	case Heavy:
+		return 0.0025
+	default:
+		return 0
+	}
+}
+
+// Ranges generates n selection ranges over dom with the given selectivity
+// (range length as a fraction of the domain) and midpoint skew. Skewed
+// midpoints centre on the middle of the domain; use RangesAround to place
+// the hot spot elsewhere.
+func Ranges(n int, selectivity float64, skew Skew, dom interval.Interval, rng *rand.Rand) []interval.Interval {
+	mid := (dom.Lo + dom.Hi) / 2
+	return RangesAround(n, selectivity, skew, dom, mid, rng)
+}
+
+// RangesAround is Ranges with an explicit hot-spot midpoint for the
+// skewed settings (uniform ignores it).
+func RangesAround(n int, selectivity float64, skew Skew, dom interval.Interval, center int64, rng *rand.Rand) []interval.Interval {
+	out := make([]interval.Interval, 0, n)
+	length := int64(math.Max(1, selectivity*float64(dom.Len())))
+	for i := 0; i < n; i++ {
+		var mid int64
+		if skew == Uniform {
+			mid = dom.Lo + rng.Int63n(dom.Len())
+		} else {
+			sigma := skew.Sigma() * float64(dom.Len())
+			mid = center + int64(rng.NormFloat64()*sigma)
+		}
+		out = append(out, rangeAt(mid, length, dom))
+	}
+	return out
+}
+
+// ZipfRanges generates ranges whose midpoints follow a Zipf distribution
+// over the domain (Section 10.3's robustness experiment): midpoint rank r
+// has probability proportional to 1/r^s.
+func ZipfRanges(n int, selectivity float64, dom interval.Interval, s float64, rng *rand.Rand) []interval.Interval {
+	if s <= 1 {
+		s = 1.5
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(dom.Len()-1))
+	length := int64(math.Max(1, selectivity*float64(dom.Len())))
+	out := make([]interval.Interval, 0, n)
+	for i := 0; i < n; i++ {
+		mid := dom.Lo + int64(z.Uint64())
+		out = append(out, rangeAt(mid, length, dom))
+	}
+	return out
+}
+
+// ShiftingRanges generates per-phase heavily-skewed ranges whose hot spot
+// jumps between the given midpoints: perPhase queries centred on
+// midpoints[0], then perPhase on midpoints[1], and so on — the pattern of
+// Sections 10.4 (Figure 9: midpoints 20,000 / 40,000 / 60,000).
+func ShiftingRanges(midpoints []int64, perPhase int, selectivity float64, skew Skew, dom interval.Interval, rng *rand.Rand) []interval.Interval {
+	var out []interval.Interval
+	for _, m := range midpoints {
+		out = append(out, RangesAround(perPhase, selectivity, skew, dom, m, rng)...)
+	}
+	return out
+}
+
+// rangeAt builds a range of the given length centred on mid, clamped into
+// the domain.
+func rangeAt(mid, length int64, dom interval.Interval) interval.Interval {
+	lo := mid - length/2
+	hi := lo + length - 1
+	if lo < dom.Lo {
+		lo = dom.Lo
+		hi = lo + length - 1
+	}
+	if hi > dom.Hi {
+		hi = dom.Hi
+		lo = hi - length + 1
+		if lo < dom.Lo {
+			lo = dom.Lo
+		}
+	}
+	return interval.New(lo, hi)
+}

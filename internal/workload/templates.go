@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+)
+
+// Template identifies one of the ten BigBench-derived query templates
+// the paper's evaluation uses (Section 10.1: Q1, Q5, Q7, Q9, Q12, Q16,
+// Q20, Q26, Q29, Q30 — the join-bearing templates). Every template has
+// the shape
+//
+//	aggregate( select_{l <= item_sk <= u}( join tree ) )
+//
+// with the range selection deliberately NOT pushed below the joins
+// (Section 10.2: DeepSea's materialization strategy requires selections
+// above the candidate views).
+type Template int
+
+// The ten templates.
+const (
+	Q1 Template = iota
+	Q5
+	Q7
+	Q9
+	Q12
+	Q16
+	Q20
+	Q26
+	Q29
+	Q30
+)
+
+// AllTemplates lists every template.
+var AllTemplates = []Template{Q1, Q5, Q7, Q9, Q12, Q16, Q20, Q26, Q29, Q30}
+
+// String returns the BigBench-style name.
+func (t Template) String() string {
+	switch t {
+	case Q1:
+		return "Q1"
+	case Q5:
+		return "Q5"
+	case Q7:
+		return "Q7"
+	case Q9:
+		return "Q9"
+	case Q12:
+		return "Q12"
+	case Q16:
+		return "Q16"
+	case Q20:
+		return "Q20"
+	case Q26:
+		return "Q26"
+	case Q29:
+		return "Q29"
+	case Q30:
+		return "Q30"
+	default:
+		return fmt.Sprintf("Template(%d)", int(t))
+	}
+}
+
+// SelectionAttr returns the fact-side item_sk column the template's
+// injected selection ranges over.
+func (t Template) SelectionAttr() string {
+	switch t {
+	case Q5, Q12:
+		return "wcs_item_sk"
+	case Q29:
+		return "pr_item_sk"
+	default:
+		return "ss_item_sk"
+	}
+}
+
+// Query instantiates the template over the dataset with the given
+// item_sk selection range. Every join is immediately projected to the
+// columns the template needs (map-side projection, as Hive fuses it), so
+// the Definition 6 view candidates are the narrow projected join results
+// rather than full-width joins.
+func (d *Data) Query(t Template, iv interval.Interval) query.Node {
+	scan := func(name string) *query.Scan {
+		return query.NewScan(name, d.Schema(name))
+	}
+	join := func(l query.Node, r query.Node, lc, rc string, keep ...string) *query.Project {
+		return &query.Project{
+			Child: &query.Join{Left: l, Right: r, LCol: lc, RCol: rc},
+			Cols:  keep,
+		}
+	}
+	sales := func(keep ...string) *query.Project {
+		return join(scan("store_sales"), scan("item"), "ss_item_sk", "i_item_sk", keep...)
+	}
+	clicks := func(keep ...string) *query.Project {
+		return join(scan("web_clickstream"), scan("item"), "wcs_item_sk", "i_item_sk", keep...)
+	}
+	reviews := func(keep ...string) *query.Project {
+		return join(scan("product_reviews"), scan("item"), "pr_item_sk", "i_item_sk", keep...)
+	}
+	sel := func(child query.Node) *query.Select {
+		return &query.Select{Child: child,
+			Ranges: []query.RangePred{{Col: t.SelectionAttr(), Iv: iv}}}
+	}
+
+	switch t {
+	case Q1: // category revenue
+		return &query.Aggregate{
+			Child:   sel(sales("ss_item_sk", "i_category_id", "ss_sales_price", "ss_sold_date_sk")),
+			GroupBy: []string{"i_category_id"},
+			Aggs: []query.AggSpec{
+				{Func: query.Count, As: "sales_cnt"},
+				{Func: query.Sum, Col: "ss_sales_price", As: "revenue"},
+			},
+		}
+	case Q5: // click volume per category
+		return &query.Aggregate{
+			Child:   sel(clicks("wcs_item_sk", "i_category_id")),
+			GroupBy: []string{"i_category_id"},
+			Aggs:    []query.AggSpec{{Func: query.Count, As: "clicks"}},
+		}
+	case Q7: // regional sales: 3-way join
+		return &query.Aggregate{
+			Child: sel(join(
+				sales("ss_item_sk", "ss_store_sk", "ss_quantity"),
+				scan("store"), "ss_store_sk", "s_store_sk",
+				"ss_item_sk", "s_region", "ss_quantity",
+			)),
+			GroupBy: []string{"s_region"},
+			Aggs: []query.AggSpec{
+				{Func: query.Count, As: "sales_cnt"},
+				{Func: query.Sum, Col: "ss_quantity", As: "units"},
+			},
+		}
+	case Q9: // demographics: sales x item x customer
+		return &query.Aggregate{
+			Child: sel(join(
+				sales("ss_item_sk", "ss_customer_sk", "i_category"),
+				scan("customer"), "ss_customer_sk", "c_customer_sk",
+				"ss_item_sk", "i_category", "c_age",
+			)),
+			GroupBy: []string{"i_category"},
+			Aggs: []query.AggSpec{
+				{Func: query.Avg, Col: "c_age", As: "avg_age"},
+				{Func: query.Count, As: "sales_cnt"},
+			},
+		}
+	case Q12: // click price stats
+		return &query.Aggregate{
+			Child:   sel(clicks("wcs_item_sk", "i_category", "i_price")),
+			GroupBy: []string{"i_category"},
+			Aggs: []query.AggSpec{
+				{Func: query.Avg, Col: "i_price", As: "avg_price"},
+				{Func: query.Count, As: "clicks"},
+			},
+		}
+	case Q16: // price extremes per category
+		return &query.Aggregate{
+			Child:   sel(sales("ss_item_sk", "i_category_id", "ss_sales_price", "ss_sold_date_sk")),
+			GroupBy: []string{"i_category_id"},
+			Aggs: []query.AggSpec{
+				{Func: query.Min, Col: "ss_sales_price", As: "min_price"},
+				{Func: query.Max, Col: "ss_sales_price", As: "max_price"},
+			},
+		}
+	case Q20: // customer spend
+		return &query.Aggregate{
+			Child: sel(join(
+				sales("ss_item_sk", "ss_customer_sk", "i_category_id", "ss_sales_price"),
+				scan("customer"), "ss_customer_sk", "c_customer_sk",
+				"ss_item_sk", "i_category_id", "ss_sales_price", "c_income",
+			)),
+			GroupBy: []string{"i_category_id"},
+			Aggs: []query.AggSpec{
+				{Func: query.Sum, Col: "ss_sales_price", As: "spend"},
+				{Func: query.Avg, Col: "c_income", As: "avg_income"},
+			},
+		}
+	case Q26: // basket size
+		return &query.Aggregate{
+			Child:   sel(sales("ss_item_sk", "i_category_id", "ss_quantity", "ss_sales_price", "ss_customer_sk", "ss_sold_date_sk")),
+			GroupBy: []string{"i_category_id"},
+			Aggs:    []query.AggSpec{{Func: query.Avg, Col: "ss_quantity", As: "avg_qty"}},
+		}
+	case Q29: // review sentiment
+		return &query.Aggregate{
+			Child:   sel(reviews("pr_item_sk", "i_category", "pr_rating")),
+			GroupBy: []string{"i_category"},
+			Aggs: []query.AggSpec{
+				{Func: query.Avg, Col: "pr_rating", As: "avg_rating"},
+				{Func: query.Count, As: "reviews"},
+			},
+		}
+	case Q30: // category affinity (the workhorse of Sections 10.2-10.4)
+		return &query.Aggregate{
+			Child:   sel(sales("ss_item_sk", "i_category_id", "ss_quantity", "ss_sales_price", "ss_customer_sk", "ss_sold_date_sk")),
+			GroupBy: []string{"i_category_id"},
+			Aggs: []query.AggSpec{
+				{Func: query.Count, As: "sales_cnt"},
+				{Func: query.Sum, Col: "ss_quantity", As: "units"},
+			},
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown template %d", int(t)))
+	}
+}
