@@ -1,0 +1,27 @@
+# Tier-1 verification plus the concurrency suite.
+
+GO ?= go
+
+.PHONY: all build test vet race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency suite: every package under the race detector,
+# including the multi-goroutine ProcessQuery and determinism tests.
+race:
+	$(GO) test -race ./...
+
+# Wall-clock speedup of the parallel data path (results stay identical).
+bench:
+	$(GO) test -bench BenchmarkParallelSpeedup -benchtime 1x -run '^$$' .
+
+verify: build test vet race

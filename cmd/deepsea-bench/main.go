@@ -25,8 +25,11 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
 	params := flag.String("params", "short", "\"short\" (CI scale) or \"full\" (paper scale)")
 	seed := flag.Int64("seed", 1, "random seed for data and workload generation")
+	parallelism := flag.Int("parallelism", 0, "engine data-path workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	bench.SetDefaultParallelism(*parallelism)
 
 	if *list {
 		for _, e := range bench.Experiments {

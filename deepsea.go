@@ -131,6 +131,14 @@ func WithEstimateOnly() Option {
 	return func(c *core.Config) { c.ExecuteRows = false }
 }
 
+// WithParallelism sets the engine's data-path worker count (0 keeps the
+// default of runtime.GOMAXPROCS, 1 forces sequential execution). Query
+// results and pool contents are identical for every setting; only real
+// wall-clock time changes.
+func WithParallelism(n int) Option {
+	return func(c *core.Config) { c.Parallelism = n }
+}
+
 // WithConfig replaces the whole configuration (advanced use).
 func WithConfig(cfg Strategy) Option {
 	return func(c *core.Config) { *c = cfg }

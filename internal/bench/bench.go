@@ -70,6 +70,17 @@ func (p Params) queries(paperN int) int {
 	return n
 }
 
+// defaultParallelism, when non-zero, is applied to every workload run
+// whose configuration leaves Parallelism unset. The deepsea-bench
+// command sets it from its -parallelism flag; experiments that compare
+// parallelism levels explicitly (parspeed) override per arm instead.
+var defaultParallelism int
+
+// SetDefaultParallelism sets the engine worker count used by subsequent
+// workload runs (0 restores the engine default). Results are identical
+// for every setting; only wall-clock time changes.
+func SetDefaultParallelism(n int) { defaultParallelism = n }
+
 // baseConfig returns the shared configuration: exec mode, default cost
 // model, unlimited pool.
 func baseConfig() core.Config {
@@ -205,6 +216,9 @@ func (r *RunResult) Cumulative() []float64 {
 // RunWorkload executes the query sequence under the given configuration
 // over a fresh system seeded with the dataset's tables.
 func RunWorkload(name string, data *workload.Data, queries []query.Node, cfg core.Config) (*RunResult, error) {
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = defaultParallelism
+	}
 	d := core.New(cfg)
 	for _, t := range data.Tables {
 		d.AddBaseTable(t)

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsea/internal/core"
+	"deepsea/internal/query"
+	"deepsea/internal/workload"
+)
+
+// parallelArms runs the same workload at parallelism 1 and 8 on fresh
+// systems and fails if any query's result or the final file system
+// differs — the byte-identical guarantee over realistic workloads.
+func parallelArms(t *testing.T, data *workload.Data, queries []query.Node, cfg core.Config) {
+	t.Helper()
+	type outcome struct {
+		prints []string
+		files  string
+	}
+	runArm := func(par int) outcome {
+		c := cfg
+		c.Parallelism = par
+		_, _, fp, fl, err := parspeedRun(data, queries, c)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return outcome{prints: fp, files: fl}
+	}
+	seq, par := runArm(1), runArm(8)
+	for i := range seq.prints {
+		if seq.prints[i] != par.prints[i] {
+			t.Errorf("query %d: parallelism changed the result", i)
+		}
+	}
+	if seq.files != par.files {
+		t.Error("parallelism changed the final file system")
+	}
+}
+
+// TestFig5WorkloadDeterministicAcrossParallelism checks the SDSS-shaped
+// Figure 5 workload (mixed templates, trace-derived ranges).
+func TestFig5WorkloadDeterministicAcrossParallelism(t *testing.T) {
+	p := Short()
+	data, queries := sdssWorkload(p)
+	if len(queries) > 30 {
+		queries = queries[:30]
+	}
+	parallelArms(t, data, queries, scaleCfg(DSCfg(), data.GB, 500))
+}
+
+// TestFig7WorkloadDeterministicAcrossParallelism checks a Figure 7
+// setting (heavy skew, small selectivity, Q30 template).
+func TestFig7WorkloadDeterministicAcrossParallelism(t *testing.T) {
+	p := Short()
+	gb := p.gb(500)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 10))
+	ranges := workload.Ranges(20, workload.Small, workload.Heavy, workload.ItemSkDomain(), rng)
+	queries := templateQueries(data, workload.Q30, ranges)
+	parallelArms(t, data, queries, scaleCfg(DSCfg(), gb, 500))
+}

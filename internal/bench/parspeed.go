@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"deepsea/internal/core"
+	"deepsea/internal/query"
+	"deepsea/internal/workload"
+)
+
+// ParspeedRow is one arm of the parallel-speedup comparison.
+type ParspeedRow struct {
+	Name        string
+	Parallelism int
+	// WallSeconds is real elapsed time for the whole workload.
+	WallSeconds float64
+	// SimSeconds is the simulated cluster time (must not depend on
+	// parallelism).
+	SimSeconds float64
+}
+
+// ParspeedResult reports wall-clock speedup of the parallel data path
+// over sequential execution, for the vanilla engine and full DeepSea,
+// plus the identity check: every arm pair must produce byte-identical
+// query results and an identical final file system.
+type ParspeedResult struct {
+	Rows []ParspeedRow
+	// Identical reports whether each parallel arm matched its sequential
+	// counterpart on per-query result fingerprints and final FS contents.
+	Identical bool
+	Workers   int
+}
+
+// parspeedRun executes the workload like RunWorkload but records what
+// the identity check needs: each query's result fingerprint and the
+// final file-system listing.
+func parspeedRun(data *workload.Data, queries []query.Node, cfg core.Config) (wall, sim float64, fingerprints []string, files string, err error) {
+	d := core.New(cfg)
+	for _, t := range data.Tables {
+		d.AddBaseTable(t)
+	}
+	start := time.Now()
+	for i, q := range queries {
+		rep, perr := d.ProcessQuery(q)
+		if perr != nil {
+			return 0, 0, nil, "", fmt.Errorf("parspeed query %d: %w", i, perr)
+		}
+		sim += rep.TotalSeconds
+		fingerprints = append(fingerprints, rep.Result.Fingerprint())
+	}
+	wall = time.Since(start).Seconds()
+	for _, f := range d.Eng.FS().List() {
+		files += fmt.Sprintf("%s:%d\n", f.Path, f.Size)
+	}
+	return wall, sim, fingerprints, files, nil
+}
+
+// RunParspeed compares sequential and parallel execution of the same
+// workload. The simulated cost model is untouched by the worker count —
+// the comparison is about the harness's real wall-clock time and about
+// the determinism guarantee (identical results and pool for every
+// parallelism level).
+func RunParspeed(p Params) (*ParspeedResult, error) {
+	gb := p.gb(2000)
+	data := workload.Generate(gb, p.Seed, nil)
+	rng := rand.New(rand.NewSource(p.Seed + 77))
+	ranges := workload.Ranges(p.queries(40), workload.Big, workload.Light, workload.ItemSkDomain(), rng)
+	queries := mixedQueries(data, ranges, rng)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	arms := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"H", HiveCfg},
+		{"DS", DSCfg},
+	}
+
+	res := &ParspeedResult{Identical: true, Workers: workers}
+	for _, arm := range arms {
+		var prints map[int][]string
+		var files map[int]string
+		prints, files = make(map[int][]string), make(map[int]string)
+		for _, par := range []int{1, workers} {
+			cfg := scaleCfg(arm.cfg(), gb, 2000)
+			cfg.Parallelism = par
+			wall, sim, fp, fl, err := parspeedRun(data, queries, cfg)
+			if err != nil {
+				return nil, err
+			}
+			prints[par], files[par] = fp, fl
+			res.Rows = append(res.Rows, ParspeedRow{
+				Name:        arm.name,
+				Parallelism: par,
+				WallSeconds: wall,
+				SimSeconds:  sim,
+			})
+		}
+		if files[1] != files[workers] || len(prints[1]) != len(prints[workers]) {
+			res.Identical = false
+			continue
+		}
+		for i := range prints[1] {
+			if prints[1][i] != prints[workers][i] {
+				res.Identical = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns wall-clock(seq)/wall-clock(par) for the named arm.
+func (r *ParspeedResult) Speedup(name string) float64 {
+	var seq, par float64
+	for _, row := range r.Rows {
+		if row.Name != name {
+			continue
+		}
+		if row.Parallelism == 1 {
+			seq = row.WallSeconds
+		} else {
+			par = row.WallSeconds
+		}
+	}
+	if par == 0 {
+		return 0
+	}
+	return seq / par
+}
+
+// Print renders the comparison.
+func (r *ParspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Parallel data-path speedup (%d workers), BigBench mixed workload\n", r.Workers)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\tparallelism\twall s\tsim s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.1f\n", row.Name, row.Parallelism, row.WallSeconds, row.SimSeconds)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "speedup: H %.2fx, DS %.2fx\n", r.Speedup("H"), r.Speedup("DS"))
+	fmt.Fprintf(w, "identical results and pool across parallelism levels: %v\n", r.Identical)
+}

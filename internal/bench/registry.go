@@ -59,6 +59,9 @@ var Experiments = []Experiment{
 	{"sensitivity", "Cost-model sensitivity of the Figure 6 comparison", func(p Params) (Printable, error) {
 		return RunSensitivity(p)
 	}},
+	{"parspeed", "Wall-clock speedup of the parallel data path (results stay identical)", func(p Params) (Printable, error) {
+		return RunParspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

@@ -141,6 +141,10 @@ type Config struct {
 	// ExecuteRows selects real row execution (true) or the estimate-only
 	// simulator mode.
 	ExecuteRows bool
+	// Parallelism is the engine's data-path worker count; 0 keeps the
+	// engine default (runtime.GOMAXPROCS), 1 forces sequential
+	// execution. Results are byte-identical for every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"deepsea/internal/engine"
 	"deepsea/internal/interval"
@@ -15,6 +16,13 @@ import (
 
 // DeepSea is one instance of the system: an engine plus the pool,
 // statistics, signature index and configuration that drive Algorithm 1.
+//
+// ProcessQuery may be called from multiple goroutines. The manager
+// steps of Algorithm 1 (matching, statistics, selection,
+// materialization, eviction) serialize on an internal mutex; step 8 —
+// the row execution itself, where the time goes — runs outside it, so
+// concurrent queries overlap on the data path. See DESIGN.md,
+// "Concurrency model".
 type DeepSea struct {
 	Cfg   Config
 	Eng   *engine.Engine
@@ -23,6 +31,16 @@ type DeepSea struct {
 	Tree  *matching.FilterTree
 
 	rewriter *matching.Rewriter
+
+	// mu serializes Algorithm 1's manager sections. Pool, Stats and Tree
+	// contents are mutated only while holding it.
+	mu sync.Mutex
+
+	// pinned counts, per storage path, the in-flight executions whose
+	// plan reads the path. Eviction, merging and horizontal-split drops
+	// skip pinned paths so a concurrent query never loses a file it was
+	// planned against. Guarded by mu.
+	pinned map[string]int
 
 	// mleCache memoizes MLE fits within one selection pass.
 	mleCache     map[string]stats.NormalModel
@@ -37,15 +55,19 @@ func New(cfg Config) *DeepSea {
 	}
 	eng := engine.New(cm)
 	eng.ExecuteRows = cfg.ExecuteRows
+	if cfg.Parallelism > 0 {
+		eng.Parallelism = cfg.Parallelism
+	}
 	p := pool.New(cfg.Smax)
 	st := stats.NewRegistry(stats.Decay{TMax: cfg.DecayTMax})
 	tree := matching.NewFilterTree()
 	return &DeepSea{
-		Cfg:   cfg,
-		Eng:   eng,
-		Pool:  p,
-		Stats: st,
-		Tree:  tree,
+		Cfg:    cfg,
+		Eng:    eng,
+		Pool:   p,
+		Stats:  st,
+		Tree:   tree,
+		pinned: make(map[string]int),
 		rewriter: &matching.Rewriter{
 			Eng:          eng,
 			Pool:         p,
@@ -81,9 +103,15 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}, nil
 	}
 
+	// Manager critical section, part one: Algorithm 1 steps 1-7. Held
+	// while matching and selection read the pool so no concurrent query
+	// evicts a path between planning and pinning.
+	d.mu.Lock()
+
 	// Step 1-2: compute rewritings and update statistics (Section 8.4).
 	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
 	if err != nil {
+		d.mu.Unlock()
 		return QueryReport{}, err
 	}
 	d.updateUseStats(rewritings, origCost)
@@ -120,10 +148,23 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}
 	}
 
-	// Step 8: EXECUTEQUERY.
-	res, err := d.Eng.Run(qbest, capture)
-	if err != nil {
-		return QueryReport{}, err
+	// Pin every materialized path the plan reads, then release the
+	// manager lock for the long step: concurrent queries may plan and
+	// execute while this one runs, but cannot evict what it reads.
+	pins := planPins(qbest)
+	d.pin(pins)
+	d.mu.Unlock()
+
+	// Step 8: EXECUTEQUERY — outside the critical section.
+	res, runErr := d.Eng.Run(qbest, capture)
+
+	// Manager critical section, part two: steps 9+ (stats, pool
+	// maintenance, clock).
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.unpin(pins)
+	if runErr != nil {
+		return QueryReport{}, runErr
 	}
 
 	// Step 9: UPDATESTATS — precise sizes for captured candidates.
@@ -183,10 +224,13 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	matCost.Add(mergeCost)
 	report.MergedFrags = mergedFrags
 
-	// Evict what the selection rejected.
+	// Evict what the selection rejected. Items pinned by a concurrent
+	// execution are skipped; the selection will reject them again next
+	// query if they stay unattractive.
 	for _, item := range evict {
-		d.evict(item)
-		report.Evicted = append(report.Evicted, item.Key())
+		if d.evict(item) {
+			report.Evicted = append(report.Evicted, item.Key())
+		}
 	}
 	d.Pool.GC()
 
@@ -196,27 +240,72 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	return report, nil
 }
 
-// evict removes one pool item and its storage.
-func (d *DeepSea) evict(item pool.Candidate) {
+// evict removes one pool item and its storage. It reports whether the
+// item was actually removed: items missing from the pool or pinned by a
+// concurrent execution are left alone.
+func (d *DeepSea) evict(item pool.Candidate) bool {
 	pv := d.Pool.View(item.ViewID)
 	if pv == nil {
-		return
+		return false
 	}
 	switch item.Kind {
 	case pool.WholeView:
-		if pv.Path != "" {
-			d.Eng.DeleteMaterialized(pv.Path)
-			pv.Path = ""
-			pv.Size = 0
+		if pv.Path == "" || d.pinned[pv.Path] > 0 {
+			return false
 		}
+		d.Eng.DeleteMaterialized(pv.Path)
+		d.Pool.DropViewFile(item.ViewID)
+		return true
 	case pool.Frag:
 		part := pv.Parts[item.Attr]
 		if part == nil {
+			return false
+		}
+		f, ok := part.Lookup(item.Iv)
+		if !ok || d.pinned[f.Path] > 0 {
+			return false
+		}
+		d.Eng.DeleteMaterialized(f.Path)
+		d.Pool.RemoveFragment(item.ViewID, item.Attr, item.Iv)
+		return true
+	}
+	return false
+}
+
+// planPins collects the materialized paths a plan reads: every
+// ViewScan's fragment files, or its whole-view file when unpartitioned.
+// Walk descends into remainder subplans, so nested ViewScans are
+// covered.
+func planPins(plan query.Node) []string {
+	var paths []string
+	query.Walk(plan, func(n query.Node) {
+		vs, ok := n.(*query.ViewScan)
+		if !ok {
 			return
 		}
-		if f, ok := part.Lookup(item.Iv); ok {
-			d.Eng.DeleteMaterialized(f.Path)
-			part.Remove(item.Iv)
+		if len(vs.FragIDs) > 0 {
+			paths = append(paths, vs.FragIDs...)
+		} else if vs.ViewPath != "" {
+			paths = append(paths, vs.ViewPath)
+		}
+	})
+	return paths
+}
+
+// pin increments the in-flight read count of each path. Caller holds mu.
+func (d *DeepSea) pin(paths []string) {
+	for _, p := range paths {
+		d.pinned[p]++
+	}
+}
+
+// unpin reverses pin. Caller holds mu.
+func (d *DeepSea) unpin(paths []string) {
+	for _, p := range paths {
+		if d.pinned[p] <= 1 {
+			delete(d.pinned, p)
+		} else {
+			d.pinned[p]--
 		}
 	}
 }

@@ -28,13 +28,13 @@ func TestEvictionThenRemainderCorrectness(t *testing.T) {
 	// Force-evict every other fragment of every partition.
 	evicted := 0
 	for _, pv := range d.Pool.Views() {
-		for _, part := range pv.Parts {
+		for attr, part := range pv.Parts {
 			frags := append([]interval.Interval(nil), part.Intervals()...)
 			for i, iv := range frags {
 				if i%2 == 0 {
 					if f, ok := part.Lookup(iv); ok {
 						d.Eng.DeleteMaterialized(f.Path)
-						part.Remove(iv)
+						d.Pool.RemoveFragment(pv.ID, attr, iv)
 						evicted++
 					}
 				}
@@ -67,12 +67,12 @@ func TestGapRecoveryRefillsHole(t *testing.T) {
 
 	// Evict exactly the fragments covering [1000,2999].
 	for _, pv := range d.Pool.Views() {
-		for _, part := range pv.Parts {
+		for attr, part := range pv.Parts {
 			for _, iv := range append([]interval.Interval(nil), part.Intervals()...) {
 				if iv.Overlaps(interval.New(1000, 2999)) && iv.Len() < 5000 {
 					if f, ok := part.Lookup(iv); ok {
 						d.Eng.DeleteMaterialized(f.Path)
-						part.Remove(iv)
+						d.Pool.RemoveFragment(pv.ID, attr, iv)
 					}
 				}
 			}

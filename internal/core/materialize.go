@@ -47,7 +47,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 	}
 
 	var cost engine.Cost
-	pv := d.Pool.Ensure(vc.id, vc.schema)
+	d.Pool.Ensure(vc.id, vc.schema)
 	switch mode {
 	case PartitionNone:
 		path := d.viewPath(vc.id)
@@ -56,8 +56,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 		} else {
 			cost = d.Eng.WriteMaterializedSize(path, viewBytes)
 		}
-		pv.Path = path
-		pv.Size = viewBytes
+		d.Pool.SetViewFile(vc.id, path, viewBytes)
 
 	default:
 		ivs, err := d.initialPartitioning(vc, attr, dom, viewBytes, captured, sv.pieces)
@@ -65,11 +64,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 			return engine.Cost{}, false, err
 		}
 		// Partial materialization may extend an existing partition.
-		part := pv.Parts[attr]
-		if part == nil {
-			part = partition.New(vc.id, attr, dom, d.Cfg.overlapping())
-			pv.Parts[attr] = part
-		}
+		part := d.Pool.EnsurePartition(vc.id, attr, dom, d.Cfg.overlapping())
 		for _, piece := range ivs {
 			// Write only the parts of the piece not already covered by
 			// existing fragments: coalesced proposals can span a
@@ -87,7 +82,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 				} else {
 					cost.Add(d.Eng.WriteMaterializedSize(path, fragBytes))
 				}
-				part.Add(partition.Fragment{Iv: iv, Path: path, Size: fragBytes})
+				d.Pool.AddFragment(vc.id, attr, partition.Fragment{Iv: iv, Path: path, Size: fragBytes})
 				fs := d.Stats.Partition(vc.id, attr, dom).Frag(iv)
 				fs.Size = fragBytes
 				fs.Measured = fragTbl != nil
@@ -392,7 +387,7 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 			cost.Add(d.Eng.WriteMaterializedSize(path, fc.estSize))
 			bytes = fc.estSize
 		}
-		part.Add(partition.Fragment{Iv: fc.iv, Path: path, Size: bytes})
+		d.Pool.AddFragment(fc.viewID, fc.attr, partition.Fragment{Iv: fc.iv, Path: path, Size: bytes})
 		fs := pstat.Frag(fc.iv)
 		fs.Size = bytes
 		fs.Measured = tbl != nil
@@ -402,6 +397,28 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 	ref := part.PlanRefinement(fc.iv)
 	if len(ref.Write) == 0 {
 		return cost, nil, nil // candidate coincides with existing boundaries
+	}
+	// A horizontal refinement replaces its parents. If a concurrent
+	// execution still reads one of them, skip the whole refinement (a
+	// partial one would leave the partition overlapping); a later query
+	// can retry once the reader finishes.
+	for _, f := range ref.Drop {
+		if d.pinned[f.Path] > 0 {
+			return cost, nil, nil
+		}
+	}
+	// The candidate was derived against the pool as it stood during
+	// selection; a concurrent query may have evicted a parent since. If
+	// the surviving parents no longer cover what would be written, skip
+	// the refinement — the candidate regenerates on a later query.
+	readIvs := make(interval.Set, len(ref.Read))
+	for i, f := range ref.Read {
+		readIvs[i] = f.Iv
+	}
+	for _, iv := range ref.Write {
+		if _, _, full := interval.ClippedCover(iv, readIvs); !full {
+			return cost, nil, nil
+		}
 	}
 
 	// Read the parents. By-product refinements reuse the rows the
@@ -446,13 +463,13 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 		pending = append(pending, partition.Fragment{Iv: iv, Path: path, Size: bytes})
 	}
 	for _, f := range pending {
-		part.Add(f)
+		d.Pool.AddFragment(fc.viewID, fc.attr, f)
 	}
 
 	// Drop replaced parents (horizontal splits).
 	for _, f := range ref.Drop {
 		d.Eng.DeleteMaterialized(f.Path)
-		part.Remove(f.Iv)
+		d.Pool.RemoveFragment(fc.viewID, fc.attr, f.Iv)
 	}
 	return cost, written, nil
 }

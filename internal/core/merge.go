@@ -54,6 +54,9 @@ func (d *DeepSea) maybeMergeFragments(bestRW *matching.Rewriting) (engine.Cost, 
 		if !okA || !okB {
 			continue
 		}
+		if d.pinned[fa.Path] > 0 || d.pinned[fb.Path] > 0 {
+			continue // a concurrent execution still reads one of the pair
+		}
 		if maxBytes > 0 && fa.Size+fb.Size > maxBytes {
 			continue
 		}
@@ -101,9 +104,9 @@ func (d *DeepSea) mergePair(viewID string, part *partition.Partition, pstat *sta
 	}
 	d.Eng.DeleteMaterialized(fa.Path)
 	d.Eng.DeleteMaterialized(fb.Path)
-	part.Remove(fa.Iv)
-	part.Remove(fb.Iv)
-	part.Add(partition.Fragment{Iv: mergedIv, Path: path, Size: bytes})
+	d.Pool.RemoveFragment(viewID, part.Attr, fa.Iv)
+	d.Pool.RemoveFragment(viewID, part.Attr, fb.Iv)
+	d.Pool.AddFragment(viewID, part.Attr, partition.Fragment{Iv: mergedIv, Path: path, Size: bytes})
 
 	fs := pstat.Frag(mergedIv)
 	fs.Size = bytes

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"deepsea/internal/relation"
 	"deepsea/internal/storage"
@@ -15,14 +17,30 @@ import (
 // real rows, so rewriting correctness is observable; with it disabled the
 // engine runs in estimate-only mode, in which only the cost model runs —
 // the mode the paper's own simulator uses for large parameter sweeps.
+//
+// Run may be called from multiple goroutines: the catalog maps and the
+// clock are guarded by mu, and the data path works on tables that are
+// immutable once stored. ExecuteRows and Parallelism are configuration —
+// set them before the first concurrent use.
 type Engine struct {
-	cm   CostModel
-	fs   *storage.FS
+	cm CostModel
+	fs *storage.FS
+
+	// mu guards base, mat and clock so concurrent Run calls can overlap
+	// a view manager's materialize/evict critical section.
+	mu   sync.RWMutex
 	base map[string]*relation.Table
 	mat  map[string]*relation.Table
 
 	// ExecuteRows selects real execution (true) or estimate-only mode.
 	ExecuteRows bool
+
+	// Parallelism is the worker count for the row data path (filter,
+	// project, join, aggregate). New sets it to runtime.GOMAXPROCS(0);
+	// values <= 1 run sequentially. Results are byte-identical for every
+	// setting: chunk boundaries depend only on input sizes, so merge
+	// order never varies with the worker count.
+	Parallelism int
 
 	clock float64
 }
@@ -37,8 +55,17 @@ func New(cm CostModel) *Engine {
 		base:        make(map[string]*relation.Table),
 		mat:         make(map[string]*relation.Table),
 		ExecuteRows: true,
+		Parallelism: runtime.GOMAXPROCS(0),
 		clock:       1,
 	}
+}
+
+// par returns the effective data-path worker count (>= 1).
+func (e *Engine) par() int {
+	if e.Parallelism > 1 {
+		return e.Parallelism
+	}
+	return 1
 }
 
 // CostModel returns the engine's cost model.
@@ -48,26 +75,40 @@ func (e *Engine) CostModel() *CostModel { return &e.cm }
 func (e *Engine) FS() *storage.FS { return e.fs }
 
 // Now returns the simulated time in seconds.
-func (e *Engine) Now() float64 { return e.clock }
+func (e *Engine) Now() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.clock
+}
 
 // Advance moves the simulated clock forward by d seconds.
 func (e *Engine) Advance(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("engine: clock moved backwards by %g", d))
 	}
+	e.mu.Lock()
 	e.clock += d
+	e.mu.Unlock()
 }
 
 // AddBaseTable registers a base table in the catalog.
 func (e *Engine) AddBaseTable(t *relation.Table) {
+	e.mu.Lock()
 	e.base[t.Schema.Name] = t
+	e.mu.Unlock()
 }
 
 // BaseTable returns a base table by name, or nil.
-func (e *Engine) BaseTable(name string) *relation.Table { return e.base[name] }
+func (e *Engine) BaseTable(name string) *relation.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.base[name]
+}
 
 // BaseBytes returns the total modelled size of all base tables.
 func (e *Engine) BaseBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var total int64
 	for _, t := range e.base {
 		total += t.Bytes()
@@ -81,7 +122,9 @@ func (e *Engine) BaseBytes() int64 {
 func (e *Engine) WriteMaterialized(path string, t *relation.Table) Cost {
 	bytes := t.Bytes()
 	e.fs.Write(path, bytes)
+	e.mu.Lock()
 	e.mat[path] = t
+	e.mu.Unlock()
 	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
 }
 
@@ -89,7 +132,9 @@ func (e *Engine) WriteMaterialized(path string, t *relation.Table) Cost {
 // without row data (estimate-only mode) and returns the write cost.
 func (e *Engine) WriteMaterializedSize(path string, bytes int64) Cost {
 	e.fs.Write(path, bytes)
+	e.mu.Lock()
 	delete(e.mat, path)
+	e.mu.Unlock()
 	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
 }
 
@@ -101,12 +146,16 @@ func (e *Engine) ReadMaterialized(path string) (*relation.Table, Cost, error) {
 	}
 	bytes, _ := e.fs.Read(path)
 	sec, tasks := e.cm.ReadCost(bytes, 1)
-	return e.mat[path], Cost{Seconds: sec, ReadBytes: bytes, MapTasks: tasks}, nil
+	return e.Materialized(path), Cost{Seconds: sec, ReadBytes: bytes, MapTasks: tasks}, nil
 }
 
 // Materialized returns the stored rows for path without accounting any
 // cost (used by the executor, which accounts reads itself).
-func (e *Engine) Materialized(path string) *relation.Table { return e.mat[path] }
+func (e *Engine) Materialized(path string) *relation.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mat[path]
+}
 
 // MaterializedBytes returns the stored size of path (0 if absent).
 func (e *Engine) MaterializedBytes(path string) int64 { return e.fs.Size(path) }
@@ -115,5 +164,7 @@ func (e *Engine) MaterializedBytes(path string) int64 { return e.fs.Size(path) }
 // costs nothing, like an HDFS delete.
 func (e *Engine) DeleteMaterialized(path string) {
 	e.fs.Delete(path)
+	e.mu.Lock()
 	delete(e.mat, path)
+	e.mu.Unlock()
 }

@@ -77,8 +77,8 @@ func (e *Engine) settleEst(o *estOut) {
 func (e *Engine) estimate(n query.Node) (estOut, error) {
 	switch t := n.(type) {
 	case *query.Scan:
-		tbl, ok := e.base[t.Table]
-		if !ok {
+		tbl := e.BaseTable(t.Table)
+		if tbl == nil {
 			return estOut{}, fmt.Errorf("engine: unknown base table %q", t.Table)
 		}
 		return estOut{
@@ -176,6 +176,12 @@ func (e *Engine) estimate(n query.Node) (estOut, error) {
 }
 
 func (e *Engine) estimateViewScan(v *query.ViewScan) (estOut, error) {
+	// Same shape check as the executor: clipFraction indexes Reads per
+	// fragment, so a malformed cover must fail cleanly here too.
+	if len(v.FragIDs) > 0 && len(v.Reads) != len(v.FragIDs) {
+		return estOut{}, fmt.Errorf("engine: malformed ViewScan for view %s: %d fragments but %d clip ranges",
+			v.ViewID, len(v.FragIDs), len(v.Reads))
+	}
 	rowWidth := v.ViewSchema.RowWidth()
 	var srcBytes, srcFiles int64
 	var rows float64

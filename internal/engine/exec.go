@@ -94,8 +94,8 @@ func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result) (e
 func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result) (evalOut, error) {
 	switch t := n.(type) {
 	case *query.Scan:
-		tbl, ok := e.base[t.Table]
-		if !ok {
+		tbl := e.BaseTable(t.Table)
+		if tbl == nil {
 			return evalOut{}, fmt.Errorf("engine: unknown base table %q", t.Table)
 		}
 		return evalOut{tbl: tbl, pending: true, srcBytes: tbl.Bytes(), srcFiles: 1}, nil
@@ -105,7 +105,7 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 		if err != nil {
 			return evalOut{}, err
 		}
-		child.tbl = filterTable(child.tbl, t.Ranges, t.Residuals)
+		child.tbl = filterTable(child.tbl, t.Ranges, t.Residuals, e.par())
 		if child.needsWrite {
 			child.srcBytes = child.tbl.Bytes()
 		}
@@ -116,7 +116,7 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 		if err != nil {
 			return evalOut{}, err
 		}
-		child.tbl = projectTable(child.tbl, t.Cols)
+		child.tbl = projectTable(child.tbl, t.Cols, e.par())
 		if child.needsWrite {
 			child.srcBytes = child.tbl.Bytes()
 		}
@@ -133,7 +133,7 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 		}
 		e.settle(&l)
 		e.settle(&r)
-		outTbl := hashJoin(l.tbl, r.tbl, t.LCol, t.RCol, t.Schema())
+		outTbl := hashJoin(l.tbl, r.tbl, t.LCol, t.RCol, t.Schema(), e.par())
 		cost := l.cost
 		cost.Add(r.cost)
 		shuffle := l.tbl.Bytes() + r.tbl.Bytes()
@@ -153,7 +153,7 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 			return evalOut{}, err
 		}
 		e.settle(&child)
-		outTbl := aggregate(child.tbl, t)
+		outTbl := aggregate(child.tbl, t, e.par())
 		cost := child.cost
 		shuffle := child.tbl.Bytes()
 		cost.Add(Cost{
@@ -173,31 +173,47 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 }
 
 func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, res *Result) (evalOut, error) {
+	// A fragment cover pairs every fragment with its clip range; a
+	// mismatch means the matcher produced a malformed plan, which must
+	// surface as an error, not an index panic mid-execution.
+	if len(v.FragIDs) > 0 && len(v.Reads) != len(v.FragIDs) {
+		return evalOut{}, fmt.Errorf("engine: malformed ViewScan for view %s: %d fragments but %d clip ranges",
+			v.ViewID, len(v.FragIDs), len(v.Reads))
+	}
+
 	out := relation.NewTable(v.ViewSchema)
 	var srcBytes, srcFiles int64
 	var cost Cost
 
-	appendFiltered := func(tbl *relation.Table, clip *interval.Interval) error {
+	// filterStored keeps the stored rows passing the clip range and the
+	// compensating predicates, preserving row order.
+	filterStored := func(tbl *relation.Table, clip *interval.Interval) ([]relation.Row, error) {
 		if tbl == nil {
-			return fmt.Errorf("engine: view %s has no stored rows (estimate-only data?)", v.ViewID)
+			return nil, fmt.Errorf("engine: view %s has no stored rows (estimate-only data?)", v.ViewID)
 		}
 		attrIdx := -1
 		if clip != nil {
 			attrIdx = tbl.Schema.ColIndex(v.PartAttr)
 			if attrIdx < 0 {
-				return fmt.Errorf("engine: partition attribute %q missing from view %s", v.PartAttr, v.ViewID)
+				return nil, fmt.Errorf("engine: partition attribute %q missing from view %s", v.PartAttr, v.ViewID)
 			}
 		}
-		for _, row := range tbl.Rows {
-			if clip != nil && !clip.Contains(row[attrIdx].I) {
-				continue
+		n := len(tbl.Rows)
+		parts := make([][]relation.Row, numChunks(n))
+		forEachChunk(e.par(), n, func(c, lo, hi int) {
+			var keep []relation.Row
+			for _, row := range tbl.Rows[lo:hi] {
+				if clip != nil && !clip.Contains(row[attrIdx].I) {
+					continue
+				}
+				if !rowPasses(&tbl.Schema, row, v.CompRanges, v.CompResiduals) {
+					continue
+				}
+				keep = append(keep, row)
 			}
-			if !rowPasses(&tbl.Schema, row, v.CompRanges, v.CompResiduals) {
-				continue
-			}
-			out.Append(row)
-		}
-		return nil
+			parts[c] = keep
+		})
+		return concatChunks(parts), nil
 	}
 
 	if len(v.FragIDs) > 0 {
@@ -208,9 +224,11 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 			srcBytes += e.fs.Size(path)
 			srcFiles++
 			clip := v.Reads[i]
-			if err := appendFiltered(e.mat[path], &clip); err != nil {
+			rows, err := filterStored(e.Materialized(path), &clip)
+			if err != nil {
 				return evalOut{}, err
 			}
+			out.Rows = append(out.Rows, rows...)
 		}
 	} else {
 		if !e.fs.Exists(v.ViewPath) {
@@ -218,14 +236,16 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 		}
 		srcBytes = e.fs.Size(v.ViewPath)
 		srcFiles = 1
-		if err := appendFiltered(e.mat[v.ViewPath], nil); err != nil {
+		rows, err := filterStored(e.Materialized(v.ViewPath), nil)
+		if err != nil {
 			return evalOut{}, err
 		}
+		out.Rows = append(out.Rows, rows...)
 	}
 
 	outTbl := out
 	if v.CompProject != nil {
-		outTbl = projectTable(outTbl, v.CompProject)
+		outTbl = projectTable(outTbl, v.CompProject, e.par())
 	}
 
 	// Remainder plans compute uncovered gaps from base data; their rows
@@ -237,7 +257,7 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 		}
 		e.settle(&sub)
 		cost.Add(sub.cost)
-		aligned, err := alignColumns(sub.tbl, outTbl.Schema)
+		aligned, err := alignColumns(sub.tbl, outTbl.Schema, e.par())
 		if err != nil {
 			return evalOut{}, err
 		}
@@ -247,17 +267,25 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 	return evalOut{tbl: outTbl, cost: cost, pending: true, srcBytes: srcBytes, srcFiles: srcFiles}, nil
 }
 
-// filterTable applies a conjunction of range and residual predicates.
-func filterTable(t *relation.Table, ranges []query.RangePred, residuals []query.CmpPred) *relation.Table {
+// filterTable applies a conjunction of range and residual predicates,
+// evaluating fixed-size row chunks on up to par workers.
+func filterTable(t *relation.Table, ranges []query.RangePred, residuals []query.CmpPred, par int) *relation.Table {
 	if len(ranges) == 0 && len(residuals) == 0 {
 		return t
 	}
-	out := relation.NewTable(t.Schema)
-	for _, row := range t.Rows {
-		if rowPasses(&t.Schema, row, ranges, residuals) {
-			out.Append(row)
+	n := len(t.Rows)
+	parts := make([][]relation.Row, numChunks(n))
+	forEachChunk(par, n, func(c, lo, hi int) {
+		var keep []relation.Row
+		for _, row := range t.Rows[lo:hi] {
+			if rowPasses(&t.Schema, row, ranges, residuals) {
+				keep = append(keep, row)
+			}
 		}
-	}
+		parts[c] = keep
+	})
+	out := relation.NewTable(t.Schema)
+	out.Rows = concatChunks(parts)
 	return out
 }
 
@@ -277,7 +305,7 @@ func rowPasses(s *relation.Schema, row relation.Row, ranges []query.RangePred, r
 	return true
 }
 
-func projectTable(t *relation.Table, cols []string) *relation.Table {
+func projectTable(t *relation.Table, cols []string, par int) *relation.Table {
 	idx := make([]int, len(cols))
 	for i, c := range cols {
 		idx[i] = t.Schema.ColIndex(c)
@@ -286,18 +314,23 @@ func projectTable(t *relation.Table, cols []string) *relation.Table {
 		}
 	}
 	out := relation.NewTable(t.Schema.Project(cols))
-	for _, row := range t.Rows {
-		nr := make(relation.Row, len(idx))
-		for i, j := range idx {
-			nr[i] = row[j]
+	n := len(t.Rows)
+	out.Rows = make([]relation.Row, n)
+	forEachChunk(par, n, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := t.Rows[r]
+			nr := make(relation.Row, len(idx))
+			for i, j := range idx {
+				nr[i] = row[j]
+			}
+			out.Rows[r] = nr
 		}
-		out.Rows = append(out.Rows, nr)
-	}
+	})
 	return out
 }
 
 // alignColumns reorders t's columns by name to match the target schema.
-func alignColumns(t *relation.Table, target relation.Schema) (*relation.Table, error) {
+func alignColumns(t *relation.Table, target relation.Schema, par int) (*relation.Table, error) {
 	same := len(t.Schema.Cols) == len(target.Cols)
 	if same {
 		for i := range target.Cols {
@@ -320,45 +353,73 @@ func alignColumns(t *relation.Table, target relation.Schema) (*relation.Table, e
 		}
 		cols[i] = c.Name
 	}
-	return projectTable(t, cols), nil
+	return projectTable(t, cols, par), nil
+}
+
+// joinBucket spreads join keys across nb single-writer hash maps. The
+// multiplier is the 64-bit golden-ratio hash; any fixed mixing works, it
+// only needs to depend on the key, never on the worker count.
+func joinBucket(k int64, nb int) int {
+	if nb <= 1 {
+		return 0
+	}
+	return int((uint64(k) * 0x9E3779B97F4A7C15) % uint64(nb))
 }
 
 // hashJoin computes the equi-join of l and r, building a hash table on
-// the smaller input.
-func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema) *relation.Table {
+// the smaller input. The build side is partitioned by key hash into one
+// bucket map per worker (each bucket written by exactly one goroutine,
+// per-key row order preserved); the probe side is scanned in fixed
+// chunks whose outputs concatenate in chunk order — so the output equals
+// the sequential probe-order join byte for byte, for any par.
+func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema, par int) *relation.Table {
 	li := l.Schema.ColIndex(lCol)
 	ri := r.Schema.ColIndex(rCol)
 	if li < 0 || ri < 0 {
 		panic(fmt.Sprintf("engine: join columns %q/%q missing", lCol, rCol))
 	}
-	out := relation.NewTable(outSchema)
-	// Output rows are always left-columns ++ right-columns. The probe
-	// side's cardinality is a good initial capacity for FK joins.
-	if len(l.Rows) <= len(r.Rows) {
-		ht := make(map[int64][]relation.Row, len(l.Rows))
-		for _, row := range l.Rows {
-			k := row[li].I
-			ht[k] = append(ht[k], row)
-		}
-		out.Rows = make([]relation.Row, 0, len(r.Rows))
-		for _, rr := range r.Rows {
-			for _, lr := range ht[rr[ri].I] {
-				out.Rows = append(out.Rows, concatRows(lr, rr))
-			}
-		}
-	} else {
-		ht := make(map[int64][]relation.Row, len(r.Rows))
-		for _, row := range r.Rows {
-			k := row[ri].I
-			ht[k] = append(ht[k], row)
-		}
-		out.Rows = make([]relation.Row, 0, len(l.Rows))
-		for _, lr := range l.Rows {
-			for _, rr := range ht[lr[li].I] {
-				out.Rows = append(out.Rows, concatRows(lr, rr))
-			}
-		}
+	// Output rows are always left-columns ++ right-columns.
+	build, probe, bi, pi := l, r, li, ri
+	buildLeft := true
+	if len(l.Rows) > len(r.Rows) {
+		build, probe, bi, pi = r, l, ri, li
+		buildLeft = false
 	}
+
+	nb := par
+	if nb < 1 {
+		nb = 1
+	}
+	buckets := make([]map[int64][]relation.Row, nb)
+	forEachTask(par, nb, func(b int) {
+		m := make(map[int64][]relation.Row, len(build.Rows)/nb+1)
+		for _, row := range build.Rows {
+			k := row[bi].I
+			if joinBucket(k, nb) == b {
+				m[k] = append(m[k], row)
+			}
+		}
+		buckets[b] = m
+	})
+
+	n := len(probe.Rows)
+	parts := make([][]relation.Row, numChunks(n))
+	forEachChunk(par, n, func(c, lo, hi int) {
+		var rows []relation.Row
+		for _, pr := range probe.Rows[lo:hi] {
+			k := pr[pi].I
+			for _, br := range buckets[joinBucket(k, nb)][k] {
+				if buildLeft {
+					rows = append(rows, concatRows(br, pr))
+				} else {
+					rows = append(rows, concatRows(pr, br))
+				}
+			}
+		}
+		parts[c] = rows
+	})
+	out := relation.NewTable(outSchema)
+	out.Rows = concatChunks(parts)
 	return out
 }
 
@@ -382,7 +443,26 @@ type aggState struct {
 	seen  bool
 }
 
-func aggregate(t *relation.Table, a *query.Aggregate) *relation.Table {
+// aggGroup is one group's key and per-aggregate accumulator states.
+type aggGroup struct {
+	key    relation.Row
+	states []aggState
+}
+
+// chunkAgg holds one chunk's partial aggregation: its groups plus their
+// first-appearance order within the chunk.
+type chunkAgg struct {
+	groups map[string]*aggGroup
+	order  []string
+}
+
+// aggregate groups and aggregates t's rows. Each fixed-size chunk is
+// aggregated independently; chunk partials then merge in chunk order, so
+// the global group order is first appearance in row order and every
+// floating-point partial sum combines in the same association
+// regardless of the worker count — the output is byte-identical to a
+// sequential run.
+func aggregate(t *relation.Table, a *query.Aggregate, par int) *relation.Table {
 	inSchema := &t.Schema
 	gIdx := make([]int, len(a.GroupBy))
 	for i, g := range a.GroupBy {
@@ -403,69 +483,51 @@ func aggregate(t *relation.Table, a *query.Aggregate) *relation.Table {
 		}
 	}
 
-	type group struct {
-		key    relation.Row
-		states []aggState
-	}
-	groups := make(map[string]*group)
-	order := make([]string, 0) // deterministic output order
-	var keyBuf []byte
-	for _, row := range t.Rows {
-		keyBuf = keyBuf[:0]
-		for _, i := range gIdx {
-			keyBuf = appendValueKey(keyBuf, row[i])
-		}
-		k := string(keyBuf)
-		g, ok := groups[k]
-		if !ok {
-			key := make(relation.Row, len(gIdx))
-			for i, j := range gIdx {
-				key[i] = row[j]
+	n := len(t.Rows)
+	chunks := make([]chunkAgg, numChunks(n))
+	forEachChunk(par, n, func(c, lo, hi int) {
+		groups := make(map[string]*aggGroup)
+		var order []string
+		var keyBuf []byte
+		for _, row := range t.Rows[lo:hi] {
+			keyBuf = keyBuf[:0]
+			for _, i := range gIdx {
+				keyBuf = appendValueKey(keyBuf, row[i])
 			}
-			g = &group{key: key, states: make([]aggState, len(a.Aggs))}
-			groups[k] = g
-			order = append(order, k)
+			k := string(keyBuf)
+			g, ok := groups[k]
+			if !ok {
+				key := make(relation.Row, len(gIdx))
+				for i, j := range gIdx {
+					key[i] = row[j]
+				}
+				g = &aggGroup{key: key, states: make([]aggState, len(a.Aggs))}
+				groups[k] = g
+				order = append(order, k)
+			}
+			accumulateRow(g, row, a, aIdx, inSchema)
 		}
-		for i, sp := range a.Aggs {
-			st := &g.states[i]
-			st.count++
-			if sp.Func == query.Count {
+		chunks[c] = chunkAgg{groups: groups, order: order}
+	})
+
+	merged := make(map[string]*aggGroup)
+	var order []string
+	for _, ch := range chunks {
+		for _, k := range ch.order {
+			g := ch.groups[k]
+			m, ok := merged[k]
+			if !ok {
+				merged[k] = g
+				order = append(order, k)
 				continue
 			}
-			v := row[aIdx[i]]
-			typ := inSchema.Cols[aIdx[i]].Type
-			switch typ {
-			case relation.Int:
-				st.sum += float64(v.I)
-				if !st.seen || v.I < st.minI {
-					st.minI = v.I
-				}
-				if !st.seen || v.I > st.maxI {
-					st.maxI = v.I
-				}
-			case relation.Float:
-				st.sum += v.F
-				if !st.seen || v.F < st.minF {
-					st.minF = v.F
-				}
-				if !st.seen || v.F > st.maxF {
-					st.maxF = v.F
-				}
-			default:
-				if !st.seen || v.S < st.minS {
-					st.minS = v.S
-				}
-				if !st.seen || v.S > st.maxS {
-					st.maxS = v.S
-				}
-			}
-			st.seen = true
+			mergeStates(m.states, g.states, a)
 		}
 	}
 
 	out := relation.NewTable(a.Schema())
 	for _, k := range order {
-		g := groups[k]
+		g := merged[k]
 		row := make(relation.Row, 0, len(gIdx)+len(a.Aggs))
 		row = append(row, g.key...)
 		for i, sp := range a.Aggs {
@@ -492,6 +554,84 @@ func aggregate(t *relation.Table, a *query.Aggregate) *relation.Table {
 	return out
 }
 
+// accumulateRow folds one input row into a group's aggregate states.
+func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int, inSchema *relation.Schema) {
+	for i, sp := range a.Aggs {
+		st := &g.states[i]
+		st.count++
+		if sp.Func == query.Count {
+			continue
+		}
+		v := row[aIdx[i]]
+		typ := inSchema.Cols[aIdx[i]].Type
+		switch typ {
+		case relation.Int:
+			st.sum += float64(v.I)
+			if !st.seen || v.I < st.minI {
+				st.minI = v.I
+			}
+			if !st.seen || v.I > st.maxI {
+				st.maxI = v.I
+			}
+		case relation.Float:
+			st.sum += v.F
+			if !st.seen || v.F < st.minF {
+				st.minF = v.F
+			}
+			if !st.seen || v.F > st.maxF {
+				st.maxF = v.F
+			}
+		default:
+			if !st.seen || v.S < st.minS {
+				st.minS = v.S
+			}
+			if !st.seen || v.S > st.maxS {
+				st.maxS = v.S
+			}
+		}
+		st.seen = true
+	}
+}
+
+// mergeStates folds a later chunk's partial states (src) into an earlier
+// chunk's (dst). Sums combine in chunk order, which is fixed by the
+// input size, so float association never depends on the worker count.
+func mergeStates(dst, src []aggState, a *query.Aggregate) {
+	for i := range dst {
+		d, s := &dst[i], &src[i]
+		d.count += s.count
+		if a.Aggs[i].Func == query.Count || !s.seen {
+			continue
+		}
+		d.sum += s.sum
+		if !d.seen {
+			d.minI, d.maxI = s.minI, s.maxI
+			d.minF, d.maxF = s.minF, s.maxF
+			d.minS, d.maxS = s.minS, s.maxS
+			d.seen = true
+			continue
+		}
+		if s.minI < d.minI {
+			d.minI = s.minI
+		}
+		if s.maxI > d.maxI {
+			d.maxI = s.maxI
+		}
+		if s.minF < d.minF {
+			d.minF = s.minF
+		}
+		if s.maxF > d.maxF {
+			d.maxF = s.maxF
+		}
+		if s.minS < d.minS {
+			d.minS = s.minS
+		}
+		if s.maxS > d.maxS {
+			d.maxS = s.maxS
+		}
+	}
+}
+
 func pickValue(typ relation.Type, i int64, f float64, s string) relation.Value {
 	switch typ {
 	case relation.Int:
@@ -503,6 +643,11 @@ func pickValue(typ relation.Type, i int64, f float64, s string) relation.Value {
 	}
 }
 
+// appendValueKey appends a self-delimiting encoding of v to a group key:
+// fixed-width int and float parts, then the string length-prefixed. The
+// length prefix makes adjacent column encodings unambiguous — a raw
+// separator byte would let a string value containing that byte shift
+// bytes between columns and merge distinct group keys.
 func appendValueKey(buf []byte, v relation.Value) []byte {
 	for k := 0; k < 8; k++ {
 		buf = append(buf, byte(v.I>>(8*k)))
@@ -511,7 +656,9 @@ func appendValueKey(buf []byte, v relation.Value) []byte {
 	for k := 0; k < 8; k++ {
 		buf = append(buf, byte(f>>(8*k)))
 	}
-	buf = append(buf, v.S...)
-	buf = append(buf, 0x1f)
-	return buf
+	n := uint64(len(v.S))
+	for k := 0; k < 8; k++ {
+		buf = append(buf, byte(n>>(8*k)))
+	}
+	return append(buf, v.S...)
 }

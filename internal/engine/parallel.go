@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"deepsea/internal/relation"
+)
+
+// The data path (filter, project, join probe, aggregate) is
+// parallelized by splitting row ranges into fixed-size chunks and
+// merging per-chunk results in chunk order. Chunk boundaries depend
+// only on the input size — never on the worker count — so the merge
+// order, and with it every output byte (including the association of
+// floating-point partial sums), is identical for every Parallelism
+// setting. Workers only change which goroutine evaluates a chunk.
+
+// chunkRows is the fixed chunk granularity of the parallel data path.
+// Small enough to load-balance skewed chunks across workers, large
+// enough that per-chunk bookkeeping is noise.
+const chunkRows = 4096
+
+// numChunks returns how many fixed-size chunks n rows split into.
+func numChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + chunkRows - 1) / chunkRows
+}
+
+// chunkBounds returns the row range [lo, hi) of chunk c out of n rows.
+func chunkBounds(c, n int) (lo, hi int) {
+	lo = c * chunkRows
+	hi = lo + chunkRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// forEachChunk runs fn(chunk, lo, hi) over every fixed-size chunk of n
+// rows using up to par workers. With par <= 1 or a single chunk it runs
+// inline on the calling goroutine. fn must be safe to call concurrently
+// for distinct chunks; chunks are handed out dynamically so skewed
+// chunks do not serialize the rest.
+func forEachChunk(par, n int, fn func(chunk, lo, hi int)) {
+	nc := numChunks(n)
+	if nc == 0 {
+		return
+	}
+	forEachTask(par, nc, func(c int) {
+		lo, hi := chunkBounds(c, n)
+		fn(c, lo, hi)
+	})
+}
+
+// forEachTask runs fn(task) for task = 0..tasks-1 using up to par
+// workers — the plain index-space pool behind forEachChunk, also used
+// directly for non-chunked fan-out such as hash-bucket builds.
+func forEachTask(par, tasks int, fn func(task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if par > tasks {
+		par = tasks
+	}
+	if par <= 1 {
+		for t := 0; t < tasks; t++ {
+			fn(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// concatChunks assembles per-chunk row slices in chunk order — the
+// deterministic merge step shared by the parallel operators.
+func concatChunks(parts [][]relation.Row) []relation.Row {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]relation.Row, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

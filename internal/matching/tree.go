@@ -7,6 +7,7 @@ package matching
 
 import (
 	"sort"
+	"sync"
 
 	"deepsea/internal/relation"
 	"deepsea/internal/signature"
@@ -29,7 +30,10 @@ type Entry struct {
 // view and query, the trie collapses to a hash on the combined family key
 // — same pruning power, simpler structure. Detailed range/residual/
 // output checks run only within the matching family.
+// FilterTree methods are safe for concurrent use; entries themselves are
+// immutable once added.
 type FilterTree struct {
+	mu       sync.RWMutex
 	families map[string][]*Entry
 	byID     map[string]*Entry
 }
@@ -44,6 +48,8 @@ func NewFilterTree() *FilterTree {
 
 // Add indexes a view entry. Adding an already-indexed ID is a no-op.
 func (ft *FilterTree) Add(e *Entry) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
 	if _, ok := ft.byID[e.ID]; ok {
 		return
 	}
@@ -57,16 +63,25 @@ func (ft *FilterTree) Add(e *Entry) {
 
 // Lookup returns the entry with the given ID.
 func (ft *FilterTree) Lookup(id string) (*Entry, bool) {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
 	e, ok := ft.byID[id]
 	return e, ok
 }
 
 // Len returns the number of indexed views.
-func (ft *FilterTree) Len() int { return len(ft.byID) }
+func (ft *FilterTree) Len() int {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	return len(ft.byID)
+}
 
 // Candidates returns the entries whose family matches the query
 // signature — the survivors of the index's pruning, still subject to the
-// detailed sufficient condition.
+// detailed sufficient condition. The returned slice is a copy, so a
+// concurrent Add cannot invalidate it under the caller.
 func (ft *FilterTree) Candidates(q *signature.Signature) []*Entry {
-	return ft.families[q.FamilyKey()]
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	return append([]*Entry(nil), ft.families[q.FamilyKey()]...)
 }

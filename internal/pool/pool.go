@@ -7,6 +7,7 @@ package pool
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"deepsea/internal/interval"
 	"deepsea/internal/partition"
@@ -22,11 +23,13 @@ type View struct {
 	// Schema is the view's output schema.
 	Schema relation.Schema
 	// Path is the unpartitioned file's location; empty if the view is
-	// stored only as partitions.
+	// stored only as partitions. Mutate only through Pool.SetViewFile /
+	// Pool.DropViewFile so the pool's size counter stays consistent.
 	Path string
 	// Size is the unpartitioned file's size in bytes (0 if none).
 	Size int64
-	// Parts maps a partition attribute to its partition.
+	// Parts maps a partition attribute to its partition. Mutate fragments
+	// only through Pool.AddFragment / Pool.RemoveFragment.
 	Parts map[string]*partition.Partition
 }
 
@@ -52,11 +55,22 @@ func (v *View) TotalSize() int64 {
 }
 
 // Pool is the materialized view pool (the configuration C).
+//
+// Concurrency: the pool's mutex guards the view map and the incremental
+// size counter, so size queries (TotalSize, Fits) and Views listings are
+// safe from any goroutine. The *content* of a View — its partitions and
+// fragment lists — is mutated only through the pool's mutation methods,
+// and only under the view manager's own lock; readers that walk
+// partitions (matching, selection) run under that same manager lock.
 type Pool struct {
 	// Smax is the pool size limit in bytes; 0 means unlimited.
 	Smax int64
 
+	mu    sync.RWMutex
 	views map[string]*View
+	// size is S(C), maintained incrementally by every mutation so Fits
+	// is O(1) instead of a full walk per greedy-selection probe.
+	size int64
 }
 
 // New returns an empty pool with the given size limit.
@@ -65,10 +79,16 @@ func New(smax int64) *Pool {
 }
 
 // View returns the pool entry for id, or nil.
-func (p *Pool) View(id string) *View { return p.views[id] }
+func (p *Pool) View(id string) *View {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.views[id]
+}
 
 // Has reports whether a view with any materialized content exists.
 func (p *Pool) Has(id string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, ok := p.views[id]
 	return ok
 }
@@ -76,6 +96,8 @@ func (p *Pool) Has(id string) bool {
 // Ensure returns the view entry for id, creating an empty one on first
 // use.
 func (p *Pool) Ensure(id string, schema relation.Schema) *View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	v, ok := p.views[id]
 	if !ok {
 		v = &View{ID: id, Schema: schema, Parts: make(map[string]*partition.Partition)}
@@ -85,20 +107,130 @@ func (p *Pool) Ensure(id string, schema relation.Schema) *View {
 }
 
 // Remove deletes a view and all its partitions from the pool metadata.
-func (p *Pool) Remove(id string) { delete(p.views, id) }
+func (p *Pool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.views[id]; ok {
+		p.size -= v.TotalSize()
+		delete(p.views, id)
+	}
+}
+
+// SetViewFile records that the view's unpartitioned file now lives at
+// path with the given size, replacing any previous file's contribution
+// to the pool size. The view must already exist (Ensure).
+func (p *Pool) SetViewFile(id, path string, size int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		panic(fmt.Sprintf("pool: SetViewFile on unknown view %s", id))
+	}
+	p.size += size - v.Size
+	v.Path = path
+	v.Size = size
+}
+
+// DropViewFile removes the view's unpartitioned file from the metadata
+// (eviction keeps any partitions).
+func (p *Pool) DropViewFile(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		return
+	}
+	p.size -= v.Size
+	v.Path = ""
+	v.Size = 0
+}
+
+// EnsurePartition returns the view's partition on attr, creating an
+// empty one on first use. The view must already exist (Ensure).
+func (p *Pool) EnsurePartition(id, attr string, dom interval.Interval, overlapping bool) *partition.Partition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		panic(fmt.Sprintf("pool: EnsurePartition on unknown view %s", id))
+	}
+	part, ok := v.Parts[attr]
+	if !ok {
+		part = partition.New(id, attr, dom, overlapping)
+		v.Parts[attr] = part
+	}
+	return part
+}
+
+// AddFragment registers a stored fragment with the view's partition on
+// attr (which must exist; see EnsurePartition), accounting for the
+// replacement of any same-interval predecessor.
+func (p *Pool) AddFragment(id, attr string, f partition.Fragment) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		panic(fmt.Sprintf("pool: AddFragment on unknown view %s", id))
+	}
+	part, ok := v.Parts[attr]
+	if !ok {
+		panic(fmt.Sprintf("pool: AddFragment on missing partition %s.%s", id, attr))
+	}
+	if old, had := part.Lookup(f.Iv); had {
+		p.size -= old.Size
+	}
+	p.size += f.Size
+	part.Add(f)
+}
+
+// RemoveFragment deletes the fragment stored for iv from the view's
+// partition on attr; it reports whether a fragment was present.
+func (p *Pool) RemoveFragment(id, attr string, iv interval.Interval) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		return false
+	}
+	part, ok := v.Parts[attr]
+	if !ok {
+		return false
+	}
+	f, ok := part.Lookup(iv)
+	if !ok {
+		return false
+	}
+	p.size -= f.Size
+	part.Remove(iv)
+	return true
+}
 
 // Views returns the pool's views sorted by id.
 func (p *Pool) Views() []*View {
+	p.mu.RLock()
 	out := make([]*View, 0, len(p.views))
 	for _, v := range p.views {
 		out = append(out, v)
 	}
+	p.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// TotalSize returns S(C), the bytes occupied by all views and fragments.
+// TotalSize returns S(C), the bytes occupied by all views and fragments,
+// from the incrementally maintained counter (O(1)).
 func (p *Pool) TotalSize() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.size
+}
+
+// WalkSize recomputes S(C) by walking every view and fragment — the
+// quantity TotalSize tracks incrementally. Exported for integrity
+// checks; see VerifySize.
+func (p *Pool) WalkSize() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var total int64
 	for _, v := range p.views {
 		total += v.TotalSize()
@@ -106,13 +238,29 @@ func (p *Pool) TotalSize() int64 {
 	return total
 }
 
+// VerifySize checks the incremental size counter against a full walk and
+// returns an error describing any divergence (a mutation bypassed the
+// pool API).
+func (p *Pool) VerifySize() error {
+	counter := p.TotalSize()
+	walk := p.WalkSize()
+	if counter != walk {
+		return fmt.Errorf("pool: size counter %d != walked size %d", counter, walk)
+	}
+	return nil
+}
+
 // Fits reports whether adding extra bytes keeps the pool within Smax.
 func (p *Pool) Fits(extra int64) bool {
-	return p.Smax <= 0 || p.TotalSize()+extra <= p.Smax
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.Smax <= 0 || p.size+extra <= p.Smax
 }
 
 // GC removes view entries that hold no materialized content.
 func (p *Pool) GC() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for id, v := range p.views {
 		empty := v.Path == ""
 		for _, part := range v.Parts {
@@ -121,6 +269,7 @@ func (p *Pool) GC() {
 			}
 		}
 		if empty {
+			p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
 			delete(p.views, id)
 		}
 	}

@@ -35,24 +35,25 @@ func TestEnsureAndRemove(t *testing.T) {
 func TestTotalSize(t *testing.T) {
 	p := New(0)
 	v := p.Ensure("v1", testSchema())
-	v.Path = "v1/full"
-	v.Size = 100
-	part := partition.New("v1", "a", interval.New(0, 100), false)
-	part.Add(partition.Fragment{Iv: interval.New(0, 50), Path: "f0", Size: 40})
-	part.Add(partition.Fragment{Iv: interval.New(51, 100), Path: "f1", Size: 60})
-	v.Parts["a"] = part
+	p.SetViewFile("v1", "v1/full", 100)
+	p.EnsurePartition("v1", "a", interval.New(0, 100), false)
+	p.AddFragment("v1", "a", partition.Fragment{Iv: interval.New(0, 50), Path: "f0", Size: 40})
+	p.AddFragment("v1", "a", partition.Fragment{Iv: interval.New(51, 100), Path: "f1", Size: 60})
 	if got := p.TotalSize(); got != 200 {
 		t.Errorf("TotalSize = %d, want 200", got)
 	}
 	if got := v.TotalSize(); got != 200 {
 		t.Errorf("View.TotalSize = %d, want 200", got)
 	}
+	if err := p.VerifySize(); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestFits(t *testing.T) {
 	p := New(150)
-	v := p.Ensure("v1", testSchema())
-	v.Size = 100
+	p.Ensure("v1", testSchema())
+	p.SetViewFile("v1", "v1/full", 100)
 	if !p.Fits(50) {
 		t.Error("Fits(50) = false, want true")
 	}
@@ -67,10 +68,10 @@ func TestFits(t *testing.T) {
 
 func TestGC(t *testing.T) {
 	p := New(0)
-	v := p.Ensure("empty", testSchema())
-	v.Parts["a"] = partition.New("empty", "a", interval.New(0, 100), false)
-	full := p.Ensure("full", testSchema())
-	full.Path = "x"
+	p.Ensure("empty", testSchema())
+	p.EnsurePartition("empty", "a", interval.New(0, 100), false)
+	p.Ensure("full", testSchema())
+	p.SetViewFile("full", "x", 10)
 	p.GC()
 	if p.Has("empty") {
 		t.Error("GC kept empty view")
@@ -78,6 +79,62 @@ func TestGC(t *testing.T) {
 	if !p.Has("full") {
 		t.Error("GC removed non-empty view")
 	}
+	if err := p.VerifySize(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalSizeMatchesWalk drives every mutation path and asserts
+// the incremental counter against a full walk after each step — the
+// regression test for replacing the per-Fits walk with the counter.
+func TestIncrementalSizeMatchesWalk(t *testing.T) {
+	p := New(0)
+	check := func(step string, want int64) {
+		t.Helper()
+		if err := p.VerifySize(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if got := p.TotalSize(); got != want {
+			t.Fatalf("%s: TotalSize = %d, want %d", step, got, want)
+		}
+	}
+
+	p.Ensure("v1", testSchema())
+	check("ensure", 0)
+
+	p.SetViewFile("v1", "v1/full", 100)
+	check("set file", 100)
+	p.SetViewFile("v1", "v1/full", 70) // replacement adjusts by delta
+	check("replace file", 70)
+
+	p.EnsurePartition("v1", "a", interval.New(0, 100), true)
+	p.AddFragment("v1", "a", partition.Fragment{Iv: interval.New(0, 50), Path: "f0", Size: 40})
+	check("add fragment", 110)
+	p.AddFragment("v1", "a", partition.Fragment{Iv: interval.New(0, 50), Path: "f0b", Size: 25})
+	check("replace fragment", 95) // same interval replaces, not accumulates
+	p.AddFragment("v1", "a", partition.Fragment{Iv: interval.New(51, 100), Path: "f1", Size: 60})
+	check("second fragment", 155)
+
+	if !p.RemoveFragment("v1", "a", interval.New(0, 50)) {
+		t.Fatal("RemoveFragment reported missing fragment")
+	}
+	check("remove fragment", 130)
+	if p.RemoveFragment("v1", "a", interval.New(0, 49)) {
+		t.Error("RemoveFragment removed a fragment that was never added")
+	}
+	check("remove missing", 130)
+
+	p.DropViewFile("v1")
+	check("drop file", 60)
+
+	p.Ensure("v2", testSchema())
+	p.SetViewFile("v2", "v2/full", 1000)
+	check("second view", 1060)
+	p.Remove("v2")
+	check("remove view", 60)
+
+	p.GC()
+	check("gc", 60)
 }
 
 func TestSelectGreedyRanksByValue(t *testing.T) {

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"deepsea/internal/interval"
 )
@@ -323,9 +324,15 @@ func (p *PartitionStat) TotalHits(tnow float64, d Decay) float64 {
 
 // Registry is the paper's STAT: all view and partition statistics, for
 // pool members and candidates alike.
+//
+// The registry's mutex guards only its maps, so records can be looked up
+// from any goroutine. The returned ViewStat/PartitionStat records are
+// not themselves locked: they are mutated only inside the view manager's
+// critical section, which also keeps their timestamps non-decreasing.
 type Registry struct {
 	Decay Decay
 
+	mu    sync.Mutex
 	views map[string]*ViewStat
 	parts map[string]map[string]*PartitionStat // view -> attr -> stat
 }
@@ -342,6 +349,8 @@ func NewRegistry(d Decay) *Registry {
 // View returns the statistics record for a view id, creating it on first
 // use.
 func (r *Registry) View(id string) *ViewStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v, ok := r.views[id]
 	if !ok {
 		v = &ViewStat{ID: id}
@@ -352,16 +361,20 @@ func (r *Registry) View(id string) *ViewStat {
 
 // LookupView returns a view's statistics if tracked.
 func (r *Registry) LookupView(id string) (*ViewStat, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v, ok := r.views[id]
 	return v, ok
 }
 
 // Views returns all tracked views sorted by id.
 func (r *Registry) Views() []*ViewStat {
+	r.mu.Lock()
 	out := make([]*ViewStat, 0, len(r.views))
 	for _, v := range r.views {
 		out = append(out, v)
 	}
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -369,6 +382,8 @@ func (r *Registry) Views() []*ViewStat {
 // Partition returns the partition statistics for (view, attr), creating
 // an empty record over dom on first use.
 func (r *Registry) Partition(view, attr string, dom interval.Interval) *PartitionStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m, ok := r.parts[view]
 	if !ok {
 		m = make(map[string]*PartitionStat)
@@ -390,6 +405,8 @@ func (r *Registry) Partition(view, attr string, dom interval.Interval) *Partitio
 
 // LookupPartition returns the partition statistics if tracked.
 func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m, ok := r.parts[view]
 	if !ok {
 		return nil, false
@@ -401,11 +418,13 @@ func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
 // Partitions returns all partition statistics of a view sorted by
 // attribute.
 func (r *Registry) Partitions(view string) []*PartitionStat {
+	r.mu.Lock()
 	m := r.parts[view]
 	out := make([]*PartitionStat, 0, len(m))
 	for _, p := range m {
 		out = append(out, p)
 	}
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
 	return out
 }

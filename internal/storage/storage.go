@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DefaultBlockSize is the modelled HDFS block size (128 MB), the lower
@@ -24,11 +25,14 @@ type File struct {
 	Size int64
 }
 
-// FS is a simulated file system. It is not safe for concurrent use; the
-// simulator processes one query at a time, as does the paper's.
+// FS is a simulated file system. All methods are safe for concurrent
+// use, so overlapping query executions can read while a view manager
+// writes or deletes.
 type FS struct {
 	blockSize int64
-	files     map[string]File
+
+	mu    sync.RWMutex
+	files map[string]File
 	// bytesWritten and bytesRead accumulate lifetime I/O for reporting.
 	bytesWritten int64
 	bytesRead    int64
@@ -61,14 +65,18 @@ func (fs *FS) Write(path string, size int64) {
 	if size < 0 {
 		panic(fmt.Sprintf("storage: negative size %d for %s", size, path))
 	}
+	fs.mu.Lock()
 	fs.files[path] = File{Path: path, Size: size}
 	fs.bytesWritten += size
+	fs.mu.Unlock()
 }
 
 // Read accounts a full read of the named file and returns its size. It
 // returns an error if the file does not exist: reading a missing file
 // means the pool and the FS disagree, which is a bug worth surfacing.
 func (fs *FS) Read(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
 	if !ok {
 		return 0, fmt.Errorf("storage: read of missing file %s", path)
@@ -80,6 +88,8 @@ func (fs *FS) Read(path string) (int64, error) {
 // ReadPartial accounts a read of n bytes from the named file (fragment
 // clipping reads only part of a file's key range).
 func (fs *FS) ReadPartial(path string, n int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if _, ok := fs.files[path]; !ok {
 		return fmt.Errorf("storage: read of missing file %s", path)
 	}
@@ -90,23 +100,31 @@ func (fs *FS) ReadPartial(path string, n int64) error {
 // Delete removes a file. Deleting a missing file is a no-op: eviction may
 // race with replacement of a fragment by its splits.
 func (fs *FS) Delete(path string) {
+	fs.mu.Lock()
 	delete(fs.files, path)
+	fs.mu.Unlock()
 }
 
 // Exists reports whether a file is present.
 func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	_, ok := fs.files[path]
 	return ok
 }
 
 // Size returns the size of a file, or 0 if absent.
 func (fs *FS) Size(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.files[path].Size
 }
 
 // TotalSize returns the sum of all file sizes — the S(C) of the current
 // configuration.
 func (fs *FS) TotalSize() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var total int64
 	for _, f := range fs.files {
 		total += f.Size
@@ -115,20 +133,34 @@ func (fs *FS) TotalSize() int64 {
 }
 
 // NumFiles returns the number of stored files.
-func (fs *FS) NumFiles() int { return len(fs.files) }
+func (fs *FS) NumFiles() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
 
 // List returns all files sorted by path, for deterministic inspection.
 func (fs *FS) List() []File {
+	fs.mu.RLock()
 	out := make([]File, 0, len(fs.files))
 	for _, f := range fs.files {
 		out = append(out, f)
 	}
+	fs.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
 
 // BytesWritten returns lifetime bytes written.
-func (fs *FS) BytesWritten() int64 { return fs.bytesWritten }
+func (fs *FS) BytesWritten() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesWritten
+}
 
 // BytesRead returns lifetime bytes read.
-func (fs *FS) BytesRead() int64 { return fs.bytesRead }
+func (fs *FS) BytesRead() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesRead
+}
