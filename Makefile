@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify
+.PHONY: all build test vet race bench verify ci
 
 all: verify
 
@@ -25,3 +25,9 @@ bench:
 	$(GO) test -bench BenchmarkParallelSpeedup -benchtime 1x -run '^$$' .
 
 verify: build test vet race
+
+# What the GitHub Actions workflow runs: full build/vet/test plus the
+# race detector on the packages with real concurrency (manager, engine,
+# result cache). Mirrors .github/workflows/ci.yml — keep the two in sync.
+ci: vet build test
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/cache/

@@ -26,6 +26,7 @@ func main() {
 	params := flag.String("params", "short", "\"short\" (CI scale) or \"full\" (paper scale)")
 	seed := flag.Int64("seed", 1, "random seed for data and workload generation")
 	parallelism := flag.Int("parallelism", 0, "engine data-path workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
+	jsonOut := flag.Bool("json", false, "additionally write each experiment's report to BENCH_<id>.json (wall-clock, speedup, cache hit rate)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -59,7 +60,17 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := bench.RunAndPrint(os.Stdout, id, p); err != nil {
+		if *jsonOut {
+			path, res, err := bench.RunJSON("", id, p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e, _ := bench.Lookup(id)
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			res.Print(os.Stdout)
+			fmt.Printf("report written to %s\n\n", path)
+		} else if err := bench.RunAndPrint(os.Stdout, id, p); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -139,6 +139,15 @@ func WithParallelism(n int) Option {
 	return func(c *core.Config) { c.Parallelism = n }
 }
 
+// WithResultCache enables the fingerprint-keyed result cache, bounded
+// to the given number of bytes. Identical repeated queries are answered
+// from the cache in O(1); entries are invalidated precisely when a pool
+// mutation touches a view the cached plan read. Only meaningful with
+// row execution (the default mode).
+func WithResultCache(bytes int64) Option {
+	return func(c *core.Config) { c.CacheBytes = bytes }
+}
+
 // WithConfig replaces the whole configuration (advanced use).
 func WithConfig(cfg Strategy) Option {
 	return func(c *core.Config) { *c = cfg }

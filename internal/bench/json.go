@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Measurable is implemented by experiment results that expose headline
+// numbers (wall-clock, speedup, hit rate) for machine-readable output.
+// Results without it still serialize, with an empty metrics map.
+type Measurable interface {
+	Metrics() map[string]float64
+}
+
+// Report is the machine-readable record of one experiment run, written
+// as BENCH_<id>.json so the perf trajectory is trackable across
+// revisions.
+type Report struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	// WallSeconds is the real elapsed time of the whole experiment,
+	// harness included.
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+	// Result is the experiment's own result structure, verbatim.
+	Result any `json:"result"`
+}
+
+// RunJSON executes one experiment and writes its report to
+// BENCH_<id>.json in dir (dir "" = current directory). It returns the
+// written path and the result for printing.
+func RunJSON(dir, id string, p Params) (string, Printable, error) {
+	start := time.Now()
+	e, res, err := Run(id, p)
+	if err != nil {
+		return "", nil, err
+	}
+	rep := Report{
+		Experiment:  e.ID,
+		Title:       e.Title,
+		WallSeconds: time.Since(start).Seconds(),
+		Metrics:     map[string]float64{},
+		Result:      res,
+	}
+	if m, ok := res.(Measurable); ok {
+		rep.Metrics = m.Metrics()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", nil, fmt.Errorf("bench: marshal %s report: %w", id, err)
+	}
+	path := "BENCH_" + id + ".json"
+	if dir != "" {
+		path = dir + "/" + path
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", nil, fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, res, nil
+}

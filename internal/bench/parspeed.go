@@ -35,10 +35,10 @@ type ParspeedResult struct {
 	Workers   int
 }
 
-// parspeedRun executes the workload like RunWorkload but records what
-// the identity check needs: each query's result fingerprint and the
-// final file-system listing.
-func parspeedRun(data *workload.Data, queries []query.Node, cfg core.Config) (wall, sim float64, fingerprints []string, files string, err error) {
+// trackedRun executes a workload like RunWorkload but records what
+// identity checks need: each query's result fingerprint and the final
+// file-system listing.
+func trackedRun(data *workload.Data, queries []query.Node, cfg core.Config) (wall, sim float64, fingerprints []string, files string, err error) {
 	d := core.New(cfg)
 	for _, t := range data.Tables {
 		d.AddBaseTable(t)
@@ -47,7 +47,7 @@ func parspeedRun(data *workload.Data, queries []query.Node, cfg core.Config) (wa
 	for i, q := range queries {
 		rep, perr := d.ProcessQuery(q)
 		if perr != nil {
-			return 0, 0, nil, "", fmt.Errorf("parspeed query %d: %w", i, perr)
+			return 0, 0, nil, "", fmt.Errorf("query %d: %w", i, perr)
 		}
 		sim += rep.TotalSeconds
 		fingerprints = append(fingerprints, rep.Result.Fingerprint())
@@ -59,18 +59,34 @@ func parspeedRun(data *workload.Data, queries []query.Node, cfg core.Config) (wa
 	return wall, sim, fingerprints, files, nil
 }
 
-// RunParspeed compares sequential and parallel execution of the same
-// workload. The simulated cost model is untouched by the worker count —
-// the comparison is about the harness's real wall-clock time and about
-// the determinism guarantee (identical results and pool for every
-// parallelism level).
-func RunParspeed(p Params) (*ParspeedResult, error) {
+// parspeedRun executes one fully isolated arm: it builds its own dataset,
+// RNG and query sequence from the seed in p, so concurrent runs — e.g.
+// two parallelism levels raced against each other in a test — share no
+// state whatsoever.
+func parspeedRun(p Params, cfg core.Config) (wall, sim float64, fingerprints []string, files string, err error) {
 	gb := p.gb(2000)
 	data := workload.Generate(gb, p.Seed, nil)
 	rng := rand.New(rand.NewSource(p.Seed + 77))
 	ranges := workload.Ranges(p.queries(40), workload.Big, workload.Light, workload.ItemSkDomain(), rng)
 	queries := mixedQueries(data, ranges, rng)
+	return trackedRun(data, queries, cfg)
+}
 
+// parspeedCfg builds the configuration of one parspeed arm.
+func parspeedCfg(p Params, base func() core.Config, par int) core.Config {
+	cfg := scaleCfg(base(), p.gb(2000), 2000)
+	cfg.Parallelism = par
+	return cfg
+}
+
+// RunParspeed compares sequential and parallel execution of the same
+// workload. The simulated cost model is untouched by the worker count —
+// the comparison is about the harness's real wall-clock time and about
+// the determinism guarantee (identical results and pool for every
+// parallelism level). Arms run one after another so each wall-clock
+// measurement gets the machine to itself; each arm is nevertheless fully
+// isolated (own dataset, RNG and system) and safe to run concurrently.
+func RunParspeed(p Params) (*ParspeedResult, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 2 {
 		workers = 2
@@ -85,13 +101,9 @@ func RunParspeed(p Params) (*ParspeedResult, error) {
 
 	res := &ParspeedResult{Identical: true, Workers: workers}
 	for _, arm := range arms {
-		var prints map[int][]string
-		var files map[int]string
-		prints, files = make(map[int][]string), make(map[int]string)
+		prints, files := make(map[int][]string), make(map[int]string)
 		for _, par := range []int{1, workers} {
-			cfg := scaleCfg(arm.cfg(), gb, 2000)
-			cfg.Parallelism = par
-			wall, sim, fp, fl, err := parspeedRun(data, queries, cfg)
+			wall, sim, fp, fl, err := parspeedRun(p, parspeedCfg(p, arm.cfg, par))
 			if err != nil {
 				return nil, err
 			}
@@ -134,6 +146,23 @@ func (r *ParspeedResult) Speedup(name string) float64 {
 		return 0
 	}
 	return seq / par
+}
+
+// Metrics exports the headline numbers for machine-readable output.
+func (r *ParspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"workers":   float64(r.Workers),
+		"identical": 0,
+	}
+	if r.Identical {
+		m["identical"] = 1
+	}
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("wall_seconds_%s_par%d", row.Name, row.Parallelism)] = row.WallSeconds
+	}
+	m["speedup_H"] = r.Speedup("H")
+	m["speedup_DS"] = r.Speedup("DS")
+	return m
 }
 
 // Print renders the comparison.

@@ -62,6 +62,9 @@ var Experiments = []Experiment{
 	{"parspeed", "Wall-clock speedup of the parallel data path (results stay identical)", func(p Params) (Printable, error) {
 		return RunParspeed(p)
 	}},
+	{"cachespeed", "Wall-clock speedup of the result cache on a repetitive workload", func(p Params) (Printable, error) {
+		return RunCachespeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.
@@ -84,15 +87,26 @@ func IDs() []string {
 	return out
 }
 
-// RunAndPrint runs one experiment and prints its result with a header.
-func RunAndPrint(w io.Writer, id string, p Params) error {
+// Run executes one experiment and returns its descriptor and result —
+// the programmatic sibling of RunAndPrint, for callers that post-process
+// the result (JSON output).
+func Run(id string, p Params) (Experiment, Printable, error) {
 	e, ok := Lookup(id)
 	if !ok {
-		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, IDs())
+		return Experiment{}, nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, IDs())
 	}
 	res, err := e.Run(p)
 	if err != nil {
-		return fmt.Errorf("bench: %s: %w", id, err)
+		return Experiment{}, nil, fmt.Errorf("bench: %s: %w", id, err)
+	}
+	return e, res, nil
+}
+
+// RunAndPrint runs one experiment and prints its result with a header.
+func RunAndPrint(w io.Writer, id string, p Params) error {
+	e, res, err := Run(id, p)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
 	res.Print(w)

@@ -1,0 +1,158 @@
+// Package cache holds a byte-bounded LRU of query results keyed by plan
+// fingerprint. Entries record the pool generation of every materialized
+// view the cached plan read, so a pool mutation (materialize, evict,
+// split, merge, refinement) invalidates exactly the entries over the
+// touched views — unrelated entries keep hitting. Cached tables are
+// shared and immutable: callers must not mutate a returned *Table.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"deepsea/internal/relation"
+)
+
+// Dep pins a cache entry to one materialized view's content generation.
+// The entry is valid only while the pool still reports Gen for ViewID.
+type Dep struct {
+	ViewID string
+	Gen    uint64
+}
+
+// Stats counts cache traffic. Invalidations are entries dropped on Get
+// because a dependency's generation moved — distinct from capacity
+// Evictions.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Insertions    int64
+	Evictions     int64
+	Invalidations int64
+}
+
+type entry struct {
+	key   string
+	tbl   *relation.Table
+	bytes int64
+	deps  []Dep
+	elem  *list.Element
+}
+
+// ResultCache is a size-bounded (bytes, not entries) LRU of query
+// results. Safe for concurrent use.
+type ResultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	stats    Stats
+}
+
+// New returns a cache bounded to maxBytes of table payload. maxBytes <=
+// 0 yields a cache that stores nothing (every Get misses).
+func New(maxBytes int64) *ResultCache {
+	return &ResultCache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached table for key if present and still valid. gen
+// reports the pool's current generation for a view id; an entry whose
+// recorded dependency generations disagree is stale — it is dropped and
+// the Get misses. A hit refreshes the entry's LRU position.
+func (c *ResultCache) Get(key string, gen func(viewID string) uint64) (*relation.Table, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	for _, d := range e.deps {
+		if gen == nil || gen(d.ViewID) != d.Gen {
+			c.drop(e)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	return e.tbl, true
+}
+
+// Put stores tbl under key with the given view dependencies (deps may be
+// nil for results over base tables only). A table larger than the whole
+// cache is not stored. Storing under an existing key replaces the old
+// entry.
+func (c *ResultCache) Put(key string, tbl *relation.Table, deps []Dep) {
+	if c == nil || tbl == nil {
+		return
+	}
+	bytes := tbl.Bytes()
+	if bytes > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.drop(old)
+	}
+	for c.bytes+bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.drop(back.Value.(*entry))
+		c.stats.Evictions++
+	}
+	e := &entry{key: key, tbl: tbl, bytes: bytes, deps: append([]Dep(nil), deps...)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += bytes
+	c.stats.Insertions++
+}
+
+// drop removes an entry; the caller holds c.mu.
+func (c *ResultCache) drop(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *ResultCache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the cached payload size.
+func (c *ResultCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"deepsea/internal/relation"
+)
+
+// testTable builds a table of n rows with a known byte size.
+func testTable(n int) *relation.Table {
+	s := relation.Schema{Name: "t", Cols: []relation.Column{{Name: "a", Type: relation.Int}}}
+	t := relation.NewTable(s)
+	for i := 0; i < n; i++ {
+		t.Append(relation.Row{relation.IntVal(int64(i))})
+	}
+	return t
+}
+
+// gens returns a generation lookup over a mutable map.
+func gens(m map[string]uint64) func(string) uint64 {
+	return func(id string) uint64 { return m[id] }
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	tbl := testTable(10)
+	c.Put("k", tbl, nil)
+	got, ok := c.Get("k", gens(nil))
+	if !ok || got != tbl {
+		t.Fatalf("Get = (%v, %v), want the stored table", got, ok)
+	}
+	if _, ok := c.Get("other", gens(nil)); ok {
+		t.Fatal("Get on unknown key hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 insertion", st)
+	}
+}
+
+func TestByteBoundEvictsLRU(t *testing.T) {
+	one := testTable(1).Bytes()
+	c := New(3 * one)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), testTable(1), nil)
+	}
+	if c.Len() != 3 || c.Bytes() != 3*one {
+		t.Fatalf("cache holds %d entries / %d bytes, want 3 / %d", c.Len(), c.Bytes(), 3*one)
+	}
+	// Touch k0 so k1 becomes least recently used, then overflow.
+	if _, ok := c.Get("k0", gens(nil)); !ok {
+		t.Fatal("k0 missing before overflow")
+	}
+	c.Put("k3", testTable(1), nil)
+	if _, ok := c.Get("k1", gens(nil)); ok {
+		t.Fatal("LRU entry k1 survived the overflow")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k, gens(nil)); !ok {
+			t.Fatalf("%s evicted, want k1 only", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if c.Bytes() != 3*one {
+		t.Fatalf("cache bytes %d exceed bound %d", c.Bytes(), 3*one)
+	}
+}
+
+func TestOversizedTableNotStored(t *testing.T) {
+	c := New(testTable(1).Bytes())
+	c.Put("big", testTable(100), nil)
+	if c.Len() != 0 {
+		t.Fatal("table larger than the cache was stored")
+	}
+}
+
+func TestGenerationInvalidationIsPrecise(t *testing.T) {
+	g := map[string]uint64{"va": 3, "vb": 7}
+	c := New(1 << 20)
+	c.Put("qa", testTable(1), []Dep{{ViewID: "va", Gen: g["va"]}})
+	c.Put("qb", testTable(2), []Dep{{ViewID: "vb", Gen: g["vb"]}})
+	c.Put("qbase", testTable(3), nil) // base-only result, no view deps
+
+	// Mutating va (evict/split/merge all bump the generation) must kill
+	// exactly qa.
+	g["va"]++
+	if _, ok := c.Get("qa", gens(g)); ok {
+		t.Fatal("entry over mutated view va still hit")
+	}
+	if _, ok := c.Get("qb", gens(g)); !ok {
+		t.Fatal("entry over untouched view vb missed")
+	}
+	if _, ok := c.Get("qbase", gens(g)); !ok {
+		t.Fatal("base-only entry missed after unrelated view mutation")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The stale entry is gone, not resurrectable.
+	if _, ok := c.Get("qa", gens(g)); ok {
+		t.Fatal("invalidated entry reappeared")
+	}
+}
+
+func TestPutReplacesExistingKey(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", testTable(1), nil)
+	repl := testTable(2)
+	c.Put("k", repl, nil)
+	got, ok := c.Get("k", gens(nil))
+	if !ok || got != repl {
+		t.Fatal("Put did not replace the existing entry")
+	}
+	if c.Len() != 1 || c.Bytes() != repl.Bytes() {
+		t.Fatalf("cache holds %d entries / %d bytes after replace, want 1 / %d",
+			c.Len(), c.Bytes(), repl.Bytes())
+	}
+}
+
+func TestNilAndZeroCapCache(t *testing.T) {
+	var c *ResultCache
+	c.Put("k", testTable(1), nil) // must not panic
+	if _, ok := c.Get("k", gens(nil)); ok {
+		t.Fatal("nil cache hit")
+	}
+	z := New(0)
+	z.Put("k", testTable(1), nil)
+	if z.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}

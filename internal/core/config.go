@@ -145,6 +145,10 @@ type Config struct {
 	// engine default (runtime.GOMAXPROCS), 1 forces sequential
 	// execution. Results are byte-identical for every setting.
 	Parallelism int
+	// CacheBytes bounds the fingerprint-keyed result cache (bytes of
+	// cached rows); 0 disables caching. Only meaningful with
+	// ExecuteRows: in estimate-only mode there are no rows to cache.
+	CacheBytes int64
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.
@@ -207,6 +211,10 @@ type QueryReport struct {
 	// TotalSeconds is ExecCost + MatCost in seconds — the elapsed time
 	// the workload pays for this query.
 	TotalSeconds float64
+	// CacheHit reports that the result came from the result cache; the
+	// query then skipped Algorithm 1 entirely and paid no simulated
+	// cost.
+	CacheHit bool
 	// Rewritten reports whether a view was used.
 	Rewritten bool
 	// UsedView is the id of the view read (empty if none).

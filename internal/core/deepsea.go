@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 
+	"deepsea/internal/cache"
 	"deepsea/internal/engine"
 	"deepsea/internal/interval"
 	"deepsea/internal/matching"
@@ -17,12 +19,16 @@ import (
 // DeepSea is one instance of the system: an engine plus the pool,
 // statistics, signature index and configuration that drive Algorithm 1.
 //
-// ProcessQuery may be called from multiple goroutines. The manager
-// steps of Algorithm 1 (matching, statistics, selection,
-// materialization, eviction) serialize on an internal mutex; step 8 —
-// the row execution itself, where the time goes — runs outside it, so
-// concurrent queries overlap on the data path. See DESIGN.md,
-// "Concurrency model".
+// ProcessQuery may be called from multiple goroutines. Queries answered
+// from the result cache take no manager lock at all. The manager steps
+// of Algorithm 1 split across two locks: mu, a pool-mutation RWMutex
+// that mutators (materialize, evict, merge, refinement) hold exclusively
+// and everyone else holds shared, and algoMu, which serializes the
+// read-mostly bookkeeping (matching statistics, candidate generation,
+// the signature tree) that shared holders would otherwise race on. Step
+// 8 — the row execution itself, where the time goes — runs outside both,
+// so concurrent queries overlap on the data path. Lock order: mu before
+// algoMu before pinMu. See DESIGN.md, "Concurrency model".
 type DeepSea struct {
 	Cfg   Config
 	Eng   *engine.Engine
@@ -30,19 +36,33 @@ type DeepSea struct {
 	Stats *stats.Registry
 	Tree  *matching.FilterTree
 
+	// Cache is the fingerprint-keyed result cache; nil unless
+	// Config.CacheBytes is positive.
+	Cache *cache.ResultCache
+
 	rewriter *matching.Rewriter
 
-	// mu serializes Algorithm 1's manager sections. Pool, Stats and Tree
-	// contents are mutated only while holding it.
-	mu sync.Mutex
+	// mu is the pool-mutation lock. Part one of the manager section and
+	// part two of queries with nothing to materialize, evict or merge
+	// hold it shared; only part two of a mutating query holds it
+	// exclusively. Pool *content* (fragment lists, view files) changes
+	// only under the exclusive side.
+	mu sync.RWMutex
+
+	// algoMu serializes Algorithm 1's bookkeeping — Stats and Tree
+	// mutation, candidate generation and the mleCache — among goroutines
+	// that hold mu shared. Acquire only while holding mu (either side).
+	algoMu sync.Mutex
 
 	// pinned counts, per storage path, the in-flight executions whose
 	// plan reads the path. Eviction, merging and horizontal-split drops
 	// skip pinned paths so a concurrent query never loses a file it was
-	// planned against. Guarded by mu.
+	// planned against. Guarded by pinMu (innermost lock).
+	pinMu  sync.Mutex
 	pinned map[string]int
 
-	// mleCache memoizes MLE fits within one selection pass.
+	// mleCache memoizes MLE fits within one selection pass. Guarded by
+	// algoMu.
 	mleCache     map[string]stats.NormalModel
 	mleCacheTime float64
 }
@@ -61,7 +81,12 @@ func New(cfg Config) *DeepSea {
 	p := pool.New(cfg.Smax)
 	st := stats.NewRegistry(stats.Decay{TMax: cfg.DecayTMax})
 	tree := matching.NewFilterTree()
+	var rc *cache.ResultCache
+	if cfg.CacheBytes > 0 {
+		rc = cache.New(cfg.CacheBytes)
+	}
 	return &DeepSea{
+		Cache: rc,
 		Cfg:    cfg,
 		Eng:    eng,
 		Pool:   p,
@@ -84,9 +109,45 @@ func (d *DeepSea) AddBaseTable(t *relation.Table) { d.Eng.AddBaseTable(t) }
 // Now returns the simulated clock.
 func (d *DeepSea) Now() float64 { return d.Eng.Now() }
 
+// cacheKey builds the result-cache key for a user query: the canonical
+// plan fingerprint qualified by the base-catalog version, so a catalog
+// change orphans every earlier entry.
+func (d *DeepSea) cacheKey(q query.Node) string {
+	return query.Fingerprint(q) + "@" + strconv.FormatUint(d.Eng.BaseVersion(), 10)
+}
+
+// viewDeps lists the materialized views a plan reads, each pinned to its
+// current pool generation. Caller holds mu (either side), so the
+// generations are consistent with the pool state the result was built
+// against.
+func (d *DeepSea) viewDeps(plan query.Node) []cache.Dep {
+	seen := make(map[string]bool)
+	var deps []cache.Dep
+	query.Walk(plan, func(n query.Node) {
+		vs, ok := n.(*query.ViewScan)
+		if !ok || seen[vs.ViewID] {
+			return
+		}
+		seen[vs.ViewID] = true
+		deps = append(deps, cache.Dep{ViewID: vs.ViewID, Gen: d.Pool.Generation(vs.ViewID)})
+	})
+	return deps
+}
+
 // ProcessQuery implements Algorithm 1 for one query and returns a report
 // of how it was answered and what the pool did in response.
 func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
+	// Result-cache lookup — before planning and off every manager lock.
+	// Generation checks run against the pool's own internal lock, so a
+	// hit is consistent: no entry over an evicted or split view survives.
+	var key string
+	if d.Cache != nil && d.Cfg.ExecuteRows {
+		key = d.cacheKey(q)
+		if tbl, ok := d.Cache.Get(key, d.Pool.Generation); ok {
+			return QueryReport{Result: tbl, CacheHit: true}, nil
+		}
+	}
+
 	if !d.Cfg.Materialize {
 		// Vanilla engine: the optimizer pushes selections down to the
 		// scans (DeepSea deliberately does not, Section 10.2); execute
@@ -96,6 +157,9 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 			return QueryReport{}, err
 		}
 		d.Eng.Advance(res.Cost.Seconds)
+		if key != "" && res.Table != nil {
+			d.Cache.Put(key, res.Table, nil)
+		}
 		return QueryReport{
 			Result:       res.Table,
 			ExecCost:     res.Cost,
@@ -103,15 +167,19 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}, nil
 	}
 
-	// Manager critical section, part one: Algorithm 1 steps 1-7. Held
-	// while matching and selection read the pool so no concurrent query
-	// evicts a path between planning and pinning.
-	d.mu.Lock()
+	// Manager critical section, part one: Algorithm 1 steps 1-7. The
+	// pool-mutation lock is held shared — planning only reads the pool —
+	// while algoMu serializes the statistics and candidate bookkeeping;
+	// pinning before release guarantees no concurrent query evicts a
+	// path between planning and execution.
+	d.mu.RLock()
+	d.algoMu.Lock()
 
 	// Step 1-2: compute rewritings and update statistics (Section 8.4).
 	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
 	if err != nil {
-		d.mu.Unlock()
+		d.algoMu.Unlock()
+		d.mu.RUnlock()
 		return QueryReport{}, err
 	}
 	d.updateUseStats(rewritings, origCost)
@@ -149,19 +217,32 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	}
 
 	// Pin every materialized path the plan reads, then release the
-	// manager lock for the long step: concurrent queries may plan and
+	// manager locks for the long step: concurrent queries may plan and
 	// execute while this one runs, but cannot evict what it reads.
 	pins := planPins(qbest)
 	d.pin(pins)
-	d.mu.Unlock()
+	d.algoMu.Unlock()
+	d.mu.RUnlock()
 
 	// Step 8: EXECUTEQUERY — outside the critical section.
 	res, runErr := d.Eng.Run(qbest, capture)
 
 	// Manager critical section, part two: steps 9+ (stats, pool
-	// maintenance, clock).
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// maintenance, clock). Only queries with pool content to create,
+	// evict or merge take the exclusive side of the mutation lock; in
+	// the steady state — pool converged, nothing selected — part two
+	// stays on the shared side and queries keep overlapping end to end.
+	mutate := len(selViews) > 0 || len(selFrags) > 0 || len(evict) > 0 ||
+		(d.Cfg.MergeFragments && bestRW != nil)
+	if mutate {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	} else {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	d.algoMu.Lock()
+	defer d.algoMu.Unlock()
 	d.unpin(pins)
 	if runErr != nil {
 		return QueryReport{}, runErr
@@ -237,6 +318,14 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	report.MatCost = matCost
 	report.TotalSeconds = res.Cost.Seconds + matCost.Seconds
 	d.Eng.Advance(report.TotalSeconds)
+
+	// Publish the result, pinned to the post-maintenance generations of
+	// every view the plan read — so this query's own refinements do not
+	// immediately invalidate its entry, while any later mutation of
+	// those views does.
+	if key != "" && res.Table != nil {
+		d.Cache.Put(key, res.Table, d.viewDeps(qbest))
+	}
 	return report, nil
 }
 
@@ -250,7 +339,7 @@ func (d *DeepSea) evict(item pool.Candidate) bool {
 	}
 	switch item.Kind {
 	case pool.WholeView:
-		if pv.Path == "" || d.pinned[pv.Path] > 0 {
+		if pv.Path == "" || d.isPinned(pv.Path) {
 			return false
 		}
 		d.Eng.DeleteMaterialized(pv.Path)
@@ -262,7 +351,7 @@ func (d *DeepSea) evict(item pool.Candidate) bool {
 			return false
 		}
 		f, ok := part.Lookup(item.Iv)
-		if !ok || d.pinned[f.Path] > 0 {
+		if !ok || d.isPinned(f.Path) {
 			return false
 		}
 		d.Eng.DeleteMaterialized(f.Path)
@@ -292,15 +381,19 @@ func planPins(plan query.Node) []string {
 	return paths
 }
 
-// pin increments the in-flight read count of each path. Caller holds mu.
+// pin increments the in-flight read count of each path.
 func (d *DeepSea) pin(paths []string) {
+	d.pinMu.Lock()
+	defer d.pinMu.Unlock()
 	for _, p := range paths {
 		d.pinned[p]++
 	}
 }
 
-// unpin reverses pin. Caller holds mu.
+// unpin reverses pin.
 func (d *DeepSea) unpin(paths []string) {
+	d.pinMu.Lock()
+	defer d.pinMu.Unlock()
 	for _, p := range paths {
 		if d.pinned[p] <= 1 {
 			delete(d.pinned, p)
@@ -308,6 +401,17 @@ func (d *DeepSea) unpin(paths []string) {
 			d.pinned[p]--
 		}
 	}
+}
+
+// isPinned reports whether a concurrent execution still reads path.
+// Mutators call it before dropping a file; they hold mu exclusively, so
+// a pin observed as zero cannot reappear for a path the mutator is about
+// to drop (new pins are taken under mu shared, which the mutator
+// excludes).
+func (d *DeepSea) isPinned(path string) bool {
+	d.pinMu.Lock()
+	defer d.pinMu.Unlock()
+	return d.pinned[path] > 0
 }
 
 // shortID returns a compact stable hash of a view id for paths and logs.

@@ -403,7 +403,7 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 	// partial one would leave the partition overlapping); a later query
 	// can retry once the reader finishes.
 	for _, f := range ref.Drop {
-		if d.pinned[f.Path] > 0 {
+		if d.isPinned(f.Path) {
 			return cost, nil, nil
 		}
 	}

@@ -54,7 +54,7 @@ func (d *DeepSea) maybeMergeFragments(bestRW *matching.Rewriting) (engine.Cost, 
 		if !okA || !okB {
 			continue
 		}
-		if d.pinned[fa.Path] > 0 || d.pinned[fb.Path] > 0 {
+		if d.isPinned(fa.Path) || d.isPinned(fb.Path) {
 			continue // a concurrent execution still reads one of the pair
 		}
 		if maxBytes > 0 && fa.Size+fb.Size > maxBytes {

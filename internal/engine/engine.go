@@ -43,6 +43,10 @@ type Engine struct {
 	Parallelism int
 
 	clock float64
+
+	// baseVersion counts base-catalog mutations. Result-cache keys embed
+	// it so cached rows never survive a base-table change.
+	baseVersion uint64
 }
 
 // New returns an engine with the given cost model. The simulated clock
@@ -91,11 +95,23 @@ func (e *Engine) Advance(d float64) {
 	e.mu.Unlock()
 }
 
-// AddBaseTable registers a base table in the catalog.
+// AddBaseTable registers a base table in the catalog and bumps the
+// base-catalog version, invalidating every cached result derived from
+// the old catalog.
 func (e *Engine) AddBaseTable(t *relation.Table) {
 	e.mu.Lock()
 	e.base[t.Schema.Name] = t
+	e.baseVersion++
 	e.mu.Unlock()
+}
+
+// BaseVersion returns the base-catalog version: a counter bumped by
+// every AddBaseTable. Result-cache keys embed it so a catalog change
+// (new data, replaced table) makes all earlier cache keys unreachable.
+func (e *Engine) BaseVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.baseVersion
 }
 
 // BaseTable returns a base table by name, or nil.

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"deepsea/internal/interval"
 	"deepsea/internal/query"
@@ -34,7 +35,11 @@ func (e *Engine) Run(plan query.Node, capture map[query.Node]bool) (Result, erro
 		return Result{Cost: c}, nil
 	}
 	res := Result{Captured: make(map[query.Node]*relation.Table)}
-	out, err := e.eval(plan, capture, &res)
+	// One worker budget per Run: intra-operator chunk workers and
+	// inter-operator sibling tasks draw from the same Parallelism-sized
+	// token pool.
+	bud := newBudget(e.par())
+	out, err := e.eval(plan, capture, &res, bud)
 	if err != nil {
 		return Result{}, err
 	}
@@ -80,8 +85,8 @@ func (e *Engine) settle(o *evalOut) {
 	o.pending = false
 }
 
-func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result) (evalOut, error) {
-	out, err := e.evalNode(n, capture, res)
+func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result, bud *budget) (evalOut, error) {
+	out, err := e.evalNode(n, capture, res, bud)
 	if err != nil {
 		return out, err
 	}
@@ -91,7 +96,51 @@ func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result) (e
 	return out, nil
 }
 
-func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result) (evalOut, error) {
+// evalSiblings evaluates independent sibling subplans, concurrently when
+// the budget has free workers. Every spawned sibling gets a private
+// capture map that is merged into res in sibling order after all
+// siblings finish, so capture writes never race; outputs come back in
+// sibling order and errors surface in sibling order — the results are
+// byte-identical to a left-to-right sequential evaluation.
+func (e *Engine) evalSiblings(nodes []query.Node, capture map[query.Node]bool, res *Result, bud *budget) ([]evalOut, error) {
+	outs := make([]evalOut, len(nodes))
+	errs := make([]error, len(nodes))
+	subs := make([]*Result, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		// The last sibling always runs inline so the calling goroutine
+		// contributes; earlier siblings spawn only while tokens are free.
+		if i < len(nodes)-1 && bud.tryAcquire() {
+			sub := &Result{Captured: make(map[query.Node]*relation.Table)}
+			subs[i] = sub
+			wg.Add(1)
+			go func(i int, n query.Node) {
+				defer wg.Done()
+				defer bud.release()
+				outs[i], errs[i] = e.eval(n, capture, sub, bud)
+			}(i, n)
+			continue
+		}
+		outs[i], errs[i] = e.eval(n, capture, res, bud)
+	}
+	wg.Wait()
+	for _, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		for k, v := range sub.Captured {
+			res.Captured[k] = v
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result, bud *budget) (evalOut, error) {
 	switch t := n.(type) {
 	case *query.Scan:
 		tbl := e.BaseTable(t.Table)
@@ -101,39 +150,36 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 		return evalOut{tbl: tbl, pending: true, srcBytes: tbl.Bytes(), srcFiles: 1}, nil
 
 	case *query.Select:
-		child, err := e.eval(t.Child, capture, res)
+		child, err := e.eval(t.Child, capture, res, bud)
 		if err != nil {
 			return evalOut{}, err
 		}
-		child.tbl = filterTable(child.tbl, t.Ranges, t.Residuals, e.par())
+		child.tbl = filterTable(child.tbl, t.Ranges, t.Residuals, bud)
 		if child.needsWrite {
 			child.srcBytes = child.tbl.Bytes()
 		}
 		return child, nil
 
 	case *query.Project:
-		child, err := e.eval(t.Child, capture, res)
+		child, err := e.eval(t.Child, capture, res, bud)
 		if err != nil {
 			return evalOut{}, err
 		}
-		child.tbl = projectTable(child.tbl, t.Cols, e.par())
+		child.tbl = projectTable(child.tbl, t.Cols, bud)
 		if child.needsWrite {
 			child.srcBytes = child.tbl.Bytes()
 		}
 		return child, nil
 
 	case *query.Join:
-		l, err := e.eval(t.Left, capture, res)
+		sides, err := e.evalSiblings([]query.Node{t.Left, t.Right}, capture, res, bud)
 		if err != nil {
 			return evalOut{}, err
 		}
-		r, err := e.eval(t.Right, capture, res)
-		if err != nil {
-			return evalOut{}, err
-		}
+		l, r := sides[0], sides[1]
 		e.settle(&l)
 		e.settle(&r)
-		outTbl := hashJoin(l.tbl, r.tbl, t.LCol, t.RCol, t.Schema(), e.par())
+		outTbl := hashJoin(l.tbl, r.tbl, t.LCol, t.RCol, t.Schema(), bud)
 		cost := l.cost
 		cost.Add(r.cost)
 		shuffle := l.tbl.Bytes() + r.tbl.Bytes()
@@ -148,12 +194,12 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 			srcBytes: outTbl.Bytes(), srcFiles: 1}, nil
 
 	case *query.Aggregate:
-		child, err := e.eval(t.Child, capture, res)
+		child, err := e.eval(t.Child, capture, res, bud)
 		if err != nil {
 			return evalOut{}, err
 		}
 		e.settle(&child)
-		outTbl := aggregate(child.tbl, t, e.par())
+		outTbl := aggregate(child.tbl, t, bud)
 		cost := child.cost
 		shuffle := child.tbl.Bytes()
 		cost.Add(Cost{
@@ -165,14 +211,20 @@ func (e *Engine) evalNode(n query.Node, capture map[query.Node]bool, res *Result
 			srcBytes: outTbl.Bytes(), srcFiles: 1}, nil
 
 	case *query.ViewScan:
-		return e.evalViewScan(t, capture, res)
+		return e.evalViewScan(t, capture, res, bud)
 
 	default:
 		return evalOut{}, fmt.Errorf("engine: unsupported node type %T", n)
 	}
 }
 
-func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, res *Result) (evalOut, error) {
+// evalViewScan reads a materialized view (whole or as a fragment cover),
+// applies compensation, and unions in the remainder subplans computing
+// uncovered gaps. The stored-fragment filters and the per-gap remainder
+// subplans are independent, so they all run as one task pool over the
+// shared budget; their outputs merge in the fixed order fragments-then-
+// remainders, identical to a sequential evaluation.
+func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, res *Result, bud *budget) (evalOut, error) {
 	// A fragment cover pairs every fragment with its clip range; a
 	// mismatch means the matcher produced a malformed plan, which must
 	// surface as an error, not an index panic mid-execution.
@@ -181,9 +233,32 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 			v.ViewID, len(v.FragIDs), len(v.Reads))
 	}
 
-	out := relation.NewTable(v.ViewSchema)
+	// Resolve the stored sources sequentially (metadata only), so
+	// missing-file errors surface before any rows are touched.
+	type storedSrc struct {
+		tbl  *relation.Table
+		clip *interval.Interval
+	}
+	var srcs []storedSrc
 	var srcBytes, srcFiles int64
-	var cost Cost
+	if len(v.FragIDs) > 0 {
+		for i, path := range v.FragIDs {
+			if !e.fs.Exists(path) {
+				return evalOut{}, fmt.Errorf("engine: fragment %s of view %s missing", path, v.ViewID)
+			}
+			srcBytes += e.fs.Size(path)
+			srcFiles++
+			clip := v.Reads[i]
+			srcs = append(srcs, storedSrc{tbl: e.Materialized(path), clip: &clip})
+		}
+	} else {
+		if !e.fs.Exists(v.ViewPath) {
+			return evalOut{}, fmt.Errorf("engine: view file %s missing", v.ViewPath)
+		}
+		srcBytes = e.fs.Size(v.ViewPath)
+		srcFiles = 1
+		srcs = append(srcs, storedSrc{tbl: e.Materialized(v.ViewPath), clip: nil})
+	}
 
 	// filterStored keeps the stored rows passing the clip range and the
 	// compensating predicates, preserving row order.
@@ -200,7 +275,7 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 		}
 		n := len(tbl.Rows)
 		parts := make([][]relation.Row, numChunks(n))
-		forEachChunk(e.par(), n, func(c, lo, hi int) {
+		forEachChunk(bud, n, func(c, lo, hi int) {
 			var keep []relation.Row
 			for _, row := range tbl.Rows[lo:hi] {
 				if clip != nil && !clip.Contains(row[attrIdx].I) {
@@ -216,66 +291,84 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 		return concatChunks(parts), nil
 	}
 
-	if len(v.FragIDs) > 0 {
-		for i, path := range v.FragIDs {
-			if !e.fs.Exists(path) {
-				return evalOut{}, fmt.Errorf("engine: fragment %s of view %s missing", path, v.ViewID)
-			}
-			srcBytes += e.fs.Size(path)
-			srcFiles++
-			clip := v.Reads[i]
-			rows, err := filterStored(e.Materialized(path), &clip)
-			if err != nil {
-				return evalOut{}, err
-			}
-			out.Rows = append(out.Rows, rows...)
+	// Remainder rows are aligned to the post-compensation schema before
+	// the union.
+	target := v.Schema()
+
+	// One task per stored source plus one per remainder subplan, all on
+	// the shared budget. Each task writes only its own slot; remainder
+	// tasks capture into private maps merged in remainder order below.
+	nf := len(srcs)
+	fragRows := make([][]relation.Row, nf)
+	fragErrs := make([]error, nf)
+	remOuts := make([]evalOut, len(v.Remainders))
+	remRows := make([][]relation.Row, len(v.Remainders))
+	remErrs := make([]error, len(v.Remainders))
+	remSubs := make([]*Result, len(v.Remainders))
+	forEachTask(bud, nf+len(v.Remainders), func(ti int) {
+		if ti < nf {
+			fragRows[ti], fragErrs[ti] = filterStored(srcs[ti].tbl, srcs[ti].clip)
+			return
 		}
-	} else {
-		if !e.fs.Exists(v.ViewPath) {
-			return evalOut{}, fmt.Errorf("engine: view file %s missing", v.ViewPath)
+		i := ti - nf
+		sub := &Result{Captured: make(map[query.Node]*relation.Table)}
+		remSubs[i] = sub
+		out, err := e.eval(v.Remainders[i], capture, sub, bud)
+		if err != nil {
+			remErrs[i] = err
+			return
 		}
-		srcBytes = e.fs.Size(v.ViewPath)
-		srcFiles = 1
-		rows, err := filterStored(e.Materialized(v.ViewPath), nil)
+		e.settle(&out)
+		aligned, err := alignColumns(out.tbl, target, bud)
+		if err != nil {
+			remErrs[i] = err
+			return
+		}
+		remOuts[i] = out
+		remRows[i] = aligned.Rows
+	})
+	for _, err := range fragErrs {
 		if err != nil {
 			return evalOut{}, err
 		}
+	}
+	for _, err := range remErrs {
+		if err != nil {
+			return evalOut{}, err
+		}
+	}
+	for _, sub := range remSubs {
+		for k, t := range sub.Captured {
+			res.Captured[k] = t
+		}
+	}
+
+	out := relation.NewTable(v.ViewSchema)
+	for _, rows := range fragRows {
 		out.Rows = append(out.Rows, rows...)
 	}
-
 	outTbl := out
 	if v.CompProject != nil {
-		outTbl = projectTable(outTbl, v.CompProject, e.par())
+		outTbl = projectTable(outTbl, v.CompProject, bud)
 	}
-
-	// Remainder plans compute uncovered gaps from base data; their rows
-	// are unioned in after name-based column alignment.
-	for _, rem := range v.Remainders {
-		sub, err := e.eval(rem, capture, res)
-		if err != nil {
-			return evalOut{}, err
-		}
-		e.settle(&sub)
-		cost.Add(sub.cost)
-		aligned, err := alignColumns(sub.tbl, outTbl.Schema, e.par())
-		if err != nil {
-			return evalOut{}, err
-		}
-		outTbl.Rows = append(outTbl.Rows, aligned.Rows...)
+	var cost Cost
+	for i := range v.Remainders {
+		cost.Add(remOuts[i].cost)
+		outTbl.Rows = append(outTbl.Rows, remRows[i]...)
 	}
 
 	return evalOut{tbl: outTbl, cost: cost, pending: true, srcBytes: srcBytes, srcFiles: srcFiles}, nil
 }
 
 // filterTable applies a conjunction of range and residual predicates,
-// evaluating fixed-size row chunks on up to par workers.
-func filterTable(t *relation.Table, ranges []query.RangePred, residuals []query.CmpPred, par int) *relation.Table {
+// evaluating fixed-size row chunks on the budget's workers.
+func filterTable(t *relation.Table, ranges []query.RangePred, residuals []query.CmpPred, bud *budget) *relation.Table {
 	if len(ranges) == 0 && len(residuals) == 0 {
 		return t
 	}
 	n := len(t.Rows)
 	parts := make([][]relation.Row, numChunks(n))
-	forEachChunk(par, n, func(c, lo, hi int) {
+	forEachChunk(bud, n, func(c, lo, hi int) {
 		var keep []relation.Row
 		for _, row := range t.Rows[lo:hi] {
 			if rowPasses(&t.Schema, row, ranges, residuals) {
@@ -305,7 +398,7 @@ func rowPasses(s *relation.Schema, row relation.Row, ranges []query.RangePred, r
 	return true
 }
 
-func projectTable(t *relation.Table, cols []string, par int) *relation.Table {
+func projectTable(t *relation.Table, cols []string, bud *budget) *relation.Table {
 	idx := make([]int, len(cols))
 	for i, c := range cols {
 		idx[i] = t.Schema.ColIndex(c)
@@ -316,7 +409,7 @@ func projectTable(t *relation.Table, cols []string, par int) *relation.Table {
 	out := relation.NewTable(t.Schema.Project(cols))
 	n := len(t.Rows)
 	out.Rows = make([]relation.Row, n)
-	forEachChunk(par, n, func(_, lo, hi int) {
+	forEachChunk(bud, n, func(_, lo, hi int) {
 		for r := lo; r < hi; r++ {
 			row := t.Rows[r]
 			nr := make(relation.Row, len(idx))
@@ -330,7 +423,7 @@ func projectTable(t *relation.Table, cols []string, par int) *relation.Table {
 }
 
 // alignColumns reorders t's columns by name to match the target schema.
-func alignColumns(t *relation.Table, target relation.Schema, par int) (*relation.Table, error) {
+func alignColumns(t *relation.Table, target relation.Schema, bud *budget) (*relation.Table, error) {
 	same := len(t.Schema.Cols) == len(target.Cols)
 	if same {
 		for i := range target.Cols {
@@ -353,7 +446,7 @@ func alignColumns(t *relation.Table, target relation.Schema, par int) (*relation
 		}
 		cols[i] = c.Name
 	}
-	return projectTable(t, cols, par), nil
+	return projectTable(t, cols, bud), nil
 }
 
 // joinBucket spreads join keys across nb single-writer hash maps. The
@@ -368,11 +461,11 @@ func joinBucket(k int64, nb int) int {
 
 // hashJoin computes the equi-join of l and r, building a hash table on
 // the smaller input. The build side is partitioned by key hash into one
-// bucket map per worker (each bucket written by exactly one goroutine,
-// per-key row order preserved); the probe side is scanned in fixed
-// chunks whose outputs concatenate in chunk order — so the output equals
-// the sequential probe-order join byte for byte, for any par.
-func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema, par int) *relation.Table {
+// bucket map per configured worker (each bucket written by exactly one
+// goroutine, per-key row order preserved); the probe side is scanned in
+// fixed chunks whose outputs concatenate in chunk order — so the output
+// equals the sequential probe-order join byte for byte, for any budget.
+func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema, bud *budget) *relation.Table {
 	li := l.Schema.ColIndex(lCol)
 	ri := r.Schema.ColIndex(rCol)
 	if li < 0 || ri < 0 {
@@ -386,12 +479,11 @@ func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema
 		buildLeft = false
 	}
 
-	nb := par
-	if nb < 1 {
-		nb = 1
-	}
+	// The bucket count comes from the configured parallelism, not from
+	// token availability, so the partitioning is fixed by configuration.
+	nb := bud.par()
 	buckets := make([]map[int64][]relation.Row, nb)
-	forEachTask(par, nb, func(b int) {
+	forEachTask(bud, nb, func(b int) {
 		m := make(map[int64][]relation.Row, len(build.Rows)/nb+1)
 		for _, row := range build.Rows {
 			k := row[bi].I
@@ -404,7 +496,7 @@ func hashJoin(l, r *relation.Table, lCol, rCol string, outSchema relation.Schema
 
 	n := len(probe.Rows)
 	parts := make([][]relation.Row, numChunks(n))
-	forEachChunk(par, n, func(c, lo, hi int) {
+	forEachChunk(bud, n, func(c, lo, hi int) {
 		var rows []relation.Row
 		for _, pr := range probe.Rows[lo:hi] {
 			k := pr[pi].I
@@ -462,7 +554,7 @@ type chunkAgg struct {
 // floating-point partial sum combines in the same association
 // regardless of the worker count — the output is byte-identical to a
 // sequential run.
-func aggregate(t *relation.Table, a *query.Aggregate, par int) *relation.Table {
+func aggregate(t *relation.Table, a *query.Aggregate, bud *budget) *relation.Table {
 	inSchema := &t.Schema
 	gIdx := make([]int, len(a.GroupBy))
 	for i, g := range a.GroupBy {
@@ -485,7 +577,7 @@ func aggregate(t *relation.Table, a *query.Aggregate, par int) *relation.Table {
 
 	n := len(t.Rows)
 	chunks := make([]chunkAgg, numChunks(n))
-	forEachChunk(par, n, func(c, lo, hi int) {
+	forEachChunk(bud, n, func(c, lo, hi int) {
 		groups := make(map[string]*aggGroup)
 		var order []string
 		var keyBuf []byte

@@ -7,18 +7,75 @@ import (
 	"deepsea/internal/relation"
 )
 
-// The data path (filter, project, join probe, aggregate) is
-// parallelized by splitting row ranges into fixed-size chunks and
-// merging per-chunk results in chunk order. Chunk boundaries depend
-// only on the input size — never on the worker count — so the merge
-// order, and with it every output byte (including the association of
-// floating-point partial sums), is identical for every Parallelism
-// setting. Workers only change which goroutine evaluates a chunk.
+// The data path is parallel at two levels that share one worker budget:
+//
+//   - intra-operator: filter, project, join probe and aggregate split
+//     row ranges into fixed-size chunks and merge per-chunk results in
+//     chunk order;
+//   - inter-operator: independent sibling subplans — the two inputs of
+//     a join, and the stored-fragment scans plus per-gap remainder
+//     subplans under a ViewScan — evaluate concurrently.
+//
+// Chunk boundaries and merge order depend only on input sizes — never
+// on the worker count or on which tokens happened to be free — so every
+// output byte (including the association of floating-point partial
+// sums) is identical for every Parallelism setting. Workers only change
+// which goroutine evaluates a chunk or subplan.
 
 // chunkRows is the fixed chunk granularity of the parallel data path.
 // Small enough to load-balance skewed chunks across workers, large
 // enough that per-chunk bookkeeping is noise.
 const chunkRows = 4096
+
+// budget is the shared worker budget of one plan execution: a single
+// token pool that intra-operator chunk workers and inter-operator
+// subplan tasks both draw from, so nested fan-out cannot multiply into
+// a thread explosion — a Run uses at most Parallelism goroutines no
+// matter how operators nest. Acquisition never blocks: a task that gets
+// no token runs inline on its caller's goroutine, which also makes the
+// scheme deadlock-free by construction.
+type budget struct {
+	// tokens holds the extra workers beyond the calling goroutine
+	// (capacity Parallelism-1).
+	tokens chan struct{}
+	// workers is the configured Parallelism (>= 1). Sizing decisions
+	// (join bucket counts) use it so data layouts stay fixed by
+	// configuration, never by runtime token availability.
+	workers int
+}
+
+// newBudget returns a budget for par workers (par <= 1 means fully
+// sequential execution).
+func newBudget(par int) *budget {
+	if par < 1 {
+		par = 1
+	}
+	return &budget{tokens: make(chan struct{}, par-1), workers: par}
+}
+
+// tryAcquire takes a worker token if one is free; it never blocks.
+func (b *budget) tryAcquire() bool {
+	if b == nil {
+		return false
+	}
+	select {
+	case b.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a token taken by tryAcquire.
+func (b *budget) release() { <-b.tokens }
+
+// par returns the configured worker count (1 for a nil budget).
+func (b *budget) par() int {
+	if b == nil {
+		return 1
+	}
+	return b.workers
+}
 
 // numChunks returns how many fixed-size chunks n rows split into.
 func numChunks(n int) int {
@@ -39,52 +96,52 @@ func chunkBounds(c, n int) (lo, hi int) {
 }
 
 // forEachChunk runs fn(chunk, lo, hi) over every fixed-size chunk of n
-// rows using up to par workers. With par <= 1 or a single chunk it runs
-// inline on the calling goroutine. fn must be safe to call concurrently
-// for distinct chunks; chunks are handed out dynamically so skewed
-// chunks do not serialize the rest.
-func forEachChunk(par, n int, fn func(chunk, lo, hi int)) {
+// rows, drawing extra workers from the budget. With a nil budget or no
+// free tokens it runs inline on the calling goroutine. fn must be safe
+// to call concurrently for distinct chunks; chunks are handed out
+// dynamically so skewed chunks do not serialize the rest.
+func forEachChunk(b *budget, n int, fn func(chunk, lo, hi int)) {
 	nc := numChunks(n)
 	if nc == 0 {
 		return
 	}
-	forEachTask(par, nc, func(c int) {
+	forEachTask(b, nc, func(c int) {
 		lo, hi := chunkBounds(c, n)
 		fn(c, lo, hi)
 	})
 }
 
-// forEachTask runs fn(task) for task = 0..tasks-1 using up to par
-// workers — the plain index-space pool behind forEachChunk, also used
-// directly for non-chunked fan-out such as hash-bucket builds.
-func forEachTask(par, tasks int, fn func(task int)) {
+// forEachTask runs fn(task) for task = 0..tasks-1 — the plain
+// index-space pool behind forEachChunk, also used directly for
+// non-chunked fan-out such as hash-bucket builds and ViewScan unions.
+// The calling goroutine always works; helper goroutines join only while
+// the shared budget has free tokens, and return their tokens when the
+// task space drains. Task results must be written to per-task slots so
+// that the caller can merge them in task order.
+func forEachTask(b *budget, tasks int, fn func(task int)) {
 	if tasks <= 0 {
 		return
 	}
-	if par > tasks {
-		par = tasks
-	}
-	if par <= 1 {
-		for t := 0; t < tasks; t++ {
+	var next atomic.Int64
+	run := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
 			fn(t)
 		}
-		return
 	}
-	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(par)
-	for w := 0; w < par; w++ {
+	for extra := 1; extra < tasks && b.tryAcquire(); extra++ {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= tasks {
-					return
-				}
-				fn(t)
-			}
+			defer b.release()
+			run()
 		}()
 	}
+	run()
 	wg.Wait()
 }
 

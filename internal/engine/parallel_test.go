@@ -161,6 +161,77 @@ func TestParallelViewScanDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelMultiGapRemainderDeterminism covers the inter-operator
+// path of evalViewScan: a fragment cover with several gaps, so multiple
+// remainder subplans and stored-fragment filters run as one task pool.
+// Output rows, their order, and every captured intermediate must be
+// byte-identical at every worker count.
+func TestParallelMultiGapRemainderDeterminism(t *testing.T) {
+	ivs := []interval.Interval{interval.New(20, 40), interval.New(60, 80)}
+	queryIv := interval.New(0, 99)
+	gaps := []interval.Interval{interval.New(0, 19), interval.New(41, 59), interval.New(81, 99)}
+
+	type outcome struct {
+		out  *relation.Table
+		caps []*relation.Table
+	}
+	var want *outcome
+	for _, par := range []int{1, 3, 8} {
+		e := testEngine()
+		e.Parallelism = par
+		materializeJoinView(t, e, ivs)
+		vs := &query.ViewScan{
+			ViewID:     "j",
+			ViewSchema: joinPlan().Schema(),
+			PartAttr:   "ss_item_sk",
+			CompRanges: []query.RangePred{{Col: "ss_item_sk", Iv: queryIv}},
+		}
+		for _, iv := range ivs {
+			vs.FragIDs = append(vs.FragIDs, fragPath(iv))
+			vs.Reads = append(vs.Reads, iv)
+			vs.FragIvs = append(vs.FragIvs, iv)
+		}
+		capture := make(map[query.Node]bool)
+		for _, gap := range gaps {
+			rem := &query.Select{
+				Child:  joinPlan(),
+				Ranges: []query.RangePred{{Col: "ss_item_sk", Iv: gap}},
+			}
+			vs.Remainders = append(vs.Remainders, rem)
+			capture[rem] = true
+		}
+		res, err := e.Run(vs, capture)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := &outcome{out: res.Table}
+		for _, rem := range vs.Remainders {
+			tbl, ok := res.Captured[rem]
+			if !ok || tbl == nil {
+				t.Fatalf("parallelism %d: remainder capture missing", par)
+			}
+			got.caps = append(got.caps, tbl)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !sameRows(want.out, got.out) {
+			t.Errorf("parallelism %d changed the multi-gap result", par)
+		}
+		for i := range want.caps {
+			if !sameRows(want.caps[i], got.caps[i]) {
+				t.Errorf("parallelism %d changed captured remainder %d", par, i)
+			}
+		}
+	}
+	// Sanity: the union really covers the whole range — 10 sales rows per
+	// item_sk value, 100 values.
+	if want.out.NumRows() != 1000 {
+		t.Errorf("multi-gap union rows = %d, want 1000", want.out.NumRows())
+	}
+}
+
 // TestGroupKeyCollisionRegression builds two rows whose group keys
 // collided under the old separator-based encoding: per string value the
 // key was [I][F][S][0x1f], so a value containing 0x1f followed by

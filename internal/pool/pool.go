@@ -71,11 +71,26 @@ type Pool struct {
 	// size is S(C), maintained incrementally by every mutation so Fits
 	// is O(1) instead of a full walk per greedy-selection probe.
 	size int64
+	// gens counts content mutations per view id (materialize, evict,
+	// fragment add/remove/split/merge, removal). The result cache records
+	// the generation of every view a cached plan read, so a mutation
+	// invalidates exactly the entries over the touched views. Entries
+	// survive Remove/GC: a re-created view must not resurrect stale
+	// cached results by restarting at zero.
+	gens map[string]uint64
 }
 
 // New returns an empty pool with the given size limit.
 func New(smax int64) *Pool {
-	return &Pool{Smax: smax, views: make(map[string]*View)}
+	return &Pool{Smax: smax, views: make(map[string]*View), gens: make(map[string]uint64)}
+}
+
+// Generation returns the view's content-mutation counter. It is zero for
+// never-touched views and keeps counting across removal and re-creation.
+func (p *Pool) Generation(id string) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.gens[id]
 }
 
 // View returns the pool entry for id, or nil.
@@ -113,6 +128,7 @@ func (p *Pool) Remove(id string) {
 	if v, ok := p.views[id]; ok {
 		p.size -= v.TotalSize()
 		delete(p.views, id)
+		p.gens[id]++
 	}
 }
 
@@ -129,6 +145,7 @@ func (p *Pool) SetViewFile(id, path string, size int64) {
 	p.size += size - v.Size
 	v.Path = path
 	v.Size = size
+	p.gens[id]++
 }
 
 // DropViewFile removes the view's unpartitioned file from the metadata
@@ -143,6 +160,7 @@ func (p *Pool) DropViewFile(id string) {
 	p.size -= v.Size
 	v.Path = ""
 	v.Size = 0
+	p.gens[id]++
 }
 
 // EnsurePartition returns the view's partition on attr, creating an
@@ -181,6 +199,7 @@ func (p *Pool) AddFragment(id, attr string, f partition.Fragment) {
 	}
 	p.size += f.Size
 	part.Add(f)
+	p.gens[id]++
 }
 
 // RemoveFragment deletes the fragment stored for iv from the view's
@@ -202,6 +221,7 @@ func (p *Pool) RemoveFragment(id, attr string, iv interval.Interval) bool {
 	}
 	p.size -= f.Size
 	part.Remove(iv)
+	p.gens[id]++
 	return true
 }
 
@@ -271,6 +291,7 @@ func (p *Pool) GC() {
 		if empty {
 			p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
 			delete(p.views, id)
+			p.gens[id]++
 		}
 	}
 }

@@ -1,0 +1,17 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable identity key for a plan: the SHA-256 of
+// its canonical String() form. Node.String() is documented as the
+// canonical syntactic identity of a plan (same predicates, same ranges,
+// same shape ⇒ same string), so two queries share a fingerprint exactly
+// when a result computed for one answers the other. The result cache
+// keys on this plus the engine's base-catalog version.
+func Fingerprint(n Node) string {
+	sum := sha256.Sum256([]byte(n.String()))
+	return hex.EncodeToString(sum[:])
+}

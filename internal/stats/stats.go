@@ -325,14 +325,16 @@ func (p *PartitionStat) TotalHits(tnow float64, d Decay) float64 {
 // Registry is the paper's STAT: all view and partition statistics, for
 // pool members and candidates alike.
 //
-// The registry's mutex guards only its maps, so records can be looked up
-// from any goroutine. The returned ViewStat/PartitionStat records are
-// not themselves locked: they are mutated only inside the view manager's
-// critical section, which also keeps their timestamps non-decreasing.
+// The registry's lock guards only its maps — lookups take it shared, so
+// concurrent planners never contend on the registry itself. The returned
+// ViewStat/PartitionStat records are not internally locked: they are
+// mutated only under the view manager's bookkeeping lock (core's algoMu,
+// or its exclusive pool-mutation lock), which also keeps their
+// timestamps non-decreasing.
 type Registry struct {
 	Decay Decay
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	views map[string]*ViewStat
 	parts map[string]map[string]*PartitionStat // view -> attr -> stat
 }
@@ -361,20 +363,20 @@ func (r *Registry) View(id string) *ViewStat {
 
 // LookupView returns a view's statistics if tracked.
 func (r *Registry) LookupView(id string) (*ViewStat, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	v, ok := r.views[id]
 	return v, ok
 }
 
 // Views returns all tracked views sorted by id.
 func (r *Registry) Views() []*ViewStat {
-	r.mu.Lock()
+	r.mu.RLock()
 	out := make([]*ViewStat, 0, len(r.views))
 	for _, v := range r.views {
 		out = append(out, v)
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -405,8 +407,8 @@ func (r *Registry) Partition(view, attr string, dom interval.Interval) *Partitio
 
 // LookupPartition returns the partition statistics if tracked.
 func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	m, ok := r.parts[view]
 	if !ok {
 		return nil, false
@@ -418,13 +420,13 @@ func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
 // Partitions returns all partition statistics of a view sorted by
 // attribute.
 func (r *Registry) Partitions(view string) []*PartitionStat {
-	r.mu.Lock()
+	r.mu.RLock()
 	m := r.parts[view]
 	out := make([]*PartitionStat, 0, len(m))
 	for _, p := range m {
 		out = append(out, p)
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
 	return out
 }
