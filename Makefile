@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify ci
+.PHONY: all build test vet race bench verify lockcheck ci
 
 all: verify
 
@@ -26,8 +26,13 @@ bench:
 
 verify: build test vet race
 
-# What the GitHub Actions workflow runs: full build/vet/test plus the
-# race detector on the packages with real concurrency (manager, engine,
-# result cache). Mirrors .github/workflows/ci.yml — keep the two in sync.
-ci: vet build test
-	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/cache/
+# Lock-order assertions: the lockcheck build tag compiles runtime
+# checking into the manager's lock hierarchy, so ordering violations
+# panic in tests instead of deadlocking in production.
+lockcheck:
+	$(GO) test -tags lockcheck ./internal/lockcheck ./internal/core
+
+# The CI pipeline. The GitHub Actions workflow runs the same script, so
+# the local and hosted gates cannot drift apart.
+ci:
+	./scripts/ci.sh

@@ -1,0 +1,92 @@
+// Command benchcheck gates CI on the machine-readable bench reports:
+// it reads BENCH_<id>.json files (written by deepsea-bench -json) and
+// fails when a quality floor regresses. Only host-independent
+// properties are gated — determinism ("identical"), cache hit rate,
+// pool mutation counts; wall-clock speedups vary with the runner's
+// core count and are reported but never enforced.
+//
+// Usage: benchcheck BENCH_cachespeed.json BENCH_lockspeed.json ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// report mirrors the fields of bench.Report that the gate reads.
+type report struct {
+	Experiment string             `json:"experiment"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// floor is one gated metric: the report fails if the metric is missing
+// or below Min.
+type floor struct {
+	metric string
+	min    float64
+}
+
+// floors lists the gated metrics per experiment. Experiments without an
+// entry pass with a note — new experiments opt in here.
+var floors = map[string][]floor{
+	"cachespeed": {
+		{"identical", 1},        // cached answers byte-identical to computed
+		{"cache_hit_rate", 0.5}, // repetitive workload must actually hit
+	},
+	"lockspeed": {
+		{"identical", 1}, // striped execution byte-identical to serial
+		{"mutations", 1}, // the workload must exercise pool maintenance
+	},
+}
+
+func check(path string) (failures []string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	gates, ok := floors[rep.Experiment]
+	if !ok {
+		fmt.Printf("note: %s: no gates registered for experiment %q\n", path, rep.Experiment)
+		return nil, nil
+	}
+	for _, f := range gates {
+		v, ok := rep.Metrics[f.metric]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: metric %q missing", rep.Experiment, f.metric))
+		case v < f.min:
+			failures = append(failures, fmt.Sprintf("%s: %s = %g, floor %g", rep.Experiment, f.metric, v, f.min))
+		default:
+			fmt.Printf("ok: %s: %s = %g (floor %g)\n", rep.Experiment, f.metric, v, f.min)
+		}
+	}
+	return failures, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<id>.json ...")
+		os.Exit(2)
+	}
+	var failures []string
+	for _, path := range os.Args[1:] {
+		fs, err := check(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		failures = append(failures, fs...)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all gates passed")
+}

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepsea/internal/core"
+	"deepsea/internal/interval"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+)
+
+// The lockspeed experiment measures the per-view lock striping of the
+// manager: a workload of independent query families — each family joins
+// its own fact/dimension table pair, so its views are disjoint from
+// every other family's — run serially versus one goroutine per family
+// on the same instance. With a single manager lock the concurrent arm
+// would serialize all maintenance; with striping, mutating queries on
+// disjoint views overlap (MaxConcurrentMaint > 1 on multi-core hosts)
+// while every result stays byte-identical to the serial run.
+
+const (
+	lockspeedDomLo = 0
+	lockspeedDomHi = 9999
+)
+
+func lockspeedFactSchema(name string) relation.Schema {
+	return relation.Schema{
+		Name: name,
+		Cols: []relation.Column{
+			{Name: "ss_item_sk", Type: relation.Int, Ordered: true, Lo: lockspeedDomLo, Hi: lockspeedDomHi, Width: 1 << 18},
+			{Name: "ss_qty", Type: relation.Int, Width: 1 << 18},
+			{Name: "ss_pad", Type: relation.String, Width: 3 << 19},
+		},
+	}
+}
+
+func lockspeedDimSchema(name string) relation.Schema {
+	return relation.Schema{
+		Name: name,
+		Cols: []relation.Column{
+			{Name: "i_item_sk", Type: relation.Int, Ordered: true, Lo: lockspeedDomLo, Hi: lockspeedDomHi, Width: 1 << 18},
+			{Name: "i_category", Type: relation.String, Width: 1 << 18},
+		},
+	}
+}
+
+// lockspeedFamily is one independent slice of the workload: a private
+// fact/dimension pair and a range-query sequence over it.
+type lockspeedFamily struct {
+	fact, dim *relation.Table
+	queries   []query.Node
+}
+
+// lockspeedQuery is the canonical aggregate-over-select-over-projected-
+// join template instantiated over one family's tables.
+func lockspeedQuery(factName, dimName string, iv interval.Interval) query.Node {
+	return &query.Aggregate{
+		Child: &query.Select{
+			Child: &query.Project{
+				Child: &query.Join{
+					Left:  query.NewScan(factName, lockspeedFactSchema(factName)),
+					Right: query.NewScan(dimName, lockspeedDimSchema(dimName)),
+					LCol:  "ss_item_sk",
+					RCol:  "i_item_sk",
+				},
+				Cols: []string{"ss_item_sk", "ss_qty", "i_category"},
+			},
+			Ranges: []query.RangePred{{Col: "ss_item_sk", Iv: iv}},
+		},
+		GroupBy: []string{"i_category"},
+		Aggs: []query.AggSpec{
+			{Func: query.Count, As: "n"},
+			{Func: query.Sum, Col: "ss_qty", As: "total_qty"},
+		},
+	}
+}
+
+// lockspeedFamilies builds nFam independent families with factRows rows
+// each and perFam queries per family.
+func lockspeedFamilies(nFam, factRows, perFam int, seed int64) []lockspeedFamily {
+	fams := make([]lockspeedFamily, nFam)
+	cats := []string{"books", "music", "video", "games", "food"}
+	for f := range fams {
+		rng := rand.New(rand.NewSource(seed + int64(f)*7919))
+		factName := fmt.Sprintf("fact_%c", 'a'+f)
+		dimName := fmt.Sprintf("dim_%c", 'a'+f)
+		fact := relation.NewTable(lockspeedFactSchema(factName))
+		for i := 0; i < factRows; i++ {
+			fact.Append(relation.Row{
+				relation.IntVal(rng.Int63n(lockspeedDomHi + 1)),
+				relation.IntVal(rng.Int63n(50) + 1),
+				relation.StringVal(""),
+			})
+		}
+		dim := relation.NewTable(lockspeedDimSchema(dimName))
+		for i := int64(lockspeedDomLo); i <= lockspeedDomHi; i++ {
+			dim.Append(relation.Row{
+				relation.IntVal(i),
+				relation.StringVal(cats[i%int64(len(cats))]),
+			})
+		}
+		fams[f] = lockspeedFamily{fact: fact, dim: dim}
+		for q := 0; q < perFam; q++ {
+			width := rng.Int63n(2500) + 200
+			lo := rng.Int63n(lockspeedDomHi - width)
+			fams[f].queries = append(fams[f].queries,
+				lockspeedQuery(factName, dimName, interval.New(lo, lo+width)))
+		}
+	}
+	return fams
+}
+
+// lockspeedSystem builds a fresh instance holding every family's tables.
+func lockspeedSystem(fams []lockspeedFamily) *core.DeepSea {
+	cfg := DSCfg()
+	cfg.MinFragBytes = 64 << 20
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = defaultParallelism
+	}
+	d := core.New(cfg)
+	for _, f := range fams {
+		d.AddBaseTable(f.fact)
+		d.AddBaseTable(f.dim)
+	}
+	return d
+}
+
+// LockspeedRow is one arm of the striping comparison.
+type LockspeedRow struct {
+	Name string
+	// WallSeconds is real elapsed time for the whole workload.
+	WallSeconds float64
+	// Mutations counts pool mutations (views/fragments materialized,
+	// fragments merged, items evicted) across the workload.
+	Mutations int64
+}
+
+// LockspeedResult reports the striping comparison: the identical
+// multi-family workload run serially and with one goroutine per family.
+type LockspeedResult struct {
+	Rows []LockspeedRow
+	// Families and QueriesPerFamily describe the workload shape.
+	Families         int
+	QueriesPerFamily int
+	// Identical reports whether the concurrent arm returned
+	// byte-identical results to the serial arm on every query.
+	Identical bool
+	// MaxConcurrentMaint is the highest number of maintenance sections
+	// observed in flight simultaneously in the concurrent arm. On a
+	// single-core host this can legitimately stay 1; the determinism
+	// and mutation checks are the gated properties.
+	MaxConcurrentMaint int64
+}
+
+// RunLockspeed runs the striping comparison.
+func RunLockspeed(p Params) (*LockspeedResult, error) {
+	nFam := 4
+	factRows := 12000
+	if p.ScaleGB == -1 { // Short mode: shrink the per-family tables
+		factRows = 4000
+	}
+	perFam := p.queries(40) / nFam
+	if perFam < 4 {
+		perFam = 4
+	}
+	fams := lockspeedFamilies(nFam, factRows, perFam, p.Seed)
+
+	res := &LockspeedResult{
+		Families:         nFam,
+		QueriesPerFamily: perFam,
+		Identical:        true,
+	}
+
+	// Serial arm: families interleaved round-robin on one goroutine.
+	serial := lockspeedSystem(fams)
+	want := make([][]string, nFam)
+	serialRow := LockspeedRow{Name: "serial"}
+	start := time.Now()
+	for q := 0; q < perFam; q++ {
+		for f := range fams {
+			rep, err := serial.ProcessQuery(fams[f].queries[q])
+			if err != nil {
+				return nil, fmt.Errorf("lockspeed serial family %d query %d: %w", f, q, err)
+			}
+			serialRow.Mutations += mutationCount(rep)
+			want[f] = append(want[f], rep.Result.Fingerprint())
+		}
+	}
+	serialRow.WallSeconds = time.Since(start).Seconds()
+	res.Rows = append(res.Rows, serialRow)
+
+	// Concurrent arm: one goroutine per family over a fresh instance,
+	// with an atomic in-flight counter on the maintenance sections.
+	conc := lockspeedSystem(fams)
+	var cur, maxInFlight int64
+	conc.OnMaintain = func(_ []string, enter bool) {
+		if !enter {
+			atomic.AddInt64(&cur, -1)
+			return
+		}
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			m := atomic.LoadInt64(&maxInFlight)
+			if c <= m || atomic.CompareAndSwapInt64(&maxInFlight, m, c) {
+				break
+			}
+		}
+	}
+	concRow := LockspeedRow{Name: "concurrent"}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, nFam)
+	start = time.Now()
+	for f := range fams {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			var muts int64
+			identical := true
+			for q, node := range fams[f].queries {
+				rep, err := conc.ProcessQuery(node)
+				if err != nil {
+					errs <- fmt.Errorf("lockspeed concurrent family %d query %d: %w", f, q, err)
+					return
+				}
+				muts += mutationCount(rep)
+				if rep.Result.Fingerprint() != want[f][q] {
+					identical = false
+				}
+			}
+			mu.Lock()
+			concRow.Mutations += muts
+			if !identical {
+				res.Identical = false
+			}
+			mu.Unlock()
+		}(f)
+	}
+	wg.Wait()
+	concRow.WallSeconds = time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, concRow)
+	res.MaxConcurrentMaint = atomic.LoadInt64(&maxInFlight)
+	return res, nil
+}
+
+// mutationCount tallies the pool mutations one query performed.
+func mutationCount(rep core.QueryReport) int64 {
+	return int64(len(rep.MaterializedViews) + len(rep.MaterializedFrags) +
+		len(rep.MergedFrags) + len(rep.Evicted))
+}
+
+// Speedup returns wall-clock(serial)/wall-clock(concurrent).
+func (r *LockspeedResult) Speedup() float64 {
+	if len(r.Rows) < 2 || r.Rows[1].WallSeconds == 0 {
+		return 0
+	}
+	return r.Rows[0].WallSeconds / r.Rows[1].WallSeconds
+}
+
+// Metrics exports the headline numbers for machine-readable output.
+// "identical" and "mutations" are the regression-gated properties;
+// "speedup" and "max_concurrent_maint" are informational (they depend
+// on host core count).
+func (r *LockspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"speedup":              r.Speedup(),
+		"identical":            0,
+		"max_concurrent_maint": float64(r.MaxConcurrentMaint),
+	}
+	if r.Identical {
+		m["identical"] = 1
+	}
+	for _, row := range r.Rows {
+		m["wall_seconds_"+row.Name] = row.WallSeconds
+		m["mutations_"+row.Name] = float64(row.Mutations)
+	}
+	m["mutations"] = m["mutations_concurrent"]
+	return m
+}
+
+// Print renders the comparison.
+func (r *LockspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Per-view lock striping, %d disjoint families x %d queries\n",
+		r.Families, r.QueriesPerFamily)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\twall s\tpool mutations")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\n", row.Name, row.WallSeconds, row.Mutations)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "speedup: %.2fx, max concurrent maintenance sections: %d\n",
+		r.Speedup(), r.MaxConcurrentMaint)
+	fmt.Fprintf(w, "concurrent results byte-identical to serial: %v\n", r.Identical)
+}

@@ -65,6 +65,9 @@ var Experiments = []Experiment{
 	{"cachespeed", "Wall-clock speedup of the result cache on a repetitive workload", func(p Params) (Printable, error) {
 		return RunCachespeed(p)
 	}},
+	{"lockspeed", "Per-view lock striping on disjoint-view families (results stay identical)", func(p Params) (Printable, error) {
+		return RunLockspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

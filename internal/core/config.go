@@ -149,6 +149,15 @@ type Config struct {
 	// cached rows); 0 disables caching. Only meaningful with
 	// ExecuteRows: in estimate-only mode there are no rows to cache.
 	CacheBytes int64
+	// LockStripes is the stripe count of the per-view lock set that
+	// serializes pool maintenance per view; 0 selects the default (64).
+	// Views that hash onto the same stripe serialize their maintenance
+	// but stay correct — the knob trades memory for parallelism.
+	LockStripes int
+	// StatsShards is the shard count of the statistics registry; 0
+	// selects the default (16). Purely a contention knob: the registry
+	// behaves identically at every setting.
+	StatsShards int
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.

@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"sync"
 
 	"deepsea/internal/cache"
 	"deepsea/internal/engine"
 	"deepsea/internal/interval"
+	"deepsea/internal/lockcheck"
 	"deepsea/internal/matching"
 	"deepsea/internal/pool"
 	"deepsea/internal/query"
@@ -21,14 +23,18 @@ import (
 //
 // ProcessQuery may be called from multiple goroutines. Queries answered
 // from the result cache take no manager lock at all. The manager steps
-// of Algorithm 1 split across two locks: mu, a pool-mutation RWMutex
-// that mutators (materialize, evict, merge, refinement) hold exclusively
-// and everyone else holds shared, and algoMu, which serializes the
-// read-mostly bookkeeping (matching statistics, candidate generation,
-// the signature tree) that shared holders would otherwise race on. Step
-// 8 — the row execution itself, where the time goes — runs outside both,
-// so concurrent queries overlap on the data path. Lock order: mu before
-// algoMu before pinMu. See DESIGN.md, "Concurrency model".
+// of Algorithm 1 split across two layers: planMu, a short-lived planning
+// lock that serializes the read-mostly bookkeeping of steps 1–7
+// (matching statistics, candidate generation, the signature tree), and a
+// per-view striped lock set under which maintenance (steps 9+:
+// materialize, evict, split, merge, refinement) runs holding only the
+// stripes of the views the query reads or mutates — so mutating queries
+// over disjoint views proceed in parallel. Planning holds every stripe
+// shared, which both stabilizes the pool it plans against and licenses
+// its statistics writes. Step 8 — the row execution itself, where the
+// time goes — runs outside all manager locks, so concurrent queries
+// overlap on the data path. Lock order: planMu before view stripes
+// (ascending index) before pinMu. See DESIGN.md, "Concurrency model".
 type DeepSea struct {
 	Cfg   Config
 	Eng   *engine.Engine
@@ -40,29 +46,50 @@ type DeepSea struct {
 	// Config.CacheBytes is positive.
 	Cache *cache.ResultCache
 
+	// OnPlanned, when set, observes the end of the planning section: it
+	// is called with the query's sorted view lock set right after the
+	// planning locks are released, before execution. The caller holds no
+	// manager lock at that point, so the hook may block without stalling
+	// other queries' planning. Test and benchmark observability only —
+	// set it before any concurrent use and never call back into the
+	// manager from it.
+	OnPlanned func(viewIDs []string)
+
+	// OnMaintain, when set, observes the maintenance section: it is
+	// called with the query's sorted view lock set right after the view
+	// stripes are acquired (enter=true) and right before they are
+	// released (enter=false). The hook runs holding the query's write
+	// stripes — planning (which reads every stripe) stalls for as long
+	// as it blocks. Test and benchmark observability only — set it
+	// before any concurrent use and never call back into the manager
+	// from it.
+	OnMaintain func(viewIDs []string, enter bool)
+
 	rewriter *matching.Rewriter
 
-	// mu is the pool-mutation lock. Part one of the manager section and
-	// part two of queries with nothing to materialize, evict or merge
-	// hold it shared; only part two of a mutating query holds it
-	// exclusively. Pool *content* (fragment lists, view files) changes
-	// only under the exclusive side.
-	mu sync.RWMutex
+	// planMu is the planning lock: it serializes Algorithm 1's steps
+	// 1–7 — statistics and filter-tree mutation, candidate generation,
+	// the mleCache — across queries. It is held only for planning,
+	// never across execution or maintenance, so it stays short-lived.
+	planMu sync.Mutex
 
-	// algoMu serializes Algorithm 1's bookkeeping — Stats and Tree
-	// mutation, candidate generation and the mleCache — among goroutines
-	// that hold mu shared. Acquire only while holding mu (either side).
-	algoMu sync.Mutex
+	// views is the per-view striped lock set. Planning (under planMu)
+	// holds every stripe shared; maintenance holds the stripes of the
+	// query's own views exclusive. Pool *content* (fragment lists, view
+	// files) and per-view statistics records change only under the
+	// owning view's exclusive stripe, or under planMu with every stripe
+	// held shared.
+	views *viewLocks
 
 	// pinned counts, per storage path, the in-flight executions whose
 	// plan reads the path. Eviction, merging and horizontal-split drops
 	// skip pinned paths so a concurrent query never loses a file it was
-	// planned against. Guarded by pinMu (innermost lock).
+	// planned against. Guarded by pinMu (innermost manager lock).
 	pinMu  sync.Mutex
 	pinned map[string]int
 
 	// mleCache memoizes MLE fits within one selection pass. Guarded by
-	// algoMu.
+	// planMu.
 	mleCache     map[string]stats.NormalModel
 	mleCacheTime float64
 }
@@ -79,19 +106,20 @@ func New(cfg Config) *DeepSea {
 		eng.Parallelism = cfg.Parallelism
 	}
 	p := pool.New(cfg.Smax)
-	st := stats.NewRegistry(stats.Decay{TMax: cfg.DecayTMax})
+	st := stats.NewShardedRegistry(stats.Decay{TMax: cfg.DecayTMax}, cfg.StatsShards)
 	tree := matching.NewFilterTree()
 	var rc *cache.ResultCache
 	if cfg.CacheBytes > 0 {
 		rc = cache.New(cfg.CacheBytes)
 	}
 	return &DeepSea{
-		Cache: rc,
+		Cache:  rc,
 		Cfg:    cfg,
 		Eng:    eng,
 		Pool:   p,
 		Stats:  st,
 		Tree:   tree,
+		views:  newViewLocks(cfg.LockStripes),
 		pinned: make(map[string]int),
 		rewriter: &matching.Rewriter{
 			Eng:          eng,
@@ -117,7 +145,8 @@ func (d *DeepSea) cacheKey(q query.Node) string {
 }
 
 // viewDeps lists the materialized views a plan reads, each pinned to its
-// current pool generation. Caller holds mu (either side), so the
+// current pool generation. Caller holds the stripes of every view the
+// plan reads (they are part of the maintenance lock set), so the
 // generations are consistent with the pool state the result was built
 // against.
 func (d *DeepSea) viewDeps(plan query.Node) []cache.Dep {
@@ -132,6 +161,43 @@ func (d *DeepSea) viewDeps(plan query.Node) []cache.Dep {
 		deps = append(deps, cache.Dep{ViewID: vs.ViewID, Gen: d.Pool.Generation(vs.ViewID)})
 	})
 	return deps
+}
+
+// maintenanceViews computes the query's view lock set: every view its
+// plan may read or mutate — ViewScans of the executed plan (cache-entry
+// generations and merge sources), view candidates (step 9 measures their
+// sizes; selected ones materialize), fragment candidates (refinement
+// targets), eviction victims, and the merge target. Returned sorted by
+// id (the canonical order) and deduplicated.
+func maintenanceViews(qbest query.Node, vcands []viewCandidate, selFrags []fragCandidate, evict []pool.Candidate, bestRW *matching.Rewriting) []string {
+	seen := make(map[string]bool)
+	var ids []string
+	add := func(id string) {
+		if id == "" || seen[id] {
+			return
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	query.Walk(qbest, func(n query.Node) {
+		if vs, ok := n.(*query.ViewScan); ok {
+			add(vs.ViewID)
+		}
+	})
+	for _, vc := range vcands {
+		add(vc.id)
+	}
+	for _, fc := range selFrags {
+		add(fc.viewID)
+	}
+	for _, c := range evict {
+		add(c.ViewID)
+	}
+	if bestRW != nil {
+		add(bestRW.ViewID)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // ProcessQuery implements Algorithm 1 for one query and returns a report
@@ -167,19 +233,26 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}, nil
 	}
 
-	// Manager critical section, part one: Algorithm 1 steps 1-7. The
-	// pool-mutation lock is held shared — planning only reads the pool —
-	// while algoMu serializes the statistics and candidate bookkeeping;
-	// pinning before release guarantees no concurrent query evicts a
+	// Planning section: Algorithm 1 steps 1-7. planMu serializes the
+	// statistics and candidate bookkeeping; every view stripe is held
+	// shared, so no maintenance runs anywhere while this query plans —
+	// the pool it matches against is stable, and its statistics writes
+	// (use records, candidate refinement) cannot race a maintainer.
+	// Pinning before release guarantees no concurrent query evicts a
 	// path between planning and execution.
-	d.mu.RLock()
-	d.algoMu.Lock()
+	lockcheck.Acquire(lockcheck.RankPlan, 0, "planMu")
+	d.planMu.Lock()
+	d.views.rlockAll()
+	unplan := func() {
+		d.views.runlockAll()
+		d.planMu.Unlock()
+		lockcheck.Release(lockcheck.RankPlan, 0, "planMu")
+	}
 
 	// Step 1-2: compute rewritings and update statistics (Section 8.4).
 	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
 	if err != nil {
-		d.algoMu.Unlock()
-		d.mu.RUnlock()
+		unplan()
 		return QueryReport{}, err
 	}
 	d.updateUseStats(rewritings, origCost)
@@ -216,33 +289,44 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}
 	}
 
+	// The maintenance lock set is fixed while the pool is still stable:
+	// every view the plan reads or the maintenance below may touch.
+	mergeRW := bestRW
+	if !d.Cfg.MergeFragments {
+		mergeRW = nil
+	}
+	lockIDs := maintenanceViews(qbest, vcands, selFrags, evict, mergeRW)
+
 	// Pin every materialized path the plan reads, then release the
-	// manager locks for the long step: concurrent queries may plan and
+	// planning locks for the long step: concurrent queries may plan and
 	// execute while this one runs, but cannot evict what it reads.
 	pins := planPins(qbest)
 	d.pin(pins)
-	d.algoMu.Unlock()
-	d.mu.RUnlock()
+	unplan()
+	if d.OnPlanned != nil {
+		d.OnPlanned(lockIDs)
+	}
 
-	// Step 8: EXECUTEQUERY — outside the critical section.
+	// Step 8: EXECUTEQUERY — outside every manager lock.
 	res, runErr := d.Eng.Run(qbest, capture)
 
-	// Manager critical section, part two: steps 9+ (stats, pool
-	// maintenance, clock). Only queries with pool content to create,
-	// evict or merge take the exclusive side of the mutation lock; in
-	// the steady state — pool converged, nothing selected — part two
-	// stays on the shared side and queries keep overlapping end to end.
-	mutate := len(selViews) > 0 || len(selFrags) > 0 || len(evict) > 0 ||
-		(d.Cfg.MergeFragments && bestRW != nil)
-	if mutate {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-	} else {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
+	// Maintenance section: steps 9+ (stats, pool maintenance, clock)
+	// under only this query's view stripes, exclusive. Queries whose
+	// lock sets cover disjoint stripes run their maintenance — including
+	// materialization, refinement and eviction — in parallel; the
+	// selection above was computed against a possibly older pool, so
+	// every mutation below re-validates against the live pool (pins,
+	// cover checks) exactly as a stale selection requires.
+	held := d.views.lockViews(lockIDs)
+	if d.OnMaintain != nil {
+		d.OnMaintain(lockIDs, true)
 	}
-	d.algoMu.Lock()
-	defer d.algoMu.Unlock()
+	defer func() {
+		if d.OnMaintain != nil {
+			d.OnMaintain(lockIDs, false)
+		}
+		d.views.unlockViews(held)
+	}()
 	d.unpin(pins)
 	if runErr != nil {
 		return QueryReport{}, runErr
@@ -313,7 +397,9 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 			report.Evicted = append(report.Evicted, item.Key())
 		}
 	}
-	d.Pool.GC()
+	// GC only the views this query touched: emptying a view requires
+	// mutating it, and every mutation above stayed inside the lock set.
+	d.Pool.GCViews(lockIDs...)
 
 	report.MatCost = matCost
 	report.TotalSeconds = res.Cost.Seconds + matCost.Seconds
@@ -322,7 +408,8 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	// Publish the result, pinned to the post-maintenance generations of
 	// every view the plan read — so this query's own refinements do not
 	// immediately invalidate its entry, while any later mutation of
-	// those views does.
+	// those views does. The read views' stripes are still held, so the
+	// recorded generations cannot move before the entry is in.
 	if key != "" && res.Table != nil {
 		d.Cache.Put(key, res.Table, d.viewDeps(qbest))
 	}
@@ -331,7 +418,8 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 
 // evict removes one pool item and its storage. It reports whether the
 // item was actually removed: items missing from the pool or pinned by a
-// concurrent execution are left alone.
+// concurrent execution are left alone. The caller holds the item's view
+// stripe exclusively.
 func (d *DeepSea) evict(item pool.Candidate) bool {
 	pv := d.Pool.View(item.ViewID)
 	if pv == nil {
@@ -381,19 +469,22 @@ func planPins(plan query.Node) []string {
 	return paths
 }
 
-// pin increments the in-flight read count of each path.
+// pin increments the in-flight read count of each path. Called only
+// from the planning section (planMu + all stripes shared).
 func (d *DeepSea) pin(paths []string) {
+	lockcheck.Acquire(lockcheck.RankPin, 0, "pinMu")
 	d.pinMu.Lock()
-	defer d.pinMu.Unlock()
 	for _, p := range paths {
 		d.pinned[p]++
 	}
+	d.pinMu.Unlock()
+	lockcheck.Release(lockcheck.RankPin, 0, "pinMu")
 }
 
 // unpin reverses pin.
 func (d *DeepSea) unpin(paths []string) {
+	lockcheck.Acquire(lockcheck.RankPin, 0, "pinMu")
 	d.pinMu.Lock()
-	defer d.pinMu.Unlock()
 	for _, p := range paths {
 		if d.pinned[p] <= 1 {
 			delete(d.pinned, p)
@@ -401,17 +492,23 @@ func (d *DeepSea) unpin(paths []string) {
 			d.pinned[p]--
 		}
 	}
+	d.pinMu.Unlock()
+	lockcheck.Release(lockcheck.RankPin, 0, "pinMu")
 }
 
 // isPinned reports whether a concurrent execution still reads path.
-// Mutators call it before dropping a file; they hold mu exclusively, so
-// a pin observed as zero cannot reappear for a path the mutator is about
-// to drop (new pins are taken under mu shared, which the mutator
-// excludes).
+// Mutators call it before dropping a file; they hold the owning view's
+// stripe exclusively, so a pin observed as zero cannot reappear for a
+// path the mutator is about to drop: new pins are taken only during
+// planning, which holds every stripe shared and is therefore excluded
+// while the mutator runs.
 func (d *DeepSea) isPinned(path string) bool {
+	lockcheck.Acquire(lockcheck.RankPin, 0, "pinMu")
 	d.pinMu.Lock()
-	defer d.pinMu.Unlock()
-	return d.pinned[path] > 0
+	p := d.pinned[path] > 0
+	d.pinMu.Unlock()
+	lockcheck.Release(lockcheck.RankPin, 0, "pinMu")
+	return p
 }
 
 // shortID returns a compact stable hash of a view id for paths and logs.

@@ -1,0 +1,29 @@
+// Package lockcheck provides a debug-build lock-order checker for the
+// view manager's lock hierarchy. In a normal build every function here
+// is an empty no-op that the compiler eliminates; built with
+// `-tags lockcheck` the package tracks, per goroutine, the stack of
+// manager locks held and panics the moment an acquisition violates the
+// documented order — so an ordering bug fails a test loudly instead of
+// deadlocking it silently.
+//
+// The checked hierarchy (DESIGN.md §6) is, outermost first:
+//
+//	planMu  (RankPlan)  — the short-lived planning lock
+//	view stripes (RankView, sub-ordered by ascending stripe index)
+//	pinMu   (RankPin)   — the in-flight path pin counter
+//
+// Leaf locks (pool, stats shards, filter tree, engine, storage FS,
+// result cache) are not tracked: they never nest into each other or
+// call back into the manager, which `go test -race` exercises anyway.
+package lockcheck
+
+// Ranks of the manager locks, outermost first. A goroutine may only
+// acquire a lock whose (rank, index) is strictly greater than that of
+// the last manager lock it acquired; view stripes use their stripe
+// index as the tiebreaker so multi-stripe lock sets must be taken in
+// ascending index order.
+const (
+	RankPlan = 1
+	RankView = 2
+	RankPin  = 3
+)

@@ -1,0 +1,14 @@
+//go:build !lockcheck
+
+package lockcheck
+
+// Enabled reports whether lock-order checking is compiled in.
+const Enabled = false
+
+// Acquire records that the calling goroutine is taking the lock with
+// the given rank and index. No-op without the lockcheck build tag.
+func Acquire(rank, idx int, name string) {}
+
+// Release records that the calling goroutine dropped the lock. No-op
+// without the lockcheck build tag.
+func Release(rank, idx int, name string) {}

@@ -1,0 +1,79 @@
+//go:build lockcheck
+
+package lockcheck
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Enabled reports whether lock-order checking is compiled in.
+const Enabled = true
+
+type entry struct {
+	rank, idx int
+	name      string
+}
+
+var (
+	mu   sync.Mutex
+	held = make(map[uint64][]entry)
+)
+
+// goid extracts the calling goroutine's id from its stack header
+// ("goroutine 123 [running]:"). Debug-build only, so the cost of the
+// stack capture is acceptable.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("lockcheck: cannot parse goroutine id from %q", s))
+	}
+	return id
+}
+
+// Acquire records a lock acquisition and panics if it violates the
+// documented order: each manager lock taken must have a strictly
+// greater (rank, index) than the one taken before it.
+func Acquire(rank, idx int, name string) {
+	g := goid()
+	mu.Lock()
+	defer mu.Unlock()
+	s := held[g]
+	if len(s) > 0 {
+		top := s[len(s)-1]
+		if rank < top.rank || (rank == top.rank && idx <= top.idx) {
+			panic(fmt.Sprintf(
+				"lockcheck: acquiring %s (rank %d, idx %d) while holding %s (rank %d, idx %d) violates the lock order",
+				name, rank, idx, top.name, top.rank, top.idx))
+		}
+	}
+	held[g] = append(s, entry{rank: rank, idx: idx, name: name})
+}
+
+// Release records a lock release. Releases may happen in any order;
+// the most recently acquired matching entry is removed.
+func Release(rank, idx int, name string) {
+	g := goid()
+	mu.Lock()
+	defer mu.Unlock()
+	s := held[g]
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i].rank == rank && s[i].idx == idx {
+			held[g] = append(s[:i], s[i+1:]...)
+			if len(held[g]) == 0 {
+				delete(held, g)
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("lockcheck: releasing %s (rank %d, idx %d) that is not held", name, rank, idx))
+}

@@ -1,0 +1,76 @@
+//go:build lockcheck
+
+package lockcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a lock-order panic")
+		}
+	}()
+	fn()
+}
+
+func TestOrderedAcquisitionPasses(t *testing.T) {
+	Acquire(RankPlan, 0, "planMu")
+	Acquire(RankView, 3, "stripe 3")
+	Acquire(RankView, 7, "stripe 7")
+	Acquire(RankPin, 0, "pinMu")
+	Release(RankPin, 0, "pinMu")
+	Release(RankView, 7, "stripe 7")
+	Release(RankView, 3, "stripe 3")
+	Release(RankPlan, 0, "planMu")
+}
+
+func TestRankInversionPanics(t *testing.T) {
+	Acquire(RankView, 2, "stripe 2")
+	defer Release(RankView, 2, "stripe 2")
+	mustPanic(t, func() { Acquire(RankPlan, 0, "planMu") })
+}
+
+func TestStripeIndexInversionPanics(t *testing.T) {
+	Acquire(RankView, 5, "stripe 5")
+	defer Release(RankView, 5, "stripe 5")
+	mustPanic(t, func() { Acquire(RankView, 1, "stripe 1") })
+}
+
+func TestSameStripeReacquirePanics(t *testing.T) {
+	Acquire(RankView, 5, "stripe 5")
+	defer Release(RankView, 5, "stripe 5")
+	mustPanic(t, func() { Acquire(RankView, 5, "stripe 5") })
+}
+
+func TestReleaseOutOfOrderIsAccepted(t *testing.T) {
+	Acquire(RankPlan, 0, "planMu")
+	Acquire(RankView, 1, "stripe 1")
+	Release(RankPlan, 0, "planMu")
+	Release(RankView, 1, "stripe 1")
+}
+
+func TestPerGoroutineTracking(t *testing.T) {
+	// Two goroutines holding inverted ranks concurrently are fine —
+	// ordering is a per-goroutine property.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, rank := range []int{RankPlan, RankPin} {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			<-start
+			Acquire(rank, 0, "x")
+			Release(rank, 0, "x")
+		}(rank)
+	}
+	close(start)
+	wg.Wait()
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	mustPanic(t, func() { Release(RankPin, 0, "pinMu") })
+}

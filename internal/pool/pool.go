@@ -282,17 +282,37 @@ func (p *Pool) GC() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for id, v := range p.views {
-		empty := v.Path == ""
-		for _, part := range v.Parts {
-			if part.NumFragments() > 0 {
-				empty = false
-			}
+		p.gcView(id, v)
+	}
+}
+
+// GCViews removes the named views' entries when they hold no
+// materialized content, leaving every other view alone. Under per-view
+// lock striping the manager calls this with exactly the views its
+// maintenance locked: a full GC would race a concurrent query that
+// Ensured a still-empty view it is about to fill.
+func (p *Pool) GCViews(ids ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if v, ok := p.views[id]; ok {
+			p.gcView(id, v)
 		}
-		if empty {
-			p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
-			delete(p.views, id)
-			p.gens[id]++
+	}
+}
+
+// gcView drops one view entry if it is empty. Caller holds p.mu.
+func (p *Pool) gcView(id string, v *View) {
+	empty := v.Path == ""
+	for _, part := range v.Parts {
+		if part.NumFragments() > 0 {
+			empty = false
 		}
+	}
+	if empty {
+		p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
+		delete(p.views, id)
+		p.gens[id]++
 	}
 }
 

@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -322,61 +323,97 @@ func (p *PartitionStat) TotalHits(tnow float64, d Decay) float64 {
 	return h
 }
 
-// Registry is the paper's STAT: all view and partition statistics, for
-// pool members and candidates alike.
-//
-// The registry's lock guards only its maps — lookups take it shared, so
-// concurrent planners never contend on the registry itself. The returned
-// ViewStat/PartitionStat records are not internally locked: they are
-// mutated only under the view manager's bookkeeping lock (core's algoMu,
-// or its exclusive pool-mutation lock), which also keeps their
-// timestamps non-decreasing.
-type Registry struct {
-	Decay Decay
+// defaultStatsShards is the registry shard count when the caller does
+// not override it.
+const defaultStatsShards = 16
 
+// regShard holds one shard of the registry: the view records and
+// partition records of every view id that hashes onto it. Views and
+// their partitions are colocated, so per-view work touches one shard.
+type regShard struct {
 	mu    sync.RWMutex
 	views map[string]*ViewStat
 	parts map[string]map[string]*PartitionStat // view -> attr -> stat
 }
 
-// NewRegistry returns an empty statistics registry.
-func NewRegistry(d Decay) *Registry {
-	return &Registry{
-		Decay: d,
-		views: make(map[string]*ViewStat),
-		parts: make(map[string]map[string]*PartitionStat),
+// Registry is the paper's STAT: all view and partition statistics, for
+// pool members and candidates alike.
+//
+// The registry is sharded by view id: each shard's lock guards only its
+// own maps, so concurrent planners and maintainers touching different
+// views never contend on the registry itself. The returned
+// ViewStat/PartitionStat records are not internally locked: a record is
+// mutated only by the view manager while it holds the owning view's
+// exclusive stripe, or during planning (which holds every stripe
+// shared and is itself serialized by the planning lock) — either way
+// writers to one record are serialized and its timestamps stay
+// non-decreasing. See core's DeepSea for the lock order.
+type Registry struct {
+	Decay Decay
+
+	shards []regShard
+}
+
+// NewRegistry returns an empty statistics registry with the default
+// shard count.
+func NewRegistry(d Decay) *Registry { return NewShardedRegistry(d, 0) }
+
+// NewShardedRegistry returns an empty statistics registry with n shards
+// (<= 0 selects the default). The shard count is purely a contention
+// knob: behaviour is identical at every setting.
+func NewShardedRegistry(d Decay, n int) *Registry {
+	if n <= 0 {
+		n = defaultStatsShards
 	}
+	r := &Registry{Decay: d, shards: make([]regShard, n)}
+	for i := range r.shards {
+		r.shards[i].views = make(map[string]*ViewStat)
+		r.shards[i].parts = make(map[string]map[string]*PartitionStat)
+	}
+	return r
+}
+
+// shard maps a view id to its shard.
+func (r *Registry) shard(view string) *regShard {
+	h := fnv.New32a()
+	h.Write([]byte(view))
+	return &r.shards[h.Sum32()%uint32(len(r.shards))]
 }
 
 // View returns the statistics record for a view id, creating it on first
 // use.
 func (r *Registry) View(id string) *ViewStat {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	v, ok := r.views[id]
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
 	if !ok {
 		v = &ViewStat{ID: id}
-		r.views[id] = v
+		s.views[id] = v
 	}
 	return v
 }
 
 // LookupView returns a view's statistics if tracked.
 func (r *Registry) LookupView(id string) (*ViewStat, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	v, ok := r.views[id]
+	s := r.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.views[id]
 	return v, ok
 }
 
 // Views returns all tracked views sorted by id.
 func (r *Registry) Views() []*ViewStat {
-	r.mu.RLock()
-	out := make([]*ViewStat, 0, len(r.views))
-	for _, v := range r.views {
-		out = append(out, v)
+	var out []*ViewStat
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, v := range s.views {
+			out = append(out, v)
+		}
+		s.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -384,12 +421,13 @@ func (r *Registry) Views() []*ViewStat {
 // Partition returns the partition statistics for (view, attr), creating
 // an empty record over dom on first use.
 func (r *Registry) Partition(view, attr string, dom interval.Interval) *PartitionStat {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m, ok := r.parts[view]
+	s := r.shard(view)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.parts[view]
 	if !ok {
 		m = make(map[string]*PartitionStat)
-		r.parts[view] = m
+		s.parts[view] = m
 	}
 	p, ok := m[attr]
 	if !ok {
@@ -407,9 +445,10 @@ func (r *Registry) Partition(view, attr string, dom interval.Interval) *Partitio
 
 // LookupPartition returns the partition statistics if tracked.
 func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.parts[view]
+	s := r.shard(view)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.parts[view]
 	if !ok {
 		return nil, false
 	}
@@ -420,13 +459,14 @@ func (r *Registry) LookupPartition(view, attr string) (*PartitionStat, bool) {
 // Partitions returns all partition statistics of a view sorted by
 // attribute.
 func (r *Registry) Partitions(view string) []*PartitionStat {
-	r.mu.RLock()
-	m := r.parts[view]
+	s := r.shard(view)
+	s.mu.RLock()
+	m := s.parts[view]
 	out := make([]*PartitionStat, 0, len(m))
 	for _, p := range m {
 		out = append(out, p)
 	}
-	r.mu.RUnlock()
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
 	return out
 }

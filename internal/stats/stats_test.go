@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -342,5 +344,68 @@ func TestPruneExpiredNoTimeoutIsNoop(t *testing.T) {
 	p.Frag(interval.New(0, 99))
 	if n := p.PruneExpired(1000, Decay{}, nil); n != 0 {
 		t.Errorf("pruned %d without a timeout", n)
+	}
+}
+
+func TestShardedRegistryConcurrent(t *testing.T) {
+	// Hammer the sharded registry from many goroutines over many view
+	// ids: record identity must be stable (the same id always returns
+	// the same *ViewStat/*PartitionStat) and enumeration must stay
+	// sorted. Run under -race this checks the shard locking.
+	r := NewShardedRegistry(Decay{TMax: 100}, 8)
+	const goroutines, viewsN = 8, 50
+	dom := interval.New(0, 999)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < viewsN; i++ {
+				id := fmt.Sprintf("view-%d", i)
+				v := r.View(id)
+				if v2 := r.View(id); v2 != v {
+					t.Errorf("View(%q) returned distinct records", id)
+				}
+				if lv, ok := r.LookupView(id); !ok || lv != v {
+					t.Errorf("LookupView(%q) disagrees with View", id)
+				}
+				p := r.Partition(id, "a", dom)
+				if p2, ok := r.LookupPartition(id, "a"); !ok || p2 != p {
+					t.Errorf("LookupPartition(%q) disagrees with Partition", id)
+				}
+				if got := len(r.Partitions(id)); got != 1 {
+					t.Errorf("Partitions(%q) = %d records, want 1", id, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	all := r.Views()
+	if len(all) != viewsN {
+		t.Fatalf("Views() = %d records, want %d", len(all), viewsN)
+	}
+	for i := 1; i < len(all); i++ {
+		if !(all[i-1].ID < all[i].ID) {
+			t.Fatalf("Views() not sorted: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestShardedRegistryShardCounts(t *testing.T) {
+	// The shard count is a pure contention knob: 1 shard, many shards
+	// and the default must expose identical behaviour.
+	for _, n := range []int{0, 1, 3, 64} {
+		r := NewShardedRegistry(Decay{}, n)
+		for i := 0; i < 20; i++ {
+			id := fmt.Sprintf("v%d", i)
+			r.View(id).Size = int64(i)
+		}
+		if got := len(r.Views()); got != 20 {
+			t.Errorf("shards=%d: Views() = %d, want 20", n, got)
+		}
+		if v, ok := r.LookupView("v7"); !ok || v.Size != 7 {
+			t.Errorf("shards=%d: LookupView(v7) lost the record", n)
+		}
 	}
 }

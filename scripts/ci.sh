@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# The CI pipeline. Both `make ci` and .github/workflows/ci.yml run this
+# script and nothing else, so the local gate and the hosted gate are the
+# same check by construction.
+#
+# Stages:
+#   1. go vet + build + full test suite
+#   2. full race-detector run (the concurrency suite's anchor)
+#   3. shuffled double run — flushes ordering-dependent tests
+#   4. lock-order assertions (-tags lockcheck builds the checking
+#      implementation of internal/lockcheck into the manager's locks)
+#   5. staticcheck, when installed (the workflow installs it; local runs
+#      skip it with a note rather than demanding the tool)
+#   6. bench smoke: cachespeed + lockspeed at short scale with JSON
+#      reports, then benchcheck gates the host-independent metrics
+#      (determinism, cache hit rate, pool mutations)
+#
+# Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
+# the workflow uploads them as artifacts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+BENCH_DIR=${BENCH_DIR:-bench-reports}
+
+echo "==> vet"
+$GO vet ./...
+
+echo "==> build"
+$GO build ./...
+
+echo "==> test"
+$GO test ./...
+
+echo "==> race"
+$GO test -race ./...
+
+echo "==> shuffle (x2)"
+$GO test -shuffle=on -count=2 ./...
+
+echo "==> lockcheck"
+$GO test -tags lockcheck ./internal/lockcheck ./internal/core
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck"
+    staticcheck ./...
+else
+    echo "==> staticcheck: not installed, skipping (CI installs it)"
+fi
+
+echo "==> bench smoke"
+mkdir -p "$BENCH_DIR"
+$GO build -o "$BENCH_DIR/deepsea-bench" ./cmd/deepsea-bench
+$GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment cachespeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment lockspeed -params short -json)
+
+echo "==> benchcheck"
+"$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
+
+echo "==> ci passed"
