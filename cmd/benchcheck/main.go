@@ -38,6 +38,10 @@ var floors = map[string][]floor{
 		{"identical", 1}, // striped execution byte-identical to serial
 		{"mutations", 1}, // the workload must exercise pool maintenance
 	},
+	"faultspeed": {
+		{"identical", 1},   // zero-rate injector changes nothing
+		{"overhead_ok", 1}, // armed-at-zero checks stay within 1% / 50ms
+	},
 }
 
 func check(path string) (failures []string, err error) {

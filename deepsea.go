@@ -30,10 +30,12 @@
 package deepsea
 
 import (
+	"context"
 	"fmt"
 
 	"deepsea/internal/core"
 	"deepsea/internal/engine"
+	"deepsea/internal/faults"
 	"deepsea/internal/interval"
 	"deepsea/internal/query"
 	"deepsea/internal/relation"
@@ -146,6 +148,49 @@ func WithParallelism(n int) Option {
 // row execution (the default mode).
 func WithResultCache(bytes int64) Option {
 	return func(c *core.Config) { c.CacheBytes = bytes }
+}
+
+// FaultConfig arms the deterministic fault injector for chaos and
+// robustness testing. Each probability is per check at one injection
+// site; a zero-valued config never injects. The same seed over the same
+// workload reproduces the exact same fault schedule.
+type FaultConfig struct {
+	// Seed fixes the fault schedule.
+	Seed int64
+	// StorageRead / StorageWrite / Worker / Materialize are the
+	// per-check injection probabilities in [0, 1] at each site.
+	StorageRead  float64
+	StorageWrite float64
+	Worker       float64
+	Materialize  float64
+	// PermanentFraction is the fraction of injected faults marked
+	// permanent (not worth retrying); the rest are transient.
+	PermanentFraction float64
+}
+
+// WithFaultInjection enables deterministic fault injection. The system
+// degrades gracefully: unreadable view files are quarantined and the
+// query re-answered from base tables, failed materializations never
+// fail the query (the view backs off and is eventually blacklisted),
+// and transient worker faults are retried up to the WithFaultRetries
+// bound.
+func WithFaultInjection(fc FaultConfig) Option {
+	return func(c *core.Config) {
+		c.Faults = &faults.Config{
+			Seed:              fc.Seed,
+			StorageRead:       fc.StorageRead,
+			StorageWrite:      fc.StorageWrite,
+			Worker:            fc.Worker,
+			Materialize:       fc.Materialize,
+			PermanentFraction: fc.PermanentFraction,
+		}
+	}
+}
+
+// WithFaultRetries bounds the transparent re-plan/re-execute attempts
+// per query when injected faults abort execution (default 3).
+func WithFaultRetries(n int) Option {
+	return func(c *core.Config) { c.FaultRetries = n }
 }
 
 // WithConfig replaces the whole configuration (advanced use).
@@ -272,11 +317,19 @@ func (s *System) MustInsert(table string, values []any) {
 // which includes the result rows, the simulated cost, and what the view
 // manager did (rewrites, materializations, evictions).
 func (s *System) Run(q *Query) (Report, error) {
+	return s.RunContext(context.Background(), q)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, in-flight execution stops promptly, every lock and
+// pin is released, and the error is ctx.Err(). The system stays fully
+// usable afterwards.
+func (s *System) RunContext(ctx context.Context, q *Query) (Report, error) {
 	plan, err := q.build(s)
 	if err != nil {
 		return Report{}, err
 	}
-	rep, err := s.ds.ProcessQuery(plan)
+	rep, err := s.ds.ProcessQueryContext(ctx, plan)
 	if err != nil {
 		return Report{}, err
 	}

@@ -1,6 +1,8 @@
 package deepsea
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -240,5 +242,48 @@ func TestWhereEqResidual(t *testing.T) {
 	// ceil(1000/3) items in category "a".
 	if rows[0][1].(int64) != 334 {
 		t.Errorf("count = %v, want 334", rows[0][1])
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := newSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, salesByCategory(0, 499)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext = %v, want context.Canceled", err)
+	}
+	// The system is untouched and fully usable.
+	rep, err := s.Run(salesByCategory(0, 499))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows()) == 0 {
+		t.Fatal("no result rows after cancelled run")
+	}
+}
+
+func TestFaultInjectionDegradesGracefully(t *testing.T) {
+	baseline := newSystem(t, WithoutMaterialization())
+	want, err := baseline.Run(salesByCategory(0, 499))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every stored read fails: after the first query materializes views,
+	// later queries must quarantine them and fall back to base tables,
+	// returning the same answer.
+	s := newSystem(t, WithFaultInjection(FaultConfig{Seed: 7, StorageRead: 1}), WithFaultRetries(64))
+	if _, err := s.Run(salesByCategory(0, 499)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(salesByCategory(0, 499))
+	if err != nil {
+		t.Fatalf("query did not degrade to base tables: %v", err)
+	}
+	if len(rep.Rows()) != len(want.Rows()) {
+		t.Fatalf("degraded answer has %d rows, baseline %d", len(rep.Rows()), len(want.Rows()))
+	}
+	if rep.Retries == 0 && len(rep.Quarantined) == 0 {
+		t.Error("fault injection never fired; test proves nothing")
 	}
 }

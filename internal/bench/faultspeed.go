@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"deepsea/internal/faults"
+)
+
+// faultspeedRepeats is how many times each arm runs; the minimum wall
+// time per arm is compared, which discards scheduler noise.
+const faultspeedRepeats = 3
+
+// FaultspeedRow is one arm of the fault-plumbing overhead comparison.
+type FaultspeedRow struct {
+	Name string
+	// WallSeconds is the minimum real elapsed time over the repeats.
+	WallSeconds float64
+	// SimSeconds is the simulated cluster time (identical across arms).
+	SimSeconds float64
+}
+
+// FaultspeedResult reports the cost of the fault-injection plumbing on
+// the parallel data path. Two arms run the parspeed DS workload: "off"
+// (no injector configured — every fault check is a nil-receiver fast
+// path) and "zero" (an injector armed at zero probability on every
+// site — each check hashes its site/key but never injects). The gate
+// demands byte-identical results and an overhead within OverheadSlack.
+type FaultspeedResult struct {
+	Rows []FaultspeedRow
+	// Identical reports whether both arms produced byte-identical
+	// per-query fingerprints and final file systems, and the zero arm
+	// really injected nothing.
+	Identical bool
+	// OverheadSeconds is wall("zero") - wall("off") on the min-of-N
+	// wall times; negative values mean the difference drowned in noise.
+	OverheadSeconds float64
+	// OverheadSlack is the allowance: max(1% of the off arm, 50ms).
+	OverheadSlack float64
+	Workers       int
+}
+
+// faultspeedRun executes one arm of the comparison: the parspeed DS
+// workload at full parallelism, with the given fault configuration.
+func faultspeedRun(p Params, fc *faults.Config, workers int) (wall, sim float64, fingerprints []string, files string, err error) {
+	cfg := parspeedCfg(p, DSCfg, workers)
+	cfg.Faults = fc
+	return parspeedRun(p, cfg)
+}
+
+// RunFaultspeed measures what the fault-injection hooks cost when no
+// faults fire. Arms alternate (off, zero, off, zero, ...) so slow
+// machine phases hit both equally; each arm's minimum wall time is
+// compared.
+func RunFaultspeed(p Params) (*FaultspeedResult, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	arms := []struct {
+		name string
+		fc   *faults.Config
+	}{
+		{"off", nil},
+		{"zero", &faults.Config{Seed: p.Seed}},
+	}
+
+	res := &FaultspeedResult{Identical: true, Workers: workers}
+	wallMin := make(map[string]float64)
+	prints, files := make(map[string][]string), make(map[string]string)
+	sims := make(map[string]float64)
+	for rep := 0; rep < faultspeedRepeats; rep++ {
+		for _, arm := range arms {
+			wall, sim, fp, fl, err := faultspeedRun(p, arm.fc, workers)
+			if err != nil {
+				return nil, fmt.Errorf("faultspeed %s arm: %w", arm.name, err)
+			}
+			if w, ok := wallMin[arm.name]; !ok || wall < w {
+				wallMin[arm.name] = wall
+			}
+			prints[arm.name], files[arm.name], sims[arm.name] = fp, fl, sim
+		}
+	}
+	for _, arm := range arms {
+		res.Rows = append(res.Rows, FaultspeedRow{
+			Name:        arm.name,
+			WallSeconds: wallMin[arm.name],
+			SimSeconds:  sims[arm.name],
+		})
+	}
+
+	if files["off"] != files["zero"] || len(prints["off"]) != len(prints["zero"]) {
+		res.Identical = false
+	} else {
+		for i := range prints["off"] {
+			if prints["off"][i] != prints["zero"][i] {
+				res.Identical = false
+				break
+			}
+		}
+	}
+
+	res.OverheadSeconds = wallMin["zero"] - wallMin["off"]
+	res.OverheadSlack = 0.01 * wallMin["off"]
+	if res.OverheadSlack < 0.05 {
+		res.OverheadSlack = 0.05
+	}
+	return res, nil
+}
+
+// OverheadOK reports whether the armed-at-zero injector stayed within
+// the slack of the no-injector arm.
+func (r *FaultspeedResult) OverheadOK() bool {
+	return r.OverheadSeconds <= r.OverheadSlack
+}
+
+// Metrics exports the headline numbers for machine-readable output.
+func (r *FaultspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"workers":          float64(r.Workers),
+		"identical":        0,
+		"overhead_ok":      0,
+		"overhead_seconds": r.OverheadSeconds,
+		"overhead_slack":   r.OverheadSlack,
+	}
+	if r.Identical {
+		m["identical"] = 1
+	}
+	if r.OverheadOK() {
+		m["overhead_ok"] = 1
+	}
+	for _, row := range r.Rows {
+		m["wall_seconds_"+row.Name] = row.WallSeconds
+	}
+	return m
+}
+
+// Print renders the comparison.
+func (r *FaultspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fault-injection plumbing overhead (%d workers), parspeed DS workload, min of %d runs\n",
+		r.Workers, faultspeedRepeats)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\twall s\tsim s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\n", row.Name, row.WallSeconds, row.SimSeconds)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "overhead: %.3fs (slack %.3fs) — within budget: %v\n",
+		r.OverheadSeconds, r.OverheadSlack, r.OverheadOK())
+	fmt.Fprintf(w, "identical results and pool with and without the injector: %v\n", r.Identical)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultspeedIdenticalAtTinyScale checks the identity half of the
+// faultspeed gate at unit-test scale: an injector armed at zero
+// probability must not change a single fingerprint or pool file. The
+// wall-clock overhead half is only meaningful at bench scale and is
+// gated by benchcheck, not here.
+func TestFaultspeedIdenticalAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	res, err := RunFaultspeed(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("zero-rate injector changed results or pool")
+	}
+	m := res.Metrics()
+	if m["identical"] != 1 {
+		t.Error("metrics: identical != 1")
+	}
+	for _, key := range []string{"overhead_ok", "overhead_seconds", "overhead_slack", "wall_seconds_off", "wall_seconds_zero"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics: missing %q", key)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "identical results") {
+		t.Error("print missing identity line")
+	}
+}

@@ -68,6 +68,9 @@ var Experiments = []Experiment{
 	{"lockspeed", "Per-view lock striping on disjoint-view families (results stay identical)", func(p Params) (Printable, error) {
 		return RunLockspeed(p)
 	}},
+	{"faultspeed", "Fault-injection plumbing overhead when no faults fire (results stay identical)", func(p Params) (Printable, error) {
+		return RunFaultspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

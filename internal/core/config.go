@@ -8,6 +8,7 @@ package core
 
 import (
 	"deepsea/internal/engine"
+	"deepsea/internal/faults"
 	"deepsea/internal/relation"
 	"deepsea/internal/storage"
 )
@@ -158,6 +159,15 @@ type Config struct {
 	// selects the default (16). Purely a contention knob: the registry
 	// behaves identically at every setting.
 	StatsShards int
+	// Faults configures deterministic fault injection into storage, the
+	// engine's workers and materialization (chaos testing); nil — the
+	// default — runs fault-free at the cost of one pointer comparison
+	// per injection site.
+	Faults *faults.Config
+	// FaultRetries bounds how many times one query is retried after a
+	// recoverable fault (a quarantined fragment read, a transient worker
+	// fault) before its error is returned; 0 selects the default (3).
+	FaultRetries int
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.
@@ -207,6 +217,17 @@ func (c *Config) overlapping() bool {
 	return c.Partition == PartitionAdaptiveOverlap
 }
 
+// defaultFaultRetries is the per-query retry bound when Config leaves
+// FaultRetries at zero.
+const defaultFaultRetries = 3
+
+func (c *Config) faultRetries() int {
+	if c.FaultRetries > 0 {
+		return c.FaultRetries
+	}
+	return defaultFaultRetries
+}
+
 // QueryReport summarises how one query was processed.
 type QueryReport struct {
 	// Result holds the query output (nil in estimate-only mode).
@@ -241,4 +262,15 @@ type QueryReport struct {
 	MergedFrags []string
 	// Evicted lists pool items removed to make space.
 	Evicted []string
+	// Quarantined lists storage paths removed from the pool because a
+	// read of them failed while answering this query; the query was then
+	// re-answered around them from base data.
+	Quarantined []string
+	// MatFailed lists views whose materialization attempt failed during
+	// this query (the query itself still succeeded; the view is under
+	// backoff and may be blacklisted after repeated failures).
+	MatFailed []string
+	// Retries is how many times the query was re-executed after
+	// recoverable faults before this (successful) answer.
+	Retries int
 }

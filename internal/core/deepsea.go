@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"deepsea/internal/cache"
 	"deepsea/internal/engine"
+	"deepsea/internal/faults"
 	"deepsea/internal/interval"
 	"deepsea/internal/lockcheck"
 	"deepsea/internal/matching"
@@ -67,6 +69,15 @@ type DeepSea struct {
 
 	rewriter *matching.Rewriter
 
+	// faults is the configured injector (nil when fault-free); the same
+	// instance is attached to the engine and its file system.
+	faults *faults.Injector
+
+	// backoff tracks per-view materialization failures: failed
+	// materializations never fail queries, they count toward the view's
+	// blacklist instead.
+	backoff *matBackoff
+
 	// planMu is the planning lock: it serializes Algorithm 1's steps
 	// 1–7 — statistics and filter-tree mutation, candidate generation,
 	// the mleCache — across queries. It is held only for planning,
@@ -105,6 +116,11 @@ func New(cfg Config) *DeepSea {
 	if cfg.Parallelism > 0 {
 		eng.Parallelism = cfg.Parallelism
 	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.New(*cfg.Faults)
+		eng.SetFaults(inj)
+	}
 	p := pool.New(cfg.Smax)
 	st := stats.NewShardedRegistry(stats.Decay{TMax: cfg.DecayTMax}, cfg.StatsShards)
 	tree := matching.NewFilterTree()
@@ -113,14 +129,16 @@ func New(cfg Config) *DeepSea {
 		rc = cache.New(cfg.CacheBytes)
 	}
 	return &DeepSea{
-		Cache:  rc,
-		Cfg:    cfg,
-		Eng:    eng,
-		Pool:   p,
-		Stats:  st,
-		Tree:   tree,
-		views:  newViewLocks(cfg.LockStripes),
-		pinned: make(map[string]int),
+		Cache:   rc,
+		Cfg:     cfg,
+		Eng:     eng,
+		Pool:    p,
+		Stats:   st,
+		Tree:    tree,
+		views:   newViewLocks(cfg.LockStripes),
+		pinned:  make(map[string]int),
+		faults:  inj,
+		backoff: newMatBackoff(),
 		rewriter: &matching.Rewriter{
 			Eng:          eng,
 			Pool:         p,
@@ -200,9 +218,35 @@ func maintenanceViews(qbest query.Node, vcands []viewCandidate, selFrags []fragC
 	return ids
 }
 
+// Faults exposes the configured fault injector (nil when fault-free) —
+// chaos-test and bench observability.
+func (d *DeepSea) Faults() *faults.Injector { return d.faults }
+
 // ProcessQuery implements Algorithm 1 for one query and returns a report
 // of how it was answered and what the pool did in response.
 func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
+	return d.ProcessQueryContext(context.Background(), q)
+}
+
+// ProcessQueryContext is ProcessQuery with cancellation and graceful
+// degradation. A cancelled or expired ctx makes the call return
+// promptly with ctx.Err(), with every view stripe released, all pins
+// dropped and the pool consistent. Recoverable faults degrade instead
+// of failing the query: a failed fragment or view-file read quarantines
+// that file (pool removal, which also bumps the view's generation and
+// so invalidates cached results over it) and the query is re-planned
+// against the shrunken pool — falling back to base tables when nothing
+// usable remains; a transient worker fault re-executes the query. Both
+// are bounded by Config.FaultRetries. Failed materializations never
+// fail the query (see processOnce).
+func (d *DeepSea) ProcessQueryContext(ctx context.Context, q query.Node) (QueryReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return QueryReport{}, err
+	}
+
 	// Result-cache lookup — before planning and off every manager lock.
 	// Generation checks run against the pool's own internal lock, so a
 	// hit is consistent: no entry over an evicted or split view survives.
@@ -214,13 +258,50 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		}
 	}
 
+	maxRetries := d.Cfg.faultRetries()
+	var quarantined []string
+	for attempt := 0; ; attempt++ {
+		rep, quar, err := d.processOnce(ctx, q, key)
+		quarantined = append(quarantined, quar...)
+		if err == nil {
+			rep.Quarantined = quarantined
+			rep.Retries = attempt
+			return rep, nil
+		}
+		// Cancellation always wins: do not spend retries on a dead query.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return QueryReport{}, ctxErr
+		}
+		f, ok := faults.AsFault(err)
+		if !ok || attempt >= maxRetries {
+			return QueryReport{}, err
+		}
+		switch {
+		case f.Site == faults.StorageRead:
+			// The unreadable file was quarantined above (or is pinned by
+			// a concurrent query and left in place); re-plan against the
+			// current pool — with the file gone the new plan answers the
+			// lost range from base tables.
+		case f.Site == faults.Worker && !f.Permanent:
+			// Transient worker fault (lost container, timeout): the plan
+			// is fine, re-execute it.
+		default:
+			return QueryReport{}, err
+		}
+	}
+}
+
+// processOnce runs one attempt of Algorithm 1. It returns the paths it
+// quarantined while handling an execution failure (the caller
+// accumulates them across retries).
+func (d *DeepSea) processOnce(ctx context.Context, q query.Node, key string) (QueryReport, []string, error) {
 	if !d.Cfg.Materialize {
 		// Vanilla engine: the optimizer pushes selections down to the
 		// scans (DeepSea deliberately does not, Section 10.2); execute
 		// and account time, nothing else.
-		res, err := d.Eng.Run(query.PushDownRanges(q), nil)
+		res, err := d.Eng.RunContext(ctx, query.PushDownRanges(q), nil)
 		if err != nil {
-			return QueryReport{}, err
+			return QueryReport{}, nil, err
 		}
 		d.Eng.Advance(res.Cost.Seconds)
 		if key != "" && res.Table != nil {
@@ -230,7 +311,7 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 			Result:       res.Table,
 			ExecCost:     res.Cost,
 			TotalSeconds: res.Cost.Seconds,
-		}, nil
+		}, nil, nil
 	}
 
 	// Planning section: Algorithm 1 steps 1-7. planMu serializes the
@@ -253,7 +334,7 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
 	if err != nil {
 		unplan()
-		return QueryReport{}, err
+		return QueryReport{}, nil, err
 	}
 	d.updateUseStats(rewritings, origCost)
 
@@ -308,7 +389,15 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	}
 
 	// Step 8: EXECUTEQUERY — outside every manager lock.
-	res, runErr := d.Eng.Run(qbest, capture)
+	res, runErr := d.Eng.RunContext(ctx, qbest, capture)
+	if runErr != nil {
+		// Failed executions skip maintenance entirely: drop the pins,
+		// quarantine the unreadable file if the failure was an injected
+		// storage-read fault, and let the caller decide whether to
+		// re-plan. No view stripe is held on this path.
+		d.unpin(pins)
+		return QueryReport{}, d.quarantineFromError(qbest, runErr), runErr
+	}
 
 	// Maintenance section: steps 9+ (stats, pool maintenance, clock)
 	// under only this query's view stripes, exclusive. Queries whose
@@ -328,9 +417,6 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		d.views.unlockViews(held)
 	}()
 	d.unpin(pins)
-	if runErr != nil {
-		return QueryReport{}, runErr
-	}
 
 	// Step 9: UPDATESTATS — precise sizes for captured candidates.
 	if d.Cfg.ExecuteRows {
@@ -355,38 +441,72 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 		report.RemainderGaps = len(bestRW.Gaps)
 	}
 
-	// Materialize selected views and fragments.
+	// Materialize selected views and fragments. Materialization is a
+	// best-effort side effect: an injected fault in an attempt charges
+	// whatever cost was already spent, records the failure against the
+	// view's backoff (bounded retries, then blacklist) and moves on —
+	// the query itself never fails because of it. Non-fault errors are
+	// logic bugs and still propagate.
 	var matCost engine.Cost
+	noteMatFault := func(viewID string, err error) bool {
+		f, ok := faults.AsFault(err)
+		if !ok {
+			return false
+		}
+		d.backoff.noteFailure(viewID, f.Permanent)
+		report.MatFailed = append(report.MatFailed, viewID)
+		return true
+	}
 	for _, sv := range selViews {
+		if !d.backoff.allowed(sv.vc.id) {
+			continue
+		}
 		usedByQuery := bestRW != nil && bestRW.ViewID == sv.vc.id
 		c, created, err := d.materializeView(sv, res.Captured[sv.vc.node], usedByQuery)
+		matCost.Add(c)
 		if err != nil {
-			return QueryReport{}, err
+			if noteMatFault(sv.vc.id, err) {
+				continue
+			}
+			return QueryReport{}, nil, err
 		}
 		if !created {
 			continue
 		}
-		matCost.Add(c)
+		d.backoff.noteSuccess(sv.vc.id)
 		report.MaterializedViews = append(report.MaterializedViews, sv.vc.id)
 	}
 	for _, fc := range selFrags {
-		c, created, err := d.materializeFrag(fc, res.Captured)
-		if err != nil {
-			return QueryReport{}, err
+		if !d.backoff.allowed(fc.viewID) {
+			continue
 		}
+		c, created, err := d.materializeFrag(fc, res.Captured)
 		matCost.Add(c)
+		if err != nil {
+			if noteMatFault(fc.viewID, err) {
+				continue
+			}
+			return QueryReport{}, nil, err
+		}
+		if len(created) > 0 {
+			d.backoff.noteSuccess(fc.viewID)
+		}
 		for _, iv := range created {
 			report.MaterializedFrags = append(report.MaterializedFrags,
 				fmt.Sprintf("%s.%s%s", shortID(fc.viewID), fc.attr, iv))
 		}
 	}
 
-	// Optional extension: merge co-accessed adjacent fragments.
+	// Optional extension: merge co-accessed adjacent fragments. A merge
+	// is a materialization too: injected faults back off, never fail the
+	// query.
 	mergeCost, mergedFrags, err := d.maybeMergeFragments(bestRW)
-	if err != nil {
-		return QueryReport{}, err
-	}
 	matCost.Add(mergeCost)
+	if err != nil {
+		if bestRW == nil || !noteMatFault(bestRW.ViewID, err) {
+			return QueryReport{}, nil, err
+		}
+	}
 	report.MergedFrags = mergedFrags
 
 	// Evict what the selection rejected. Items pinned by a concurrent
@@ -413,7 +533,83 @@ func (d *DeepSea) ProcessQuery(q query.Node) (QueryReport, error) {
 	if key != "" && res.Table != nil {
 		d.Cache.Put(key, res.Table, d.viewDeps(qbest))
 	}
-	return report, nil
+	return report, nil, nil
+}
+
+// quarantineFromError quarantines the stored file named by an injected
+// storage-read fault in runErr: the file is removed from the engine and
+// the pool (bumping the owning view's generation, which invalidates
+// every cached result over it), so the retry's planning cannot choose
+// it again. Returns the quarantined paths (nil when runErr is not a
+// read fault, the path is not in the executed plan, or the file is
+// pinned by a concurrent query — which keeps it alive until that query
+// drains).
+func (d *DeepSea) quarantineFromError(plan query.Node, runErr error) []string {
+	f, ok := faults.AsFault(runErr)
+	if !ok || f.Site != faults.StorageRead || f.Key == "" {
+		return nil
+	}
+	// Resolve the owning view from the failing attempt's own plan — the
+	// fault's key is a path the plan read, so one of its ViewScans names
+	// it.
+	viewID := ""
+	query.Walk(plan, func(n query.Node) {
+		vs, ok := n.(*query.ViewScan)
+		if !ok || viewID != "" {
+			return
+		}
+		if vs.ViewPath == f.Key {
+			viewID = vs.ViewID
+			return
+		}
+		for _, p := range vs.FragIDs {
+			if p == f.Key {
+				viewID = vs.ViewID
+				return
+			}
+		}
+	})
+	if viewID == "" {
+		return nil
+	}
+	if d.quarantine(viewID, f.Key) {
+		return []string{f.Key}
+	}
+	return nil
+}
+
+// quarantine removes one stored file of a view from the engine and the
+// pool, under the view's exclusive stripe. Files still pinned by a
+// concurrent execution are left alone: that query planned against them,
+// and dropping them now would turn its read into a missing-file logic
+// error. Reports whether the file was removed.
+func (d *DeepSea) quarantine(viewID, path string) bool {
+	held := d.views.lockViews([]string{viewID})
+	defer d.views.unlockViews(held)
+	if d.isPinned(path) {
+		return false
+	}
+	pv := d.Pool.View(viewID)
+	if pv == nil {
+		return false
+	}
+	if pv.Path == path {
+		d.Eng.DeleteMaterialized(path)
+		d.Pool.DropViewFile(viewID)
+		d.Pool.GCViews(viewID)
+		return true
+	}
+	for attr, part := range pv.Parts {
+		for _, fr := range part.Fragments() {
+			if fr.Path == path {
+				d.Eng.DeleteMaterialized(path)
+				d.Pool.RemoveFragment(viewID, attr, fr.Iv)
+				d.Pool.GCViews(viewID)
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // evict removes one pool item and its storage. It reports whether the

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"deepsea/internal/engine"
+	"deepsea/internal/faults"
 	"deepsea/internal/interval"
 	"deepsea/internal/partition"
 	"deepsea/internal/query"
@@ -25,6 +26,11 @@ import (
 // executed plan did not already pay for them).
 func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, usedByQuery bool) (engine.Cost, bool, error) {
 	vc := sv.vc
+	// One Materialize-site injection decision per view materialization
+	// attempt; a fault here fails the attempt before anything is written.
+	if err := d.faults.Check(faults.Materialize, vc.id); err != nil {
+		return engine.Cost{}, false, fmt.Errorf("core: materialize view %s: %w", shortID(vc.id), err)
+	}
 	vs := d.Stats.View(vc.id)
 	var reconstructCost engine.Cost
 	if captured == nil && d.Cfg.ExecuteRows {
@@ -51,10 +57,14 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 	switch mode {
 	case PartitionNone:
 		path := d.viewPath(vc.id)
+		var err error
 		if captured != nil {
-			cost = d.Eng.WriteMaterialized(path, captured)
+			cost, err = d.Eng.WriteMaterialized(path, captured)
 		} else {
-			cost = d.Eng.WriteMaterializedSize(path, viewBytes)
+			cost, err = d.Eng.WriteMaterializedSize(path, viewBytes)
+		}
+		if err != nil {
+			return cost, false, fmt.Errorf("core: materialize view %s: %w", shortID(vc.id), err)
 		}
 		d.Pool.SetViewFile(vc.id, path, viewBytes)
 
@@ -77,11 +87,21 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 			for _, iv := range writes {
 				fragBytes, fragTbl := d.fragmentData(captured, attr, iv, viewBytes, dom)
 				path := d.fragPath(vc.id, attr, iv)
+				var wc engine.Cost
+				var err error
 				if fragTbl != nil {
-					cost.Add(d.Eng.WriteMaterialized(path, fragTbl))
+					wc, err = d.Eng.WriteMaterialized(path, fragTbl)
 				} else {
-					cost.Add(d.Eng.WriteMaterializedSize(path, fragBytes))
+					wc, err = d.Eng.WriteMaterializedSize(path, fragBytes)
 				}
+				if err != nil {
+					// Fragments from earlier iterations are already
+					// registered in the pool and stay: a partial
+					// partition is valid (gaps fall back to remainder
+					// plans), and the FS and pool still agree.
+					return cost, false, fmt.Errorf("core: materialize view %s: %w", shortID(vc.id), err)
+				}
+				cost.Add(wc)
 				d.Pool.AddFragment(vc.id, attr, partition.Fragment{Iv: iv, Path: path, Size: fragBytes})
 				fs := d.Stats.Partition(vc.id, attr, dom).Frag(iv)
 				fs.Size = fragBytes
@@ -357,6 +377,11 @@ func coalesceMin(ivs []interval.Interval, sizeOf func(interval.Interval) int64, 
 // the existing fragments (split or overlapping creation). It returns the
 // charged cost and the intervals actually written.
 func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*relation.Table) (engine.Cost, []interval.Interval, error) {
+	// One Materialize-site decision per fragment-materialization attempt,
+	// keyed by the view so a view's backoff covers its fragments too.
+	if err := d.faults.Check(faults.Materialize, fc.viewID); err != nil {
+		return engine.Cost{}, nil, fmt.Errorf("core: materialize fragment %s.%s%s: %w", shortID(fc.viewID), fc.attr, fc.iv, err)
+	}
 	pv := d.Pool.View(fc.viewID)
 	if pv == nil {
 		return engine.Cost{}, nil, fmt.Errorf("core: fragment candidate for unknown pool view %s", shortID(fc.viewID))
@@ -380,13 +405,19 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 		}
 		path := d.fragPath(fc.viewID, fc.attr, fc.iv)
 		var bytes int64
+		var wc engine.Cost
+		var err error
 		if tbl != nil {
-			cost.Add(d.Eng.WriteMaterialized(path, tbl))
+			wc, err = d.Eng.WriteMaterialized(path, tbl)
 			bytes = tbl.Bytes()
 		} else {
-			cost.Add(d.Eng.WriteMaterializedSize(path, fc.estSize))
+			wc, err = d.Eng.WriteMaterializedSize(path, fc.estSize)
 			bytes = fc.estSize
 		}
+		if err != nil {
+			return cost, nil, fmt.Errorf("core: materialize fragment %s.%s%s: %w", shortID(fc.viewID), fc.attr, fc.iv, err)
+		}
+		cost.Add(wc)
 		d.Pool.AddFragment(fc.viewID, fc.attr, partition.Fragment{Iv: fc.iv, Path: path, Size: bytes})
 		fs := pstat.Frag(fc.iv)
 		fs.Size = bytes
@@ -442,20 +473,36 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 	// so size estimates keep seeing only the pre-refinement fragments.
 	var written []interval.Interval
 	var pending []partition.Fragment
+	// undoPending deletes fragments written by this refinement but not
+	// yet pool-registered; on a mid-loop write failure it restores the
+	// FS/pool agreement (registration only happens after the loop).
+	undoPending := func(pending []partition.Fragment) {
+		for _, f := range pending {
+			d.Eng.DeleteMaterialized(f.Path)
+		}
+	}
 	for _, iv := range ref.Write {
 		path := d.fragPath(fc.viewID, fc.attr, iv)
 		var bytes int64
+		var wc engine.Cost
+		var werr error
 		if d.Cfg.ExecuteRows {
 			tbl, err := extractRows(parents, ref.Read, fc.attr, iv, pv.Schema)
 			if err != nil {
+				undoPending(pending)
 				return engine.Cost{}, nil, err
 			}
-			cost.Add(d.Eng.WriteMaterialized(path, tbl))
+			wc, werr = d.Eng.WriteMaterialized(path, tbl)
 			bytes = tbl.Bytes()
 		} else {
 			bytes = part.EstimateCandidateSize(iv)
-			cost.Add(d.Eng.WriteMaterializedSize(path, bytes))
+			wc, werr = d.Eng.WriteMaterializedSize(path, bytes)
 		}
+		if werr != nil {
+			undoPending(pending)
+			return cost, nil, fmt.Errorf("core: refinement of %s.%s%s: %w", shortID(fc.viewID), fc.attr, fc.iv, werr)
+		}
+		cost.Add(wc)
 		fs := pstat.Frag(iv)
 		fs.Size = bytes
 		fs.Measured = d.Cfg.ExecuteRows

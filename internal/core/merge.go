@@ -96,11 +96,21 @@ func (d *DeepSea) mergePair(viewID string, part *partition.Partition, pstat *sta
 		}
 		tbl := relation.NewTable(ta.Schema)
 		tbl.Rows = append(append(tbl.Rows, ta.Rows...), tb.Rows...)
-		cost.Add(d.Eng.WriteMaterialized(path, tbl))
+		wc, err := d.Eng.WriteMaterialized(path, tbl)
+		if err != nil {
+			// Nothing was dropped yet, so a failed merge write leaves the
+			// pair untouched — the merge simply did not happen.
+			return cost, fmt.Errorf("core: merge of %s/%s: %w", fa.Iv, fb.Iv, err)
+		}
+		cost.Add(wc)
 		bytes = tbl.Bytes()
 	} else {
 		bytes = fa.Size + fb.Size
-		cost.Add(d.Eng.WriteMaterializedSize(path, bytes))
+		wc, err := d.Eng.WriteMaterializedSize(path, bytes)
+		if err != nil {
+			return cost, fmt.Errorf("core: merge of %s/%s: %w", fa.Iv, fb.Iv, err)
+		}
+		cost.Add(wc)
 	}
 	d.Eng.DeleteMaterialized(fa.Path)
 	d.Eng.DeleteMaterialized(fb.Path)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"deepsea/internal/faults"
 	"deepsea/internal/relation"
 	"deepsea/internal/storage"
 )
@@ -42,6 +43,11 @@ type Engine struct {
 	// order never varies with the worker count.
 	Parallelism int
 
+	// faults, when non-nil, injects deterministic faults into the data
+	// path (worker tasks, view/fragment reads). Set before concurrent
+	// use; nil is the fault-free production configuration.
+	faults *faults.Injector
+
 	clock float64
 
 	// baseVersion counts base-catalog mutations. Result-cache keys embed
@@ -77,6 +83,17 @@ func (e *Engine) CostModel() *CostModel { return &e.cm }
 
 // FS exposes the simulated file system (pool accounting, tests).
 func (e *Engine) FS() *storage.FS { return e.fs }
+
+// SetFaults attaches a fault injector to the engine and its file
+// system; nil (the default) disables injection. Set before concurrent
+// use.
+func (e *Engine) SetFaults(in *faults.Injector) {
+	e.faults = in
+	e.fs.SetFaults(in)
+}
+
+// Faults returns the attached fault injector (nil when fault-free).
+func (e *Engine) Faults() *faults.Injector { return e.faults }
 
 // Now returns the simulated time in seconds.
 func (e *Engine) Now() float64 {
@@ -134,33 +151,43 @@ func (e *Engine) BaseBytes() int64 {
 
 // WriteMaterialized stores a materialized result under path (exec mode)
 // and returns the write cost. The caller decides whether the cost is
-// charged to the workload (view creation is; test setup is not).
-func (e *Engine) WriteMaterialized(path string, t *relation.Table) Cost {
+// charged to the workload (view creation is; test setup is not). A
+// failed write (injected storage fault) stores nothing.
+func (e *Engine) WriteMaterialized(path string, t *relation.Table) (Cost, error) {
 	bytes := t.Bytes()
-	e.fs.Write(path, bytes)
+	if err := e.fs.Write(path, bytes); err != nil {
+		return Cost{}, err
+	}
 	e.mu.Lock()
 	e.mat[path] = t
 	e.mu.Unlock()
-	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
+	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}, nil
 }
 
 // WriteMaterializedSize records a materialized file of the given size
 // without row data (estimate-only mode) and returns the write cost.
-func (e *Engine) WriteMaterializedSize(path string, bytes int64) Cost {
-	e.fs.Write(path, bytes)
+func (e *Engine) WriteMaterializedSize(path string, bytes int64) (Cost, error) {
+	if err := e.fs.Write(path, bytes); err != nil {
+		return Cost{}, err
+	}
 	e.mu.Lock()
 	delete(e.mat, path)
 	e.mu.Unlock()
-	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}
+	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}, nil
 }
 
 // ReadMaterialized returns the stored rows for path (nil in estimate-only
-// mode) and the cost of a full scan of the file.
+// mode) and the cost of a full scan of the file. A failed read (missing
+// file, injected storage fault) is the caller's to handle: the file may
+// still exist, only this read of it failed.
 func (e *Engine) ReadMaterialized(path string) (*relation.Table, Cost, error) {
 	if !e.fs.Exists(path) {
 		return nil, Cost{}, fmt.Errorf("engine: materialized file %s does not exist", path)
 	}
-	bytes, _ := e.fs.Read(path)
+	bytes, err := e.fs.Read(path)
+	if err != nil {
+		return nil, Cost{}, err
+	}
 	sec, tasks := e.cm.ReadCost(bytes, 1)
 	return e.Materialized(path), Cost{Seconds: sec, ReadBytes: bytes, MapTasks: tasks}, nil
 }

@@ -223,7 +223,9 @@ func materializeJoinView(t *testing.T, e *Engine, ivs []interval.Interval) *rela
 	t.Helper()
 	res := mustRun(t, e, joinPlan())
 	view := res.Table
-	e.WriteMaterialized("views/j/full", view)
+	if _, err := e.WriteMaterialized("views/j/full", view); err != nil {
+		t.Fatal(err)
+	}
 	ai := view.Schema.ColIndex("ss_item_sk")
 	for _, iv := range ivs {
 		frag := relation.NewTable(view.Schema)
@@ -232,7 +234,9 @@ func materializeJoinView(t *testing.T, e *Engine, ivs []interval.Interval) *rela
 				frag.Append(row)
 			}
 		}
-		e.WriteMaterialized(fragPath(iv), frag)
+		if _, err := e.WriteMaterialized(fragPath(iv), frag); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return view
 }
@@ -463,7 +467,10 @@ func TestClockAdvance(t *testing.T) {
 func TestWriteAndDeleteMaterialized(t *testing.T) {
 	e := testEngine()
 	tbl := e.BaseTable("item").Clone()
-	c := e.WriteMaterialized("v/x", tbl)
+	c, err := e.WriteMaterialized("v/x", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.WriteBytes != tbl.Bytes() || c.Seconds <= 0 {
 		t.Errorf("write cost = %+v", c)
 	}

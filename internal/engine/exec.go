@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"deepsea/internal/faults"
 	"deepsea/internal/interval"
 	"deepsea/internal/query"
 	"deepsea/internal/relation"
@@ -27,6 +29,22 @@ type Result struct {
 // may list plan nodes whose intermediate outputs the caller wants (for
 // view materialization); it may be nil.
 func (e *Engine) Run(plan query.Node, capture map[query.Node]bool) (Result, error) {
+	return e.RunContext(context.Background(), plan, capture)
+}
+
+// RunContext is Run with cancellation: a cancelled or expired ctx stops
+// workers from starting new tasks and the call returns ctx.Err(). By
+// the time it returns — success, failure, or cancellation — every
+// goroutine the run spawned has joined, so runs never leak workers.
+// Injected worker faults and panics anywhere in the data path likewise
+// surface as errors rather than crashing the process.
+func (e *Engine) RunContext(ctx context.Context, plan query.Node, capture map[query.Node]bool) (res Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if !e.ExecuteRows {
 		c, err := e.EstimateCost(plan)
 		if err != nil {
@@ -34,14 +52,32 @@ func (e *Engine) Run(plan query.Node, capture map[query.Node]bool) (Result, erro
 		}
 		return Result{Cost: c}, nil
 	}
-	res := Result{Captured: make(map[query.Node]*relation.Table)}
+	res = Result{Captured: make(map[query.Node]*relation.Table)}
 	// One worker budget per Run: intra-operator chunk workers and
 	// inter-operator sibling tasks draw from the same Parallelism-sized
-	// token pool.
+	// token pool. The budget also carries the run's context and fault
+	// source, checked once per task.
 	bud := newBudget(e.par())
-	out, err := e.eval(plan, capture, &res, bud)
-	if err != nil {
-		return Result{}, err
+	bud.ctx = ctx
+	bud.faults = e.faults
+	// Panics on the calling goroutine (operator setup and merge steps
+	// outside the task pools) become errors too; forEachTask has already
+	// recovered worker-goroutine panics into the budget by this point.
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = fmt.Errorf("engine: execution panic: %v", r)
+		}
+	}()
+	out, evalErr := e.eval(plan, capture, &res, bud)
+	if evalErr == nil {
+		// A worker fault or panic may be recorded without surfacing
+		// through eval's return path (the merge step tolerates partial
+		// slots); the budget's first error is authoritative.
+		evalErr = bud.abortErr()
+	}
+	if evalErr != nil {
+		return Result{}, evalErr
 	}
 	e.settle(&out)
 	res.Table = out.tbl
@@ -86,6 +122,11 @@ func (e *Engine) settle(o *evalOut) {
 }
 
 func (e *Engine) eval(n query.Node, capture map[query.Node]bool, res *Result, bud *budget) (evalOut, error) {
+	// Abort between nodes once the run has failed or been cancelled, so
+	// deep plans stop promptly instead of evaluating doomed subtrees.
+	if err := bud.abortErr(); err != nil {
+		return evalOut{}, err
+	}
 	out, err := e.evalNode(n, capture, res, bud)
 	if err != nil {
 		return out, err
@@ -246,6 +287,12 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 			if !e.fs.Exists(path) {
 				return evalOut{}, fmt.Errorf("engine: fragment %s of view %s missing", path, v.ViewID)
 			}
+			// An injected read fault on a stored fragment fails the run;
+			// the fault's Key names the path so the caller can quarantine
+			// exactly the file that failed and replan around it.
+			if err := e.faults.Check(faults.StorageRead, path); err != nil {
+				return evalOut{}, fmt.Errorf("engine: read fragment %s of view %s: %w", path, v.ViewID, err)
+			}
 			srcBytes += e.fs.Size(path)
 			srcFiles++
 			clip := v.Reads[i]
@@ -254,6 +301,9 @@ func (e *Engine) evalViewScan(v *query.ViewScan, capture map[query.Node]bool, re
 	} else {
 		if !e.fs.Exists(v.ViewPath) {
 			return evalOut{}, fmt.Errorf("engine: view file %s missing", v.ViewPath)
+		}
+		if err := e.faults.Check(faults.StorageRead, v.ViewPath); err != nil {
+			return evalOut{}, fmt.Errorf("engine: read view file %s: %w", v.ViewPath, err)
 		}
 		srcBytes = e.fs.Size(v.ViewPath)
 		srcFiles = 1

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"deepsea/internal/faults"
 	"deepsea/internal/relation"
 )
 
@@ -42,6 +45,20 @@ type budget struct {
 	// (join bucket counts) use it so data layouts stay fixed by
 	// configuration, never by runtime token availability.
 	workers int
+
+	// ctx, when non-nil, aborts the run: workers stop picking up tasks
+	// once it is cancelled, and the run returns ctx.Err().
+	ctx context.Context
+	// faults, when non-nil, draws one Worker-site injection decision
+	// per task.
+	faults *faults.Injector
+
+	// err records the first failure of the run — an injected worker
+	// fault, a recovered worker panic, or the context's cancellation.
+	// hasErr is its lock-free fast flag, checked once per task.
+	hasErr atomic.Bool
+	errMu  sync.Mutex
+	err    error
 }
 
 // newBudget returns a budget for par workers (par <= 1 means fully
@@ -75,6 +92,41 @@ func (b *budget) par() int {
 		return 1
 	}
 	return b.workers
+}
+
+// fail records err as the run's failure if it is the first.
+func (b *budget) fail(err error) {
+	if b == nil || err == nil {
+		return
+	}
+	b.errMu.Lock()
+	if b.err == nil {
+		b.err = err
+		b.hasErr.Store(true)
+	}
+	b.errMu.Unlock()
+}
+
+// abortErr returns the error that should abort further work: the first
+// recorded task failure, or the context's error once it is cancelled.
+// Safe on a nil budget (sequential helpers and tests).
+func (b *budget) abortErr() error {
+	if b == nil {
+		return nil
+	}
+	if b.hasErr.Load() {
+		b.errMu.Lock()
+		defer b.errMu.Unlock()
+		return b.err
+	}
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			return b.ctx.Err()
+		default:
+		}
+	}
+	return nil
 }
 
 // numChunks returns how many fixed-size chunks n rows split into.
@@ -118,16 +170,39 @@ func forEachChunk(b *budget, n int, fn func(chunk, lo, hi int)) {
 // the shared budget has free tokens, and return their tokens when the
 // task space drains. Task results must be written to per-task slots so
 // that the caller can merge them in task order.
+//
+// Failure semantics: once the budget records an error (cancelled
+// context, injected worker fault, worker panic) no further tasks start;
+// tasks already running finish. Panics inside fn are recovered into the
+// budget's error, so helper goroutines always return their tokens and
+// wg.Wait never hangs — the caller observes the failure via
+// b.abortErr(), and must not trust the per-task slots after one. All
+// spawned goroutines have joined by return, even on failure, so a run
+// never leaks workers.
 func forEachTask(b *budget, tasks int, fn func(task int)) {
 	if tasks <= 0 {
 		return
 	}
 	var next atomic.Int64
 	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				b.fail(fmt.Errorf("engine: worker panic: %v", r))
+			}
+		}()
 		for {
+			if b.abortErr() != nil {
+				return
+			}
 			t := int(next.Add(1)) - 1
 			if t >= tasks {
 				return
+			}
+			if b != nil && b.faults != nil {
+				if err := b.faults.Check(faults.Worker, ""); err != nil {
+					b.fail(fmt.Errorf("engine: worker task: %w", err))
+					return
+				}
 			}
 			fn(t)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"deepsea/internal/interval"
+	"deepsea/internal/leakcheck"
 	"deepsea/internal/query"
 	"deepsea/internal/relation"
 )
@@ -58,6 +59,7 @@ func sameRows(a, b *relation.Table) bool {
 // multi-chunk table at several worker counts and demands byte-identical
 // output — same rows, same order, same float accumulation.
 func TestParallelDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	const nRows = 3*chunkRows + 17
 	plans := map[string]func() query.Node{
 		"filter": func() query.Node {
@@ -128,6 +130,7 @@ func TestParallelDeterminism(t *testing.T) {
 // TestParallelViewScanDeterminism covers the stored-fragment filter path
 // (evalViewScan) at several worker counts.
 func TestParallelViewScanDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	ivs := []interval.Interval{interval.New(0, 50), interval.New(40, 99)}
 	queryIv := interval.New(30, 70)
 	var want *relation.Table
@@ -167,6 +170,7 @@ func TestParallelViewScanDeterminism(t *testing.T) {
 // Output rows, their order, and every captured intermediate must be
 // byte-identical at every worker count.
 func TestParallelMultiGapRemainderDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	ivs := []interval.Interval{interval.New(20, 40), interval.New(60, 80)}
 	queryIv := interval.New(0, 99)
 	gaps := []interval.Interval{interval.New(0, 19), interval.New(41, 59), interval.New(81, 99)}

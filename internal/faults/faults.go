@@ -1,0 +1,252 @@
+// Package faults provides a deterministic, seeded fault injector for
+// chaos-testing the data path. Storage, the engine's worker pool and
+// the view manager consult the injector at well-defined sites (storage
+// reads and writes, worker tasks, materialization); a nil injector is
+// the production configuration and costs a single pointer comparison
+// per site.
+//
+// Determinism: whether the n-th check at a given (site, key) injects a
+// fault — and whether that fault is transient or permanent — is a pure
+// function of (seed, site, key, n). The schedule of faults for any one
+// key is therefore reproducible across runs regardless of goroutine
+// interleaving; only the assignment of anonymous-key checks (key "")
+// to particular workers can vary under concurrency.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Site identifies one class of injection point.
+type Site int
+
+// Injection sites.
+const (
+	// StorageRead covers reads of materialized files (whole views and
+	// fragments), both on the execution path and inside refinement.
+	StorageRead Site = iota
+	// StorageWrite covers writes of materialized files.
+	StorageWrite
+	// Worker covers the engine's token-budgeted data-path tasks (chunk
+	// workers and sibling subplan tasks).
+	Worker
+	// Materialize covers the view manager's materialization decisions:
+	// a fault here fails the whole materialization attempt before any
+	// write happens.
+	Materialize
+
+	numSites
+)
+
+// String names the site for errors and reports.
+func (s Site) String() string {
+	switch s {
+	case StorageRead:
+		return "storage-read"
+	case StorageWrite:
+		return "storage-write"
+	case Worker:
+		return "worker"
+	case Materialize:
+		return "materialize"
+	default:
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+}
+
+// Config declares the per-site injection probabilities. Zero
+// probabilities disable a site entirely (no bookkeeping is done for
+// it), so an all-zero Config is a near-free no-op injector.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// StorageRead, StorageWrite, Worker and Materialize are the per-site
+	// injection probabilities in [0, 1].
+	StorageRead  float64
+	StorageWrite float64
+	Worker       float64
+	Materialize  float64
+	// PermanentFraction is the fraction of injected faults that are
+	// permanent (non-retryable); the rest are transient. 0 makes every
+	// fault transient, 1 makes every fault permanent.
+	PermanentFraction float64
+}
+
+// Fault is an injected error. Consumers distinguish injected faults
+// from logic errors with AsFault and decide retry/degradation policy
+// from Permanent.
+type Fault struct {
+	Site Site
+	Key  string
+	// Permanent marks a non-retryable fault (a corrupt file, a poisoned
+	// task); transient faults model timeouts and lost containers that a
+	// retry may outlive.
+	Permanent bool
+	// N is which check at (Site, Key) fired, for reproducing a schedule.
+	N uint64
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "transient"
+	if f.Permanent {
+		kind = "permanent"
+	}
+	key := f.Key
+	if key == "" {
+		key = "<anon>"
+	}
+	return fmt.Sprintf("faults: injected %s %s fault at %s (check %d)", kind, f.Site, key, f.N)
+}
+
+// AsFault unwraps err to an injected *Fault, if one is anywhere in its
+// chain.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// SiteStats counts one site's activity.
+type SiteStats struct {
+	// Checks is how many enabled-site checks ran.
+	Checks uint64
+	// Injected is how many of them returned a fault.
+	Injected uint64
+	// Permanent is how many injected faults were permanent.
+	Permanent uint64
+}
+
+// Injector is a deterministic fault source. All methods are safe for
+// concurrent use and safe on a nil receiver (which never injects and
+// does no work).
+type Injector struct {
+	seed  uint64
+	perm  float64
+	probs [numSites]float64
+
+	mu     sync.Mutex
+	counts map[siteKey]uint64
+	stats  [numSites]SiteStats
+}
+
+type siteKey struct {
+	site Site
+	key  string
+}
+
+// New returns an injector for the given configuration.
+func New(cfg Config) *Injector {
+	in := &Injector{
+		seed:   uint64(cfg.Seed),
+		perm:   cfg.PermanentFraction,
+		counts: make(map[siteKey]uint64),
+	}
+	in.probs[StorageRead] = cfg.StorageRead
+	in.probs[StorageWrite] = cfg.StorageWrite
+	in.probs[Worker] = cfg.Worker
+	in.probs[Materialize] = cfg.Materialize
+	return in
+}
+
+// Check runs one injection decision at a site. key identifies the
+// object being touched (a file path, a view id; "" for anonymous
+// worker tasks). It returns nil, or a *Fault the caller must treat as
+// the operation having failed.
+func (in *Injector) Check(site Site, key string) error {
+	if in == nil {
+		return nil
+	}
+	p := in.probs[site]
+	if p <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	sk := siteKey{site, key}
+	n := in.counts[sk]
+	in.counts[sk] = n + 1
+	in.stats[site].Checks++
+	h := mix(in.seed, uint64(site)+1, hashString(key), n)
+	if unit(h) >= p {
+		in.mu.Unlock()
+		return nil
+	}
+	f := &Fault{Site: site, Key: key, N: n,
+		Permanent: unit(mix(h, 0x70657264)) < in.perm} // "perd": independent permanence draw
+	in.stats[site].Injected++
+	if f.Permanent {
+		in.stats[site].Permanent++
+	}
+	in.mu.Unlock()
+	return f
+}
+
+// Enabled reports whether the site has a positive probability — for
+// callers that want to skip building a key string when injection is
+// off.
+func (in *Injector) Enabled(site Site) bool {
+	return in != nil && in.probs[site] > 0
+}
+
+// Stats returns a snapshot of per-site activity (nil map for a nil
+// injector).
+func (in *Injector) Stats() map[Site]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Site]SiteStats, numSites)
+	for s := Site(0); s < numSites; s++ {
+		out[s] = in.stats[s]
+	}
+	return out
+}
+
+// TotalInjected returns how many faults have been injected across all
+// sites (0 for a nil injector).
+func (in *Injector) TotalInjected() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total uint64
+	for s := Site(0); s < numSites; s++ {
+		total += in.stats[s].Injected
+	}
+	return total
+}
+
+// mix folds the inputs through a splitmix64-style finalizer — any fixed
+// mixing works; it only needs to depend on every input.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vs {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// hashString is FNV-1a, inlined so the package stays dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNilInjectorNeverInjects: the production configuration is a nil
+// injector; every site must be a no-op.
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var in *Injector
+	for s := Site(0); s < numSites; s++ {
+		if err := in.Check(s, "k"); err != nil {
+			t.Fatalf("nil injector injected at %s: %v", s, err)
+		}
+	}
+	if in.Enabled(StorageRead) || in.TotalInjected() != 0 || in.Stats() != nil {
+		t.Error("nil injector reported activity")
+	}
+}
+
+// TestZeroProbabilityIsFree: disabled sites inject nothing and do no
+// bookkeeping (Checks stays zero).
+func TestZeroProbabilityIsFree(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if err := in.Check(StorageRead, "a"); err != nil {
+			t.Fatal("zero-probability site injected")
+		}
+	}
+	if st := in.Stats()[StorageRead]; st.Checks != 0 || st.Injected != 0 {
+		t.Errorf("disabled site did bookkeeping: %+v", st)
+	}
+}
+
+// TestDeterministicSchedule: the fault schedule for a (site, key) is a
+// pure function of the seed — two injectors with the same seed agree
+// check for check, and a different seed diverges somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(Config{Seed: seed, StorageRead: 0.3, PermanentFraction: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Check(StorageRead, "views/v1/frag") != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at check %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical 200-check schedule")
+	}
+}
+
+// TestProbabilityExtremesAndPermanence: p=1 always injects; the
+// permanent fraction is honored at its extremes.
+func TestProbabilityExtremesAndPermanence(t *testing.T) {
+	for _, perm := range []float64{0, 1} {
+		in := New(Config{Seed: 7, Worker: 1, PermanentFraction: perm})
+		for i := 0; i < 50; i++ {
+			err := in.Check(Worker, "")
+			f, ok := AsFault(err)
+			if !ok {
+				t.Fatalf("p=1 did not inject at check %d", i)
+			}
+			if f.Permanent != (perm == 1) {
+				t.Fatalf("PermanentFraction=%g produced Permanent=%v", perm, f.Permanent)
+			}
+		}
+	}
+}
+
+// TestInjectionRateRoughlyMatches: over many checks the empirical rate
+// lands near the configured probability.
+func TestInjectionRateRoughlyMatches(t *testing.T) {
+	in := New(Config{Seed: 11, StorageWrite: 0.3})
+	const n = 5000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Check(StorageWrite, fmt.Sprintf("f%d", i%17)) != nil {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("empirical rate %.3f far from configured 0.3", rate)
+	}
+	st := in.Stats()[StorageWrite]
+	if st.Checks != n || st.Injected != uint64(hits) {
+		t.Errorf("stats %+v disagree with observed %d/%d", st, hits, n)
+	}
+}
+
+// TestAsFaultThroughWrapping: faults survive %w chains, and ordinary
+// errors do not masquerade as faults.
+func TestAsFaultThroughWrapping(t *testing.T) {
+	in := New(Config{Seed: 3, Materialize: 1})
+	err := in.Check(Materialize, "view-1")
+	wrapped := fmt.Errorf("core: materialize: %w", fmt.Errorf("engine: %w", err))
+	f, ok := AsFault(wrapped)
+	if !ok || f.Site != Materialize || f.Key != "view-1" {
+		t.Fatalf("AsFault through wrapping = %v, %v", f, ok)
+	}
+	if _, ok := AsFault(fmt.Errorf("plain error")); ok {
+		t.Error("plain error recognized as fault")
+	}
+}

@@ -1,0 +1,48 @@
+// Package leakcheck is a test helper that fails a test if it leaks
+// goroutines. It snapshots the goroutine count when installed and, at
+// test cleanup, retry-compares against that baseline: counts are noisy
+// (the runtime and sibling tests start and stop goroutines), so the
+// check polls with backoff and only fails once the deadline passes with
+// the count still above baseline.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// deadline bounds how long Check waits for stragglers to exit before
+// declaring a leak. Generous on purpose: a real leak never drains, so
+// waiting costs nothing on passing tests beyond the final poll.
+const deadline = 2 * time.Second
+
+// Check snapshots the current goroutine count and registers a cleanup
+// that fails t if, after retries, more goroutines are running than at
+// the snapshot. Call it first thing in any test that spawns workers:
+//
+//	func TestX(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var n int
+		for wait := time.Millisecond; ; wait *= 2 {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if wait > deadline {
+				break
+			}
+			time.Sleep(wait)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines leaked (baseline %d, now %d); stacks:\n%s",
+			n-base, base, n, buf)
+	})
+}

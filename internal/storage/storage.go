@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"deepsea/internal/faults"
 )
 
 // DefaultBlockSize is the modelled HDFS block size (128 MB), the lower
@@ -30,6 +32,10 @@ type File struct {
 // writes or deletes.
 type FS struct {
 	blockSize int64
+
+	// faults, when non-nil, is consulted by Read/ReadPartial
+	// (StorageRead) and Write (StorageWrite). Set before concurrent use.
+	faults *faults.Injector
 
 	mu    sync.RWMutex
 	files map[string]File
@@ -59,27 +65,42 @@ func (fs *FS) Blocks(size int64) int64 {
 	return (size + fs.blockSize - 1) / fs.blockSize
 }
 
+// SetFaults attaches a fault injector to the storage layer; nil (the
+// default) runs fault-free. Set before concurrent use.
+func (fs *FS) SetFaults(in *faults.Injector) { fs.faults = in }
+
 // Write creates or replaces a file of the given size and accounts the
-// written bytes.
-func (fs *FS) Write(path string, size int64) {
+// written bytes. A negative size is a caller bug reported as an error;
+// an attached fault injector may also fail the write, in which case no
+// file is created or replaced.
+func (fs *FS) Write(path string, size int64) error {
 	if size < 0 {
-		panic(fmt.Sprintf("storage: negative size %d for %s", size, path))
+		return fmt.Errorf("storage: negative size %d for %s", size, path)
+	}
+	if err := fs.faults.Check(faults.StorageWrite, path); err != nil {
+		return fmt.Errorf("storage: write %s: %w", path, err)
 	}
 	fs.mu.Lock()
 	fs.files[path] = File{Path: path, Size: size}
 	fs.bytesWritten += size
 	fs.mu.Unlock()
+	return nil
 }
 
 // Read accounts a full read of the named file and returns its size. It
 // returns an error if the file does not exist: reading a missing file
 // means the pool and the FS disagree, which is a bug worth surfacing.
+// An attached fault injector may also fail the read; no bytes are
+// accounted then.
 func (fs *FS) Read(path string) (int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
 	if !ok {
 		return 0, fmt.Errorf("storage: read of missing file %s", path)
+	}
+	if err := fs.faults.Check(faults.StorageRead, path); err != nil {
+		return 0, fmt.Errorf("storage: read %s: %w", path, err)
 	}
 	fs.bytesRead += f.Size
 	return f.Size, nil
@@ -92,6 +113,9 @@ func (fs *FS) ReadPartial(path string, n int64) error {
 	defer fs.mu.Unlock()
 	if _, ok := fs.files[path]; !ok {
 		return fmt.Errorf("storage: read of missing file %s", path)
+	}
+	if err := fs.faults.Check(faults.StorageRead, path); err != nil {
+		return fmt.Errorf("storage: read %s: %w", path, err)
 	}
 	fs.bytesRead += n
 	return nil

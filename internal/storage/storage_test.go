@@ -1,6 +1,10 @@
 package storage
 
-import "testing"
+import (
+	"testing"
+
+	"deepsea/internal/faults"
+)
 
 func TestBlocks(t *testing.T) {
 	fs := NewFS(100)
@@ -77,11 +81,48 @@ func TestTotalSizeAndList(t *testing.T) {
 	}
 }
 
-func TestWritePanicsOnNegativeSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative write did not panic")
-		}
-	}()
-	NewFS(0).Write("x", -1)
+func TestWriteRejectsNegativeSize(t *testing.T) {
+	fs := NewFS(0)
+	if err := fs.Write("x", -1); err == nil {
+		t.Fatal("negative write did not error")
+	}
+	if fs.Exists("x") || fs.BytesWritten() != 0 {
+		t.Error("rejected write left state behind")
+	}
+}
+
+// TestWriteFaultLeavesNoFile: an injected write fault must not create
+// or replace the file, and must not account bytes.
+func TestWriteFaultLeavesNoFile(t *testing.T) {
+	fs := NewFS(100)
+	fs.SetFaults(faults.New(faults.Config{Seed: 1, StorageWrite: 1}))
+	err := fs.Write("v1/f0", 500)
+	if _, ok := faults.AsFault(err); !ok {
+		t.Fatalf("Write under p=1 injector = %v, want fault", err)
+	}
+	if fs.Exists("v1/f0") || fs.BytesWritten() != 0 {
+		t.Error("failed write mutated the FS")
+	}
+}
+
+// TestReadFaultAccountsNothing: an injected read fault surfaces as an
+// error and accounts no bytes; existence checks still work.
+func TestReadFaultAccountsNothing(t *testing.T) {
+	fs := NewFS(100)
+	if err := fs.Write("f", 1000); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(faults.New(faults.Config{Seed: 1, StorageRead: 1}))
+	if _, err := fs.Read("f"); err == nil {
+		t.Fatal("Read under p=1 injector succeeded")
+	}
+	if err := fs.ReadPartial("f", 10); err == nil {
+		t.Fatal("ReadPartial under p=1 injector succeeded")
+	}
+	if fs.BytesRead() != 0 {
+		t.Errorf("failed reads accounted %d bytes", fs.BytesRead())
+	}
+	if !fs.Exists("f") {
+		t.Error("Exists affected by read faults")
+	}
 }

@@ -9,11 +9,15 @@
 #   3. shuffled double run — flushes ordering-dependent tests
 #   4. lock-order assertions (-tags lockcheck builds the checking
 #      implementation of internal/lockcheck into the manager's locks)
-#   5. staticcheck, when installed (the workflow installs it; local runs
+#   5. chaos smoke — the seeded fault-injection and cancellation suite
+#      under the race detector: every surviving query byte-identical to
+#      the fault-free run, no leaked goroutines, no leaked pins
+#   6. staticcheck, when installed (the workflow installs it; local runs
 #      skip it with a note rather than demanding the tool)
-#   6. bench smoke: cachespeed + lockspeed at short scale with JSON
-#      reports, then benchcheck gates the host-independent metrics
-#      (determinism, cache hit rate, pool mutations)
+#   7. bench smoke: cachespeed + lockspeed + faultspeed at short scale
+#      with JSON reports, then benchcheck gates the host-independent
+#      metrics (determinism, cache hit rate, pool mutations,
+#      fault-plumbing overhead)
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -42,6 +46,10 @@ $GO test -shuffle=on -count=2 ./...
 echo "==> lockcheck"
 $GO test -tags lockcheck ./internal/lockcheck ./internal/core
 
+echo "==> chaos smoke (race)"
+$GO test -race -run 'TestChaos|TestFragmentReadFault|TestMaterializeFaults|TestPermanentMaterialize|TestProcessQueryContext' ./internal/core
+$GO test -race -run 'TestRunContext|TestForEachTask|TestViewScanReadFault' ./internal/engine
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "==> staticcheck"
     staticcheck ./...
@@ -55,6 +63,7 @@ $GO build -o "$BENCH_DIR/deepsea-bench" ./cmd/deepsea-bench
 $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment cachespeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment lockspeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment faultspeed -params short -json)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
