@@ -1,0 +1,187 @@
+package deepsea
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunBatchMatchesSerial is the batching correctness contract: a
+// batch plans every item under one planning-lock acquisition, yet the
+// results are byte-identical to running the same queries serially on a
+// fresh system.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	ranges := [][2]int64{
+		{0, 499}, {100, 400}, {500, 999}, {0, 999},
+		{250, 750}, {0, 199}, {600, 899}, {300, 650},
+	}
+
+	// The identity contract is multiset equality (the engine does not
+	// define an output row order): compare content fingerprints, as the
+	// core's own concurrency tests do.
+	serial := newSystem(t)
+	want := make([]string, len(ranges))
+	for i, r := range ranges {
+		rep, err := serial.Run(salesByCategory(r[0], r[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep.Result.Fingerprint()
+	}
+
+	batched := newSystem(t)
+	items := make([]BatchItem, len(ranges))
+	for i, r := range ranges {
+		items[i] = BatchItem{Query: salesByCategory(r[0], r[1])}
+	}
+	before := batched.PlanAcquisitions()
+	reps, errs := batched.RunBatch(items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	if got := batched.PlanAcquisitions() - before; got != 1 {
+		t.Errorf("batch of %d acquired the planning lock %d times, want 1", len(ranges), got)
+	}
+	for i := range ranges {
+		if reps[i].Result.Fingerprint() != want[i] {
+			t.Errorf("item %d: batched result differs from serial result", i)
+		}
+	}
+
+	// A second batch of the same queries must be answered from views the
+	// first batch materialized (and still match).
+	reps2, errs2 := batched.RunBatch(items)
+	rewritten := 0
+	for i := range ranges {
+		if errs2[i] != nil {
+			t.Fatalf("second batch item %d: %v", i, errs2[i])
+		}
+		if reps2[i].Result.Fingerprint() != want[i] {
+			t.Errorf("second batch item %d: result differs from serial result", i)
+		}
+		if reps2[i].Rewritten {
+			rewritten++
+		}
+	}
+	if rewritten == 0 {
+		t.Error("second batch reused no views")
+	}
+}
+
+// TestRunBatchErrorAlignment: bad items fail individually, index-aligned,
+// without poisoning their batch mates.
+func TestRunBatchErrorAlignment(t *testing.T) {
+	s := newSystem(t)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := []BatchItem{
+		{Query: salesByCategory(0, 499)},
+		{Query: nil},
+		{Query: Scan("missing").Where("item", 0, 1)},
+		{Ctx: canceled, Query: salesByCategory(0, 99)},
+		{Query: salesByCategory(500, 999)},
+	}
+	reps, errs := s.RunBatch(items)
+	if errs[0] != nil || errs[4] != nil {
+		t.Fatalf("good items failed: %v / %v", errs[0], errs[4])
+	}
+	if len(reps[0].Rows()) == 0 || len(reps[4].Rows()) == 0 {
+		t.Error("good items returned no rows")
+	}
+	if errs[1] == nil {
+		t.Error("nil query did not fail")
+	}
+	if errs[2] == nil {
+		t.Error("unknown table did not fail")
+	}
+	if !errors.Is(errs[3], context.Canceled) {
+		t.Errorf("cancelled item: got %v, want context.Canceled", errs[3])
+	}
+}
+
+// TestTemplateKey: queries differing only in range bounds share a
+// template key; different shapes do not.
+func TestTemplateKey(t *testing.T) {
+	s := newSystem(t)
+	a, err := s.TemplateKey(salesByCategory(0, 499))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.TemplateKey(salesByCategory(250, 750))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same template, different ranges: keys differ")
+	}
+	c, err := s.TemplateKey(Scan("sales").Where("item", 0, 499).
+		GroupBy("item").Agg(Count("n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different shapes share a template key")
+	}
+	if _, err := s.TemplateKey(Scan("missing")); err == nil {
+		t.Error("unknown table produced a template key")
+	}
+}
+
+// TestHealthSnapshot: the operational snapshot reflects traffic, pool
+// occupancy and cache counters.
+func TestHealthSnapshot(t *testing.T) {
+	s := newSystem(t, WithResultCache(64<<20), WithPoolLimit(1<<30))
+	if h := s.Health(); h.Queries != 0 || h.InFlight != 0 {
+		t.Fatalf("fresh system health: %+v", h)
+	}
+	if _, err := s.Run(salesByCategory(0, 499)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(salesByCategory(0, 499)); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if h.Queries != 2 {
+		t.Errorf("Queries = %d, want 2", h.Queries)
+	}
+	if h.InFlight != 0 {
+		t.Errorf("InFlight = %d, want 0", h.InFlight)
+	}
+	if h.PlanAcquisitions == 0 {
+		t.Error("no planning-lock acquisitions recorded")
+	}
+	if h.PoolBytes != s.PoolBytes() {
+		t.Errorf("PoolBytes = %d, want %d", h.PoolBytes, s.PoolBytes())
+	}
+	if h.PoolLimit != 1<<30 {
+		t.Errorf("PoolLimit = %d, want %d", h.PoolLimit, int64(1<<30))
+	}
+	if h.CacheCapacity != 64<<20 {
+		t.Errorf("CacheCapacity = %d, want %d", h.CacheCapacity, int64(64<<20))
+	}
+	if h.CacheHits == 0 {
+		t.Error("identical repeat query did not hit the cache")
+	}
+	if h.StatsShards == 0 || h.StatsViews == 0 {
+		t.Errorf("stats registry empty: %d views / %d shards", h.StatsViews, h.StatsShards)
+	}
+
+	// Degradation state surfaces: every stored read fails, so the second
+	// query quarantines what the first materialized.
+	f := newSystem(t, WithFaultInjection(FaultConfig{Seed: 7, StorageRead: 1}), WithFaultRetries(64))
+	if _, err := f.Run(salesByCategory(0, 499)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(salesByCategory(0, 499)); err != nil {
+		t.Fatal(err)
+	}
+	fh := f.Health()
+	if len(fh.Quarantined) == 0 {
+		t.Error("health reports no quarantined files after injected read faults")
+	}
+	if fh.FaultsInjected == 0 {
+		t.Error("health reports no injected faults")
+	}
+}

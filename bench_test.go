@@ -1,4 +1,4 @@
-package deepsea
+package deepsea_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's evaluation (Section 10). Each benchmark runs its experiment at

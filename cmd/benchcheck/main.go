@@ -42,6 +42,14 @@ var floors = map[string][]floor{
 		{"identical", 1},   // zero-rate injector changes nothing
 		{"overhead_ok", 1}, // armed-at-zero checks stay within 1% / 50ms
 	},
+	"servespeed": {
+		{"identical", 1},            // concurrent serving matches the serial reference
+		{"no_shed_below_limit", 1},  // clients == slots must never be shed
+		{"sheds_under_overload", 1}, // overload must shed, not queue unboundedly
+		{"coalesced", 1},            // same-template burst: acquisitions < requests
+		{"plan_amortization", 1},    // and never worse than one acquisition per query
+		{"p99_ok", 1},               // p99 within max(1s, 50x p50) — host-tolerant
+	},
 }
 
 func check(path string) (failures []string, err error) {

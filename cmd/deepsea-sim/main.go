@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +25,7 @@ import (
 
 	"deepsea/internal/bench"
 	"deepsea/internal/core"
+	"deepsea/internal/server"
 	"deepsea/internal/workload"
 )
 
@@ -69,6 +72,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancels the context: the in-flight query unwinds
+	// promptly (locks released, pins dropped) and the partial summary
+	// still prints.
+	ctx, stop := server.SignalContext(context.Background())
+	defer stop()
+
 	fmt.Printf("generating %d GB instance...\n", *gb)
 	data := workload.Generate(*gb, *seed, nil)
 	rng := rand.New(rand.NewSource(*seed + 1))
@@ -82,12 +91,19 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "query\trange\tsim s\tanswered from\tfrags\tgaps\tmaterialized\tevicted\tpool")
 	var total float64
+	interrupted := false
+	ran := 0
 	for i, iv := range ranges {
-		rep, err := d.ProcessQuery(data.Query(tpl, iv))
+		rep, err := d.ProcessQueryContext(ctx, data.Query(tpl, iv))
+		if errors.Is(err, context.Canceled) {
+			interrupted = true
+			break
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		ran++
 		total += rep.TotalSeconds
 		src := "base tables"
 		if rep.Rewritten {
@@ -100,6 +116,11 @@ func main() {
 			len(rep.Evicted), fmtBytes(d.Pool.TotalSize()))
 	}
 	tw.Flush()
+	if interrupted {
+		fmt.Printf("\ninterrupted: total simulated time %.0f s over %d of %d queries (strategy %s)\n",
+			total, ran, *nq, *strategy)
+		os.Exit(130)
+	}
 	fmt.Printf("\ntotal simulated time: %.0f s over %d queries (strategy %s)\n", total, *nq, *strategy)
 }
 

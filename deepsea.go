@@ -193,6 +193,15 @@ func WithFaultRetries(n int) Option {
 	return func(c *core.Config) { c.FaultRetries = n }
 }
 
+// WithCacheAdmissionLimit sets the result cache's cost-aware admission
+// guard: a single result larger than frac of the cache's byte bound is
+// never cached, so one giant result cannot evict the whole working set.
+// 0 keeps the default (1/8); negative disables the guard; values above
+// 1 clamp to 1. Rejections are counted in Health.CacheAdmissionRejects.
+func WithCacheAdmissionLimit(frac float64) Option {
+	return func(c *core.Config) { c.CacheMaxEntryFraction = frac }
+}
+
 // WithConfig replaces the whole configuration (advanced use).
 func WithConfig(cfg Strategy) Option {
 	return func(c *core.Config) { *c = cfg }
@@ -335,6 +344,76 @@ func (s *System) RunContext(ctx context.Context, q *Query) (Report, error) {
 	}
 	return Report{QueryReport: rep}, nil
 }
+
+// BatchItem is one query of a RunBatch call with its own context (nil
+// means context.Background()): items planned together keep independent
+// deadlines and cancellation.
+type BatchItem struct {
+	Ctx   context.Context
+	Query *Query
+}
+
+// RunBatch processes the items as one planning batch: all of them run
+// Algorithm 1's planning steps back-to-back under a single acquisition
+// of the planning lock, then execute and maintain concurrently exactly
+// as independent RunContext calls would. Results are byte-identical to
+// running the items separately, in any order; what batching changes is
+// only lock traffic — a burst of queries pays one planning-lock
+// acquisition instead of one each (see PlanAcquisitions). The returned
+// slices are index-aligned with items.
+func (s *System) RunBatch(items []BatchItem) ([]Report, []error) {
+	reports := make([]Report, len(items))
+	errs := make([]error, len(items))
+	coreItems := make([]core.BatchItem, 0, len(items))
+	idx := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Query == nil {
+			errs[i] = fmt.Errorf("deepsea: batch item %d has no query", i)
+			continue
+		}
+		plan, err := it.Query.build(s)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		coreItems = append(coreItems, core.BatchItem{Ctx: it.Ctx, Query: plan})
+		idx = append(idx, i)
+	}
+	coreReps, coreErrs := s.ds.ProcessBatchContext(coreItems)
+	for j, i := range idx {
+		reports[i] = Report{QueryReport: coreReps[j]}
+		errs[i] = coreErrs[j]
+	}
+	return reports, errs
+}
+
+// TemplateKey returns the query's plan-template fingerprint: queries
+// that differ only in their range-predicate bounds share a key. Serving
+// layers group concurrent requests by this key to batch their planning
+// (RunBatch); it is not the result-cache key, which distinguishes exact
+// bounds.
+func (s *System) TemplateKey(q *Query) (string, error) {
+	plan, err := q.build(s)
+	if err != nil {
+		return "", err
+	}
+	return query.TemplateFingerprint(plan), nil
+}
+
+// Health is a consistent operational snapshot of the system — pool
+// occupancy versus the budget, quarantined files, views under
+// materialization backoff or blacklisted, result-cache counters, and
+// in-flight queries. See core.Health for field documentation.
+type Health = core.Health
+
+// Health returns the operational snapshot. Safe to call concurrently
+// with query processing; it takes no manager lock.
+func (s *System) Health() Health { return s.ds.Health() }
+
+// PlanAcquisitions returns the cumulative planning-lock acquisition
+// count. Under template-batched serving it grows slower than the query
+// count — the plan-amortization ratio.
+func (s *System) PlanAcquisitions() uint64 { return s.ds.PlanAcquisitions() }
 
 // Now returns the simulated clock in seconds.
 func (s *System) Now() float64 { return s.ds.Now() }

@@ -71,6 +71,9 @@ var Experiments = []Experiment{
 	{"faultspeed", "Fault-injection plumbing overhead when no faults fire (results stay identical)", func(p Params) (Printable, error) {
 		return RunFaultspeed(p)
 	}},
+	{"servespeed", "HTTP serving layer: admission, load shedding, template-batched planning (results stay identical)", func(p Params) (Printable, error) {
+		return RunServespeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/server"
+	"deepsea/internal/workload"
+)
+
+// ServespeedResult characterizes the HTTP serving layer end to end:
+// results stay identical to a serial reference under concurrent load,
+// admission never sheds below the in-flight limit, overload sheds
+// instead of queueing unboundedly, and same-template bursts amortize
+// the planning lock.
+type ServespeedResult struct {
+	// Queries is the at-limit workload size; MaxInFlight its concurrency
+	// (clients == slots, so admission must never shed).
+	Queries     int
+	MaxInFlight int
+	// Identical reports the concurrent run returned the same row
+	// multisets as the serial reference for every query.
+	Identical bool
+	// ShedsBelowLimit counts 429s in the at-limit run (must be 0).
+	ShedsBelowLimit uint64
+	// P50Millis/P99Millis are at-limit request latencies, harness side.
+	P50Millis float64
+	P99Millis float64
+	// OverloadRequests hit a 1-slot/1-queue server at once;
+	// ShedsUnderOverload counts the resulting 429s (must be > 0).
+	OverloadRequests   int
+	ShedsUnderOverload uint64
+	// BurstRequests same-template queries (distinct ranges) hit a wide
+	// server concurrently; BurstPlanAcq planning-lock acquisitions
+	// resulted. PlanAmortization = requests / acquisitions.
+	BurstRequests    int
+	BurstPlanAcq     uint64
+	PlanAmortization float64
+}
+
+// servespeedSystem builds a fresh 1 GB-modelled instance behind the
+// public API, as deepsea-serve does.
+func servespeedSystem(p Params) (*deepsea.System, error) {
+	sys := deepsea.New(deepsea.WithPoolLimit(1<<30), deepsea.WithResultCache(64<<20))
+	if err := workload.Load(sys, workload.Generate(1, p.Seed, nil)); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// servespeedSpecs is a deterministic template mix over distinct ranges.
+func servespeedSpecs(n int) []server.QuerySpec {
+	tpls := []string{"Q1", "Q7", "Q16"}
+	specs := make([]server.QuerySpec, n)
+	for i := range specs {
+		lo := int64(i%17) * 20000
+		specs[i] = server.QuerySpec{Template: tpls[i%len(tpls)], Lo: lo, Hi: lo + 40000}
+	}
+	return specs
+}
+
+// servespeedPost runs one query and returns the HTTP status plus a
+// canonical (order-insensitive) rendering of the result rows.
+func servespeedPost(client *http.Client, url string, sp server.QuerySpec) (int, string, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, "", nil
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return resp.StatusCode, "", err
+	}
+	lines := make([]string, 0, len(qr.Rows)+1)
+	for _, row := range qr.Rows {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return resp.StatusCode, "", err
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return resp.StatusCode, strings.Join(qr.Columns, ",") + "\n" + strings.Join(lines, "\n"), nil
+}
+
+// servespeedServer starts an httptest server over a fresh system. A
+// non-nil gate is installed before serving begins (it runs between
+// admission and execution, letting phases hold slots busy).
+func servespeedServer(p Params, cfg server.Config, gate func(context.Context)) (*deepsea.System, *server.Server, *httptest.Server, error) {
+	sys, err := servespeedSystem(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := server.New(sys, cfg)
+	if gate != nil {
+		srv.SetExecGate(gate)
+	}
+	return sys, srv, httptest.NewServer(srv.Handler()), nil
+}
+
+// servespeedStatz reads the server's admission counters and limiter
+// occupancy via /statz.
+func servespeedStatz(client *http.Client, url string) (adm server.AdmissionStats, inflight, depth int, err error) {
+	resp, err := client.Get(url + "/statz")
+	if err != nil {
+		return server.AdmissionStats{}, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var statz struct {
+		Admission     server.AdmissionStats `json:"admission"`
+		InFlightSlots int                   `json:"in_flight_slots"`
+		QueueDepth    int                   `json:"queue_depth"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&statz)
+	return statz.Admission, statz.InFlightSlots, statz.QueueDepth, err
+}
+
+func servespeedShutdown(srv *server.Server, ts *httptest.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	ts.Close()
+	return err
+}
+
+// RunServespeed drives the serving layer through three phases: an
+// at-limit concurrent run checked against a serial reference, an
+// overload burst against a tiny server, and a same-template burst that
+// must coalesce planning.
+func RunServespeed(p Params) (*ServespeedResult, error) {
+	n := p.queries(96)
+	maxInFlight := runtime.GOMAXPROCS(0)
+	if maxInFlight > 8 {
+		maxInFlight = 8
+	}
+	if maxInFlight < 2 {
+		maxInFlight = 2
+	}
+	specs := servespeedSpecs(n)
+	client := &http.Client{}
+	res := &ServespeedResult{Queries: n, MaxInFlight: maxInFlight, Identical: true}
+
+	// Phase 1a: serial reference — one client, fresh system.
+	_, refSrv, refTS, err := servespeedServer(p, server.Config{MaxInFlight: 1}, nil)
+	if err != nil {
+		return nil, err
+	}
+	want := make([]string, n)
+	for i, sp := range specs {
+		status, canon, err := servespeedPost(client, refTS.URL, sp)
+		if err != nil {
+			return nil, fmt.Errorf("servespeed reference query %d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("servespeed reference query %d: HTTP %d", i, status)
+		}
+		want[i] = canon
+	}
+	if err := servespeedShutdown(refSrv, refTS); err != nil {
+		return nil, err
+	}
+
+	// Phase 1b: the same workload, client concurrency == MaxInFlight on a
+	// fresh server. Every request must be admitted without shedding and
+	// return the reference rows.
+	_, atSrv, atTS, err := servespeedServer(p, server.Config{MaxInFlight: maxInFlight}, nil)
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInFlight)
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp server.QuerySpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			status, canon, err := servespeedPost(client, atTS.URL, sp)
+			lat[i] = time.Since(start).Seconds() * 1000
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d", status)
+				return
+			}
+			if canon != want[i] {
+				errs[i] = fmt.Errorf("rows differ from serial reference")
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			if strings.Contains(err.Error(), "differ") {
+				res.Identical = false
+				continue
+			}
+			return nil, fmt.Errorf("servespeed at-limit query %d: %w", i, err)
+		}
+	}
+	adm, _, _, err := servespeedStatz(client, atTS.URL)
+	if err != nil {
+		return nil, err
+	}
+	res.ShedsBelowLimit = adm.ShedQueueFull + adm.ShedTimeout
+	sort.Float64s(lat)
+	res.P50Millis = lat[n/2]
+	res.P99Millis = lat[(n*99)/100]
+	if err := servespeedShutdown(atSrv, atTS); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: overload — one slot, one queue entry, both held busy by an
+	// exec gate, then a burst beyond capacity. Every extra request must be
+	// shed immediately with a 429, deterministically.
+	ovGate := make(chan struct{})
+	_, ovSrv, ovTS, err := servespeedServer(p, server.Config{
+		MaxInFlight: 1, MaxQueue: 1, QueueTimeout: -1,
+	}, func(ctx context.Context) {
+		select {
+		case <-ovGate:
+		case <-ctx.Done():
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.OverloadRequests = 8 * maxInFlight
+	held := 2 // one executing against the gate + one queued
+	heldErrs := make([]error, held)
+	var ovWG sync.WaitGroup
+	for i := 0; i < held; i++ {
+		ovWG.Add(1)
+		go func(i int) {
+			defer ovWG.Done()
+			status, _, err := servespeedPost(client, ovTS.URL, servespeedSpecs(held)[i])
+			if err != nil {
+				heldErrs[i] = err
+			} else if status != http.StatusOK {
+				heldErrs[i] = fmt.Errorf("HTTP %d", status)
+			}
+		}(i)
+	}
+	// Wait until the slot and the queue entry are provably occupied.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, inflight, depth, err := servespeedStatz(client, ovTS.URL)
+		if err != nil {
+			return nil, err
+		}
+		if inflight == 1 && depth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("servespeed overload: capacity never saturated (%d in flight, %d queued)", inflight, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, sp := range servespeedSpecs(res.OverloadRequests - held) {
+		status, _, err := servespeedPost(client, ovTS.URL, sp)
+		if err != nil {
+			return nil, fmt.Errorf("servespeed overload query %d: %w", i, err)
+		}
+		if status != http.StatusTooManyRequests {
+			return nil, fmt.Errorf("servespeed overload query %d: HTTP %d, want 429", i, status)
+		}
+	}
+	close(ovGate)
+	ovWG.Wait()
+	for i, err := range heldErrs {
+		if err != nil {
+			return nil, fmt.Errorf("servespeed overload held query %d: %w", i, err)
+		}
+	}
+	adm, _, _, err = servespeedStatz(client, ovTS.URL)
+	if err != nil {
+		return nil, err
+	}
+	res.ShedsUnderOverload = adm.ShedQueueFull + adm.ShedTimeout
+	if err := servespeedShutdown(ovSrv, ovTS); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: a same-template burst (distinct ranges, so the result
+	// cache cannot answer) on a server wide enough to admit all of it.
+	// The gate releases only once every request is admitted, so they hit
+	// the planner together and coalesce: acquisitions < requests.
+	res.BurstRequests = 16
+	var admitted atomic.Int64
+	allIn := make(chan struct{})
+	burstSys, buSrv, buTS, err := servespeedServer(p, server.Config{
+		MaxInFlight: res.BurstRequests, MaxQueue: res.BurstRequests,
+		BatchLinger: 25 * time.Millisecond,
+	}, func(ctx context.Context) {
+		if admitted.Add(1) == int64(res.BurstRequests) {
+			close(allIn)
+		}
+		select {
+		case <-allIn:
+		case <-ctx.Done():
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	before := burstSys.PlanAcquisitions()
+	buErrs := make([]error, res.BurstRequests)
+	var buWG sync.WaitGroup
+	for i := 0; i < res.BurstRequests; i++ {
+		buWG.Add(1)
+		go func(i int) {
+			defer buWG.Done()
+			lo := int64(i) * 8000
+			status, _, err := servespeedPost(client, buTS.URL, server.QuerySpec{
+				Template: "Q30", Lo: lo, Hi: lo + 8000,
+			})
+			if err != nil {
+				buErrs[i] = err
+			} else if status != http.StatusOK {
+				buErrs[i] = fmt.Errorf("HTTP %d", status)
+			}
+		}(i)
+	}
+	buWG.Wait()
+	for i, err := range buErrs {
+		if err != nil {
+			return nil, fmt.Errorf("servespeed burst query %d: %w", i, err)
+		}
+	}
+	res.BurstPlanAcq = burstSys.PlanAcquisitions() - before
+	if res.BurstPlanAcq > 0 {
+		res.PlanAmortization = float64(res.BurstRequests) / float64(res.BurstPlanAcq)
+	}
+	if err := servespeedShutdown(buSrv, buTS); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// P99OK is the host-tolerant latency gate: p99 within max(1s, 50×p50).
+func (r *ServespeedResult) P99OK() bool {
+	slack := 50 * r.P50Millis
+	if slack < 1000 {
+		slack = 1000
+	}
+	return r.P99Millis <= slack
+}
+
+// Metrics exports the headline numbers for machine-readable output.
+func (r *ServespeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"queries":              float64(r.Queries),
+		"max_inflight":         float64(r.MaxInFlight),
+		"identical":            0,
+		"no_shed_below_limit":  0,
+		"sheds_under_overload": float64(r.ShedsUnderOverload),
+		"plan_amortization":    r.PlanAmortization,
+		"p50_millis":           r.P50Millis,
+		"p99_millis":           r.P99Millis,
+		"p99_ok":               0,
+	}
+	if r.Identical {
+		m["identical"] = 1
+	}
+	if r.ShedsBelowLimit == 0 {
+		m["no_shed_below_limit"] = 1
+	}
+	if r.P99OK() {
+		m["p99_ok"] = 1
+	}
+	m["coalesced"] = 0
+	if r.BurstPlanAcq > 0 && r.BurstPlanAcq < uint64(r.BurstRequests) {
+		m["coalesced"] = 1
+	}
+	return m
+}
+
+// Print renders the serving-layer characterization.
+func (r *ServespeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "HTTP serving layer, %d queries at client concurrency %d (== MaxInFlight)\n",
+		r.Queries, r.MaxInFlight)
+	fmt.Fprintf(w, "results identical to serial reference: %v\n", r.Identical)
+	fmt.Fprintf(w, "sheds below the in-flight limit: %d (want 0)\n", r.ShedsBelowLimit)
+	fmt.Fprintf(w, "latency: p50 %.1fms, p99 %.1fms (within budget: %v)\n",
+		r.P50Millis, r.P99Millis, r.P99OK())
+	fmt.Fprintf(w, "overload: %d simultaneous requests on 1 slot + 1 queue entry -> %d shed with 429\n",
+		r.OverloadRequests, r.ShedsUnderOverload)
+	fmt.Fprintf(w, "same-template burst: %d requests -> %d planning-lock acquisitions (amortization %.1fx)\n",
+		r.BurstRequests, r.BurstPlanAcq, r.PlanAmortization)
+}

@@ -22,13 +22,15 @@ type Dep struct {
 
 // Stats counts cache traffic. Invalidations are entries dropped on Get
 // because a dependency's generation moved — distinct from capacity
-// Evictions.
+// Evictions. AdmissionRejects counts Puts refused by the cost-aware
+// admission guard (result larger than the per-entry limit).
 type Stats struct {
-	Hits          int64
-	Misses        int64
-	Insertions    int64
-	Evictions     int64
-	Invalidations int64
+	Hits             int64
+	Misses           int64
+	Insertions       int64
+	Evictions        int64
+	Invalidations    int64
+	AdmissionRejects int64
 }
 
 type entry struct {
@@ -44,6 +46,11 @@ type entry struct {
 type ResultCache struct {
 	mu       sync.Mutex
 	maxBytes int64
+	// maxEntry is the cost-aware admission guard: results larger than
+	// this are never cached, so one giant result cannot flush the whole
+	// working set on its way through the LRU. Defaults to maxBytes (no
+	// guard beyond the trivial whole-cache bound).
+	maxEntry int64
 	bytes    int64
 	entries  map[string]*entry
 	lru      *list.List // front = most recently used; values are *entry
@@ -53,8 +60,20 @@ type ResultCache struct {
 // New returns a cache bounded to maxBytes of table payload. maxBytes <=
 // 0 yields a cache that stores nothing (every Get misses).
 func New(maxBytes int64) *ResultCache {
+	return NewWithEntryLimit(maxBytes, maxBytes)
+}
+
+// NewWithEntryLimit is New with a cost-aware admission guard: results
+// larger than maxEntry bytes are refused (counted in
+// Stats.AdmissionRejects) instead of cached. maxEntry <= 0 or >
+// maxBytes clamps to maxBytes.
+func NewWithEntryLimit(maxBytes, maxEntry int64) *ResultCache {
+	if maxEntry <= 0 || maxEntry > maxBytes {
+		maxEntry = maxBytes
+	}
 	return &ResultCache{
 		maxBytes: maxBytes,
+		maxEntry: maxEntry,
 		entries:  make(map[string]*entry),
 		lru:      list.New(),
 	}
@@ -89,19 +108,21 @@ func (c *ResultCache) Get(key string, gen func(viewID string) uint64) (*relation
 }
 
 // Put stores tbl under key with the given view dependencies (deps may be
-// nil for results over base tables only). A table larger than the whole
-// cache is not stored. Storing under an existing key replaces the old
-// entry.
+// nil for results over base tables only). A table larger than the
+// admission limit (NewWithEntryLimit; at most the whole cache) is
+// refused and counted as an admission reject. Storing under an existing
+// key replaces the old entry.
 func (c *ResultCache) Put(key string, tbl *relation.Table, deps []Dep) {
 	if c == nil || tbl == nil {
 		return
 	}
 	bytes := tbl.Bytes()
-	if bytes > c.maxBytes {
-		return
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if bytes > c.maxEntry || bytes > c.maxBytes {
+		c.stats.AdmissionRejects++
+		return
+	}
 	if old, ok := c.entries[key]; ok {
 		c.drop(old)
 	}
@@ -145,6 +166,14 @@ func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Capacity returns the cache's byte bound (0 = caching disabled).
+func (c *ResultCache) Capacity() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxBytes
 }
 
 // Bytes returns the cached payload size.

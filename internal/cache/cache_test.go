@@ -133,3 +133,50 @@ func TestNilAndZeroCapCache(t *testing.T) {
 		t.Fatal("zero-capacity cache stored an entry")
 	}
 }
+
+func TestAdmissionGuardRejectsOversizedResults(t *testing.T) {
+	one := testTable(1).Bytes()
+	// Cache of 8 rows, admission limit of 2 rows.
+	c := NewWithEntryLimit(8*one, 2*one)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), testTable(2), nil)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.Len())
+	}
+	// A result above the per-entry limit is refused and evicts nothing.
+	c.Put("giant", testTable(3), nil)
+	if _, ok := c.Get("giant", gens(nil)); ok {
+		t.Fatal("oversized result was cached past the admission guard")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i), gens(nil)); !ok {
+			t.Fatalf("k%d lost: the rejected giant must not disturb the working set", i)
+		}
+	}
+	if st := c.Stats(); st.AdmissionRejects != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 admission reject and 0 evictions", st)
+	}
+}
+
+func TestAdmissionGuardDefaultsToWholeCache(t *testing.T) {
+	one := testTable(1).Bytes()
+	c := New(4 * one)
+	c.Put("fits", testTable(4), nil)
+	if _, ok := c.Get("fits", gens(nil)); !ok {
+		t.Fatal("whole-cache-sized result must still be admitted by New")
+	}
+	c.Put("big", testTable(5), nil)
+	if _, ok := c.Get("big", gens(nil)); ok {
+		t.Fatal("result above the whole cache admitted")
+	}
+	if st := c.Stats(); st.AdmissionRejects != 1 {
+		t.Fatalf("stats = %+v, want 1 admission reject", st)
+	}
+	// Out-of-range entry limits clamp to the cache size.
+	c2 := NewWithEntryLimit(4*one, 100*one)
+	c2.Put("fits", testTable(4), nil)
+	if _, ok := c2.Get("fits", gens(nil)); !ok {
+		t.Fatal("clamped entry limit refused a fitting result")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // matMaxFailures is how many failed materialization attempts a view
 // gets before further attempts are blacklisted. Materialization is a
@@ -57,4 +60,22 @@ func (b *matBackoff) noteSuccess(id string) {
 // (observability for reports and tests).
 func (b *matBackoff) blacklisted(id string) bool {
 	return !b.allowed(id)
+}
+
+// snapshot returns the views currently in backoff (failed at least once
+// but still allowed to retry) and the blacklisted ones, each sorted —
+// the health surface's view of materialization trouble.
+func (b *matBackoff) snapshot() (backoff, blacklisted []string) {
+	b.mu.Lock()
+	for id, n := range b.failures {
+		if n >= matMaxFailures {
+			blacklisted = append(blacklisted, id)
+		} else if n > 0 {
+			backoff = append(backoff, id)
+		}
+	}
+	b.mu.Unlock()
+	sort.Strings(backoff)
+	sort.Strings(blacklisted)
+	return backoff, blacklisted
 }

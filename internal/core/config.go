@@ -150,6 +150,12 @@ type Config struct {
 	// cached rows); 0 disables caching. Only meaningful with
 	// ExecuteRows: in estimate-only mode there are no rows to cache.
 	CacheBytes int64
+	// CacheMaxEntryFraction is the cost-aware cache admission guard: a
+	// result larger than this fraction of CacheBytes is never cached, so
+	// one giant result cannot evict the whole working set. 0 selects the
+	// default (1/8); negative disables the guard (any result up to
+	// CacheBytes is admitted); values above 1 clamp to 1.
+	CacheMaxEntryFraction float64
 	// LockStripes is the stripe count of the per-view lock set that
 	// serializes pool maintenance per view; 0 selects the default (64).
 	// Views that hash onto the same stripe serialize their maintenance
@@ -215,6 +221,25 @@ func (c *Config) refines() bool {
 
 func (c *Config) overlapping() bool {
 	return c.Partition == PartitionAdaptiveOverlap
+}
+
+// defaultCacheMaxEntryFraction is the cache admission guard when Config
+// leaves CacheMaxEntryFraction at zero: one entry may occupy at most an
+// eighth of the cache.
+const defaultCacheMaxEntryFraction = 1.0 / 8
+
+// cacheMaxEntryBytes resolves the per-entry cache admission limit.
+func (c *Config) cacheMaxEntryBytes() int64 {
+	frac := c.CacheMaxEntryFraction
+	switch {
+	case frac < 0:
+		return c.CacheBytes
+	case frac == 0:
+		frac = defaultCacheMaxEntryFraction
+	case frac > 1:
+		frac = 1
+	}
+	return int64(frac * float64(c.CacheBytes))
 }
 
 // defaultFaultRetries is the per-query retry bound when Config leaves

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"deepsea/internal/cache"
 	"deepsea/internal/engine"
@@ -103,6 +104,18 @@ type DeepSea struct {
 	// planMu.
 	mleCache     map[string]stats.NormalModel
 	mleCacheTime float64
+
+	// planAcq counts planMu acquisitions; inflight and queries count
+	// in-flight and started queries. Batch processing acquires planMu
+	// once for many queries, so planAcq < queries proves coalescing.
+	planAcq  atomic.Uint64
+	inflight atomic.Int64
+	queries  atomic.Uint64
+
+	// quarMu guards quarLog, the cumulative list of storage paths ever
+	// quarantined (leaf lock: never held while acquiring another).
+	quarMu  sync.Mutex
+	quarLog []string
 }
 
 // New assembles a DeepSea instance (or a baseline, depending on cfg).
@@ -126,7 +139,7 @@ func New(cfg Config) *DeepSea {
 	tree := matching.NewFilterTree()
 	var rc *cache.ResultCache
 	if cfg.CacheBytes > 0 {
-		rc = cache.New(cfg.CacheBytes)
+		rc = cache.NewWithEntryLimit(cfg.CacheBytes, cfg.cacheMaxEntryBytes())
 	}
 	return &DeepSea{
 		Cache:   rc,
@@ -246,6 +259,9 @@ func (d *DeepSea) ProcessQueryContext(ctx context.Context, q query.Node) (QueryR
 	if err := ctx.Err(); err != nil {
 		return QueryReport{}, err
 	}
+	d.queries.Add(1)
+	d.inflight.Add(1)
+	defer d.inflight.Add(-1)
 
 	// Result-cache lookup — before planning and off every manager lock.
 	// Generation checks run against the pool's own internal lock, so a
@@ -258,6 +274,13 @@ func (d *DeepSea) ProcessQueryContext(ctx context.Context, q query.Node) (QueryR
 		}
 	}
 
+	return d.processWithRetries(ctx, q, key)
+}
+
+// processWithRetries is the retry loop of ProcessQueryContext, shared
+// with batch processing (whose items fall back here after a recoverable
+// first-attempt failure).
+func (d *DeepSea) processWithRetries(ctx context.Context, q query.Node, key string) (QueryReport, error) {
 	maxRetries := d.Cfg.faultRetries()
 	var quarantined []string
 	for attempt := 0; ; attempt++ {
@@ -322,19 +345,49 @@ func (d *DeepSea) processOnce(ctx context.Context, q query.Node, key string) (Qu
 	// Pinning before release guarantees no concurrent query evicts a
 	// path between planning and execution.
 	lockcheck.Acquire(lockcheck.RankPlan, 0, "planMu")
+	d.planAcq.Add(1)
 	d.planMu.Lock()
 	d.views.rlockAll()
-	unplan := func() {
-		d.views.runlockAll()
-		d.planMu.Unlock()
-		lockcheck.Release(lockcheck.RankPlan, 0, "planMu")
+	pq, err := d.planLocked(q, key)
+	d.views.runlockAll()
+	d.planMu.Unlock()
+	lockcheck.Release(lockcheck.RankPlan, 0, "planMu")
+	if err != nil {
+		return QueryReport{}, nil, err
 	}
+	if d.OnPlanned != nil {
+		d.OnPlanned(pq.lockIDs)
+	}
+	return d.finishPlanned(ctx, pq)
+}
 
+// plannedQuery carries one query's planning output (Algorithm 1 steps
+// 1–7) from the planning section to execution and maintenance. Pins on
+// every materialized path the plan reads are already taken; finishPlanned
+// drops them on every path.
+type plannedQuery struct {
+	key      string
+	qbest    query.Node
+	bestRW   *matching.Rewriting
+	vcands   []viewCandidate
+	selViews []selectedView
+	selFrags []fragCandidate
+	evict    []pool.Candidate
+	capture  map[query.Node]bool
+	lockIDs  []string
+	pins     []string
+}
+
+// planLocked runs Algorithm 1 steps 1–7 for one query and pins the
+// materialized paths its chosen plan reads. The caller holds planMu and
+// every view stripe shared; batch processing calls it once per query
+// under a single acquisition, which is why the lock handling lives in
+// the callers.
+func (d *DeepSea) planLocked(q query.Node, key string) (*plannedQuery, error) {
 	// Step 1-2: compute rewritings and update statistics (Section 8.4).
 	rewritings, origCost, err := d.rewriter.ComputeRewritings(q)
 	if err != nil {
-		unplan()
-		return QueryReport{}, nil, err
+		return nil, err
 	}
 	d.updateUseStats(rewritings, origCost)
 
@@ -383,13 +436,31 @@ func (d *DeepSea) processOnce(ctx context.Context, q query.Node, key string) (Qu
 	// execute while this one runs, but cannot evict what it reads.
 	pins := planPins(qbest)
 	d.pin(pins)
-	unplan()
-	if d.OnPlanned != nil {
-		d.OnPlanned(lockIDs)
-	}
+	return &plannedQuery{
+		key:      key,
+		qbest:    qbest,
+		bestRW:   bestRW,
+		vcands:   vcands,
+		selViews: selViews,
+		selFrags: selFrags,
+		evict:    evict,
+		capture:  capture,
+		lockIDs:  lockIDs,
+		pins:     pins,
+	}, nil
+}
+
+// finishPlanned runs Algorithm 1 steps 8+ for a planned query: execution
+// outside every manager lock, then maintenance under the query's view
+// stripes. It returns the paths it quarantined while handling an
+// execution failure.
+func (d *DeepSea) finishPlanned(ctx context.Context, pq *plannedQuery) (QueryReport, []string, error) {
+	qbest, bestRW := pq.qbest, pq.bestRW
+	vcands, selViews, selFrags, evict := pq.vcands, pq.selViews, pq.selFrags, pq.evict
+	lockIDs, pins, key := pq.lockIDs, pq.pins, pq.key
 
 	// Step 8: EXECUTEQUERY — outside every manager lock.
-	res, runErr := d.Eng.RunContext(ctx, qbest, capture)
+	res, runErr := d.Eng.RunContext(ctx, qbest, pq.capture)
 	if runErr != nil {
 		// Failed executions skip maintenance entirely: drop the pins,
 		// quarantine the unreadable file if the failure was an injected
@@ -573,6 +644,9 @@ func (d *DeepSea) quarantineFromError(plan query.Node, runErr error) []string {
 		return nil
 	}
 	if d.quarantine(viewID, f.Key) {
+		d.quarMu.Lock()
+		d.quarLog = append(d.quarLog, f.Key)
+		d.quarMu.Unlock()
 		return []string{f.Key}
 	}
 	return nil

@@ -1,0 +1,105 @@
+package core
+
+// Health is a consistent operational snapshot of one DeepSea instance —
+// the data behind a serving frontend's /healthz and /statz endpoints.
+// It is self-contained (plain counters and id lists, no internal types)
+// so callers outside internal/ can consume it directly.
+//
+// Each group is internally consistent (taken under the owning
+// component's lock); groups are collected in sequence, so counters from
+// different groups may be offset by queries that complete during the
+// snapshot. That is the usual contract for health surfaces.
+type Health struct {
+	// InFlight is the number of queries currently executing; Queries is
+	// the cumulative count started; PlanAcquisitions counts planning-lock
+	// acquisitions (batch processing plans many queries per acquisition,
+	// so PlanAcquisitions < Queries under template-coalesced load).
+	InFlight         int64
+	Queries          uint64
+	PlanAcquisitions uint64
+
+	// Pool occupancy: bytes stored vs the Smax limit (0 = unlimited) and
+	// entry counts.
+	PoolBytes     int64
+	PoolLimit     int64
+	PoolViews     int
+	PoolViewFiles int
+	PoolFragments int
+
+	// Degradation state: storage paths ever quarantined after a failed
+	// read (cumulative — quarantined files stay interesting after
+	// removal), views currently under materialization backoff, and views
+	// blacklisted after repeated materialization failures.
+	Quarantined []string
+	Backoff     []string
+	Blacklisted []string
+
+	// Result-cache traffic and occupancy; all zero when caching is off.
+	CacheHits             int64
+	CacheMisses           int64
+	CacheInsertions       int64
+	CacheEvictions        int64
+	CacheInvalidations    int64
+	CacheAdmissionRejects int64
+	CacheBytes            int64
+	CacheCapacity         int64
+	CacheEntries          int
+
+	// Statistics-registry size (tracked views, shard count).
+	StatsViews  int
+	StatsShards int
+
+	// FaultsInjected is the cumulative injected-fault count (zero when
+	// fault injection is off).
+	FaultsInjected uint64
+}
+
+// Health assembles the snapshot. Safe to call concurrently with query
+// processing from any goroutine: every group is read under its owning
+// component's own lock (pool mutex, cache mutex, backoff mutex, the
+// quarantine-log mutex) or from atomics, and no manager lock is taken.
+func (d *DeepSea) Health() Health {
+	h := Health{
+		InFlight:         d.inflight.Load(),
+		Queries:          d.queries.Load(),
+		PlanAcquisitions: d.planAcq.Load(),
+	}
+
+	oc := d.Pool.Occupancy()
+	h.PoolBytes = oc.Bytes
+	h.PoolLimit = oc.Limit
+	h.PoolViews = oc.Views
+	h.PoolViewFiles = oc.ViewFiles
+	h.PoolFragments = oc.Fragments
+
+	d.quarMu.Lock()
+	h.Quarantined = append([]string(nil), d.quarLog...)
+	d.quarMu.Unlock()
+	h.Backoff, h.Blacklisted = d.backoff.snapshot()
+
+	cs := d.Cache.Stats()
+	h.CacheHits = cs.Hits
+	h.CacheMisses = cs.Misses
+	h.CacheInsertions = cs.Insertions
+	h.CacheEvictions = cs.Evictions
+	h.CacheInvalidations = cs.Invalidations
+	h.CacheAdmissionRejects = cs.AdmissionRejects
+	h.CacheBytes = d.Cache.Bytes()
+	h.CacheCapacity = d.Cache.Capacity()
+	h.CacheEntries = d.Cache.Len()
+
+	h.StatsViews = d.Stats.NumViews()
+	h.StatsShards = d.Stats.NumShards()
+
+	if d.faults != nil {
+		h.FaultsInjected = d.faults.TotalInjected()
+	}
+	return h
+}
+
+// PlanAcquisitions returns the cumulative planning-lock acquisition
+// count — the denominator of the batch-coalescing ratio.
+func (d *DeepSea) PlanAcquisitions() uint64 { return d.planAcq.Load() }
+
+// InFlight returns the number of queries currently executing.
+func (d *DeepSea) InFlight() int64 { return d.inflight.Load() }

@@ -245,6 +245,34 @@ func (p *Pool) TotalSize() int64 {
 	return p.size
 }
 
+// Occupancy summarises the pool for the health surface.
+type Occupancy struct {
+	// Bytes is S(C); Limit is Smax (0 = unlimited).
+	Bytes, Limit int64
+	// Views counts pool entries with any materialized content; ViewFiles
+	// counts unpartitioned view files; Fragments counts stored fragments
+	// across all partitions.
+	Views, ViewFiles, Fragments int
+}
+
+// Occupancy returns a consistent snapshot of the pool's size and entry
+// counts. Every mutation of view contents goes through the pool's
+// methods under p.mu, so the walk is safe from any goroutine.
+func (p *Pool) Occupancy() Occupancy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	oc := Occupancy{Bytes: p.size, Limit: p.Smax, Views: len(p.views)}
+	for _, v := range p.views {
+		if v.Path != "" {
+			oc.ViewFiles++
+		}
+		for _, part := range v.Parts {
+			oc.Fragments += part.NumFragments()
+		}
+	}
+	return oc
+}
+
 // WalkSize recomputes S(C) by walking every view and fragment — the
 // quantity TotalSize tracks incrementally. Exported for integrity
 // checks; see VerifySize.

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TemplateFingerprint returns a stable identity key for a plan's
+// *template*: its canonical rendering with every range-predicate bound
+// masked out. Two queries share a template fingerprint exactly when they
+// differ only in the integer ranges they select — the repetition
+// profile of analytic workloads (the same parameterized report issued
+// over shifting ranges), and the unit the serving layer batches
+// planning over: same-template queries match the same views and differ
+// only in fragment cover, so their planning sections can share one
+// planning-lock acquisition.
+//
+// Residual (equality/comparison) predicate values stay in the template:
+// they select different view candidates, so queries differing in them
+// must not coalesce. Plans containing ViewScans (rewriter output, never
+// user input) fall back to the exact fingerprint.
+func TemplateFingerprint(n Node) string {
+	var b strings.Builder
+	templateString(n, &b)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// templateString renders n like Node.String() with range bounds masked.
+func templateString(n Node, b *strings.Builder) {
+	switch v := n.(type) {
+	case *Scan:
+		b.WriteString(v.String())
+	case *Select:
+		b.WriteString("select[")
+		for i, r := range v.Ranges {
+			if i > 0 {
+				b.WriteString(" && ")
+			}
+			fmt.Fprintf(b, "?<=%s<=?", r.Col)
+		}
+		for i, r := range v.Residuals {
+			if i > 0 || len(v.Ranges) > 0 {
+				b.WriteString(" && ")
+			}
+			b.WriteString(r.String())
+		}
+		b.WriteString("](")
+		templateString(v.Child, b)
+		b.WriteString(")")
+	case *Project:
+		fmt.Fprintf(b, "project[%s](", strings.Join(v.Cols, ","))
+		templateString(v.Child, b)
+		b.WriteString(")")
+	case *Join:
+		fmt.Fprintf(b, "join[%s=%s](", v.LCol, v.RCol)
+		templateString(v.Left, b)
+		b.WriteString(", ")
+		templateString(v.Right, b)
+		b.WriteString(")")
+	case *Aggregate:
+		aggs := make([]string, len(v.Aggs))
+		for i, sp := range v.Aggs {
+			aggs[i] = sp.String()
+		}
+		fmt.Fprintf(b, "agg[%s][%s](", strings.Join(v.GroupBy, ","), strings.Join(aggs, ","))
+		templateString(v.Child, b)
+		b.WriteString(")")
+	default:
+		// ViewScan or an unknown future operator: the exact canonical form
+		// is the only safe identity.
+		b.WriteString(n.String())
+	}
+}

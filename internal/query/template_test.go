@@ -1,0 +1,77 @@
+package query
+
+import (
+	"testing"
+
+	"deepsea/internal/interval"
+	"deepsea/internal/relation"
+)
+
+func tplSchema() relation.Schema {
+	return relation.Schema{Name: "t", Cols: []relation.Column{
+		{Name: "k", Type: relation.Int, Ordered: true, Lo: 0, Hi: 999},
+		{Name: "s", Type: relation.String},
+		{Name: "x", Type: relation.Float},
+	}}
+}
+
+func tplQuery(lo, hi int64, eq string) Node {
+	sel := &Select{
+		Child:  NewScan("t", tplSchema()),
+		Ranges: []RangePred{{Col: "k", Iv: interval.New(lo, hi)}},
+	}
+	if eq != "" {
+		sel.Residuals = []CmpPred{{Col: "s", Op: Eq, Val: relation.StringVal(eq), Typ: relation.String}}
+	}
+	return &Aggregate{
+		Child:   sel,
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Func: Sum, Col: "x", As: "total"}},
+	}
+}
+
+func TestTemplateFingerprintMasksRanges(t *testing.T) {
+	a := TemplateFingerprint(tplQuery(0, 99, ""))
+	b := TemplateFingerprint(tplQuery(500, 700, ""))
+	if a != b {
+		t.Fatalf("same template, different ranges: fingerprints differ\n%s\n%s", a, b)
+	}
+	if Fingerprint(tplQuery(0, 99, "")) == Fingerprint(tplQuery(500, 700, "")) {
+		t.Fatal("exact fingerprints must still distinguish the ranges")
+	}
+}
+
+func TestTemplateFingerprintKeepsResiduals(t *testing.T) {
+	a := TemplateFingerprint(tplQuery(0, 99, "red"))
+	b := TemplateFingerprint(tplQuery(0, 99, "blue"))
+	if a == b {
+		t.Fatal("different residual values must not share a template")
+	}
+	if TemplateFingerprint(tplQuery(0, 99, "red")) != TemplateFingerprint(tplQuery(5, 50, "red")) {
+		t.Fatal("same residual, different range must share a template")
+	}
+}
+
+func TestTemplateFingerprintDistinguishesShapes(t *testing.T) {
+	q1 := tplQuery(0, 99, "")
+	q2 := &Project{Child: NewScan("t", tplSchema()), Cols: []string{"k"}}
+	if TemplateFingerprint(q1) == TemplateFingerprint(q2) {
+		t.Fatal("different plan shapes must not share a template")
+	}
+	j1 := &Join{Left: NewScan("t", tplSchema()), Right: NewScan("t", tplSchema()), LCol: "k", RCol: "k"}
+	j2 := &Join{Left: NewScan("t", tplSchema()), Right: NewScan("t", tplSchema()), LCol: "k", RCol: "s"}
+	if TemplateFingerprint(j1) == TemplateFingerprint(j2) {
+		t.Fatal("different join columns must not share a template")
+	}
+}
+
+func TestTemplateFingerprintViewScanFallsBack(t *testing.T) {
+	vs1 := &ViewScan{ViewID: "v1"}
+	vs2 := &ViewScan{ViewID: "v2"}
+	if TemplateFingerprint(vs1) == TemplateFingerprint(vs2) {
+		t.Fatal("viewscan fallback must keep the exact identity")
+	}
+	if TemplateFingerprint(vs1) != Fingerprint(vs1) {
+		t.Fatal("viewscan template fingerprint should equal the exact fingerprint")
+	}
+}

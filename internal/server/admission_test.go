@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"deepsea/internal/leakcheck"
+)
+
+// waitQueueDepth polls until the limiter's queue reaches depth n.
+func waitQueueDepth(t *testing.T, l *limiter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, depth := l.snapshot()
+		if depth >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLimiterFIFO(t *testing.T) {
+	leakcheck.Check(t)
+	l := newLimiter(1, 8, 0)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enqueue three waiters in a known order (each is in the queue before
+	// the next starts), record the order they are admitted in.
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.release()
+		}(i)
+		waitQueueDepth(t, l, i+1)
+	}
+	l.release() // hands the slot to waiter 0, then 1, then 2
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v, want [0 1 2]", order)
+		}
+	}
+	stats, inflight, depth := l.snapshot()
+	if inflight != 0 || depth != 0 {
+		t.Errorf("limiter not drained: %d in flight, %d queued", inflight, depth)
+	}
+	if stats.Admitted != 4 || stats.Queued != 3 {
+		t.Errorf("stats = %+v, want 4 admitted / 3 queued", stats)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	leakcheck.Check(t)
+	l := newLimiter(1, 1, 0)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		err := l.acquire(context.Background())
+		if err == nil {
+			l.release()
+		}
+		done <- err
+	}()
+	waitQueueDepth(t, l, 1)
+
+	// Slot busy, queue full: immediate shed.
+	if err := l.acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("got %v, want ErrShed", err)
+	}
+	stats, _, _ := l.snapshot()
+	if stats.ShedQueueFull != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1", stats.ShedQueueFull)
+	}
+	l.release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	leakcheck.Check(t)
+	l := newLimiter(1, 8, 10*time.Millisecond)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("got %v, want ErrShed after queue timeout", err)
+	}
+	stats, _, depth := l.snapshot()
+	if stats.ShedTimeout != 1 {
+		t.Errorf("ShedTimeout = %d, want 1", stats.ShedTimeout)
+	}
+	if depth != 0 {
+		t.Errorf("abandoned waiter left in queue (depth %d)", depth)
+	}
+	// The held slot is unaffected; releasing frees it for a fresh acquire.
+	l.release()
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.release()
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	leakcheck.Check(t)
+	l := newLimiter(1, 8, 0)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.acquire(ctx) }()
+	waitQueueDepth(t, l, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	stats, _, depth := l.snapshot()
+	if stats.Canceled != 1 || depth != 0 {
+		t.Errorf("stats = %+v, depth = %d; want 1 canceled, empty queue", stats, depth)
+	}
+	l.release()
+}

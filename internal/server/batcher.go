@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"deepsea"
+)
+
+// ErrDraining reports that the server is shutting down and accepts no
+// new work.
+var ErrDraining = errors.New("server: draining")
+
+// batchRequest is one request waiting for its template group's next
+// planning batch. done is buffered so the group runner never blocks on
+// a slow (or departed) requester.
+type batchRequest struct {
+	ctx  context.Context
+	q    *deepsea.Query
+	done chan batchResult
+}
+
+type batchResult struct {
+	rep deepsea.Report
+	err error
+}
+
+// templateGroup accumulates same-template requests. While a batch is in
+// flight, new arrivals append to pending and become the next batch —
+// "singleflight with a queue": the natural batching window is exactly
+// the duration of the batch ahead, with no added latency when idle.
+type templateGroup struct {
+	pending []*batchRequest
+	running bool
+}
+
+// batcher coalesces the planning of concurrent same-template requests.
+// Requests are grouped by the query's template fingerprint (range
+// bounds masked); each group's batch runs through System.RunBatch, so a
+// burst of n same-template queries acquires the planning lock once
+// instead of n times. Results are byte-identical to serial processing —
+// batching changes lock traffic only.
+type batcher struct {
+	sys *deepsea.System
+	max int // max requests per batch; 0 = unbounded
+	// linger, when positive, is how long the group runner waits before
+	// swapping out the pending list, so a burst arriving within the
+	// window shares one batch even on a lightly loaded scheduler — the
+	// group-commit tradeoff: up to linger of added latency per batch for
+	// strictly fewer planning-lock acquisitions. 0 batches only what the
+	// previous batch's duration accumulated.
+	linger time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*templateGroup
+	closed bool
+	wg     sync.WaitGroup // live group runners
+}
+
+func newBatcher(sys *deepsea.System, max int, linger time.Duration) *batcher {
+	return &batcher{sys: sys, max: max, linger: linger, groups: make(map[string]*templateGroup)}
+}
+
+// run submits one request under its template key and waits for the
+// result. The wait does not select on ctx: RunBatch honours each item's
+// context itself and returns promptly on cancellation, and waiting for
+// the runner's reply keeps shutdown leak-free.
+func (b *batcher) run(ctx context.Context, key string, q *deepsea.Query) (deepsea.Report, error) {
+	req := &batchRequest{ctx: ctx, q: q, done: make(chan batchResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return deepsea.Report{}, ErrDraining
+	}
+	g := b.groups[key]
+	if g == nil {
+		g = &templateGroup{}
+		b.groups[key] = g
+	}
+	g.pending = append(g.pending, req)
+	if !g.running {
+		g.running = true
+		b.wg.Add(1)
+		go b.runGroup(key, g)
+	}
+	b.mu.Unlock()
+
+	res := <-req.done
+	return res.rep, res.err
+}
+
+// runGroup drains one template group: repeatedly swap out the pending
+// list, run it as one batch, answer the requesters. Exits (and removes
+// the group) when a swap finds nothing pending.
+func (b *batcher) runGroup(key string, g *templateGroup) {
+	defer b.wg.Done()
+	for {
+		if b.linger > 0 {
+			time.Sleep(b.linger)
+		}
+		b.mu.Lock()
+		batch := g.pending
+		if len(batch) == 0 {
+			g.running = false
+			delete(b.groups, key)
+			b.mu.Unlock()
+			return
+		}
+		if b.max > 0 && len(batch) > b.max {
+			g.pending = batch[b.max:]
+			batch = batch[:b.max]
+		} else {
+			g.pending = nil
+		}
+		b.mu.Unlock()
+
+		items := make([]deepsea.BatchItem, len(batch))
+		for i, r := range batch {
+			items[i] = deepsea.BatchItem{Ctx: r.ctx, Query: r.q}
+		}
+		reps, errs := b.sys.RunBatch(items)
+		for i, r := range batch {
+			r.done <- batchResult{rep: reps[i], err: errs[i]}
+		}
+	}
+}
+
+// close stops accepting requests and waits for every group runner to
+// drain. Pending requests are still answered: runners exit only once
+// their group is empty.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.wg.Wait()
+}

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM (or the
+// given signals). After the first signal cancels the context the
+// handler unregisters itself, so a second signal takes the default
+// path and kills a process stuck in its drain. The returned cancel
+// releases the signal handler early. Shared by deepsea-serve and
+// deepsea-sim so both binaries shut down through the same path.
+func SignalContext(parent context.Context, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		select {
+		case <-ch:
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, cancel
+}

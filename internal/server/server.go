@@ -1,0 +1,392 @@
+// Package server is DeepSea's query-serving frontend: an HTTP/JSON API
+// over the public deepsea.System with admission control (a bounded
+// in-flight limit, a FIFO wait queue, and load shedding), template-
+// batched planning (concurrent same-template requests coalesce into one
+// planning-lock acquisition), an operational health surface, and a
+// graceful drain-on-shutdown lifecycle.
+//
+// Endpoints:
+//
+//	POST /query   — run one query (body: QuerySpec JSON)
+//	GET  /healthz — liveness + degradation summary
+//	GET  /statz   — full operational snapshot (health, admission, serving)
+//	GET  /poolz   — materialized-pool contents
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepsea"
+)
+
+// Config tunes the serving layer. The zero value is usable: defaults
+// are filled in by New.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue; a request arriving with
+	// the queue full is shed immediately (default 4 × MaxInFlight).
+	MaxQueue int
+	// QueueTimeout sheds a request that has waited this long for a slot
+	// (default 1s; negative disables the timeout).
+	QueueTimeout time.Duration
+	// DefaultTimeout bounds a request's total processing when its spec
+	// sets no timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// BatchMax caps how many requests one planning batch may coalesce
+	// (default 0 = unbounded).
+	BatchMax int
+	// BatchLinger, when positive, is how long a template group's runner
+	// waits before sealing a planning batch, so near-simultaneous
+	// requests coalesce even when the scheduler would otherwise run them
+	// back to back. Costs up to BatchLinger of latency per batch
+	// (default 0 = batch only what accumulates during the prior batch).
+	BatchLinger time.Duration
+	// RetryAfter is the Retry-After hint on shed responses in seconds
+	// (default 1).
+	RetryAfter int
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = time.Second
+	} else if c.QueueTimeout < 0 {
+		c.QueueTimeout = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+}
+
+// ServingStats counts frontend traffic (admission counters live in
+// AdmissionStats).
+type ServingStats struct {
+	Served     uint64 `json:"served"`
+	Failed     uint64 `json:"failed"`
+	Shed       uint64 `json:"shed"`
+	TimedOut   uint64 `json:"timed_out"`
+	BadRequest uint64 `json:"bad_request"`
+}
+
+// Server serves queries over one deepsea.System. Create with New,
+// expose Handler over any http.Server, stop with Shutdown.
+type Server struct {
+	cfg Config
+	sys *deepsea.System
+	lim *limiter
+	bat *batcher
+	mux *http.ServeMux
+
+	// baseCtx parents every request's query context; cancel kills
+	// stragglers when a drain deadline passes.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	draining atomic.Bool
+	reqWG    sync.WaitGroup
+
+	served     atomic.Uint64
+	failed     atomic.Uint64
+	shed       atomic.Uint64
+	timedOut   atomic.Uint64
+	badRequest atomic.Uint64
+
+	// testExecGate, when set (tests only, before serving), runs after
+	// admission and before execution — it lets tests hold all slots busy
+	// deterministically.
+	testExecGate func(ctx context.Context)
+}
+
+// New builds a Server over sys.
+func New(sys *deepsea.System, cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		sys:     sys,
+		lim:     newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		bat:     newBatcher(sys, cfg.BatchMax, cfg.BatchLinger),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/poolz", s.handlePoolz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler (mount it on any http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetExecGate installs a hook that runs after admission and before
+// execution. Tests and benches use it to hold admission slots busy
+// deterministically. Must be set before the server starts serving.
+func (s *Server) SetExecGate(f func(ctx context.Context)) { s.testExecGate = f }
+
+// Shutdown drains the server: new queries are refused with 503,
+// in-flight ones finish, then the batcher's group runners exit. If ctx
+// expires first, straggling queries are cancelled (they unwind promptly
+// through RunContext) and the drain still completes before Shutdown
+// returns ctx.Err() — either way no goroutine is left behind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		s.bat.close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// QueryResponse is the JSON body of a successful POST /query.
+type QueryResponse struct {
+	Columns          []string `json:"columns,omitempty"`
+	Rows             [][]any  `json:"rows,omitempty"`
+	CacheHit         bool     `json:"cache_hit,omitempty"`
+	Rewritten        bool     `json:"rewritten,omitempty"`
+	UsedView         string   `json:"used_view,omitempty"`
+	FragmentsRead    int      `json:"fragments_read,omitempty"`
+	Retries          int      `json:"retries,omitempty"`
+	SimulatedSeconds float64  `json:"simulated_seconds"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeShed(w http.ResponseWriter) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+	writeJSON(w, http.StatusTooManyRequests, errResponse{Error: ErrShed.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: ErrDraining.Error()})
+		return
+	}
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+	// Re-check under the WaitGroup: a drain that started before the Add
+	// observes either the flag refusing us or the Add it must wait for.
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: ErrDraining.Error()})
+		return
+	}
+
+	var spec QuerySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	q, err := spec.Build()
+	if err != nil {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	key, err := s.sys.TemplateKey(q)
+	if err != nil {
+		// The query names an unknown table or column: a client error.
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+
+	// The request's deadline covers everything from here on — the
+	// admission wait included, so a queued request whose budget is gone
+	// sheds instead of executing. The server's base context parents it:
+	// a drain past its deadline cancels stragglers centrally.
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancelReq := context.WithTimeout(r.Context(), timeout)
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+
+	if err := s.lim.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, ErrShed):
+			s.writeShed(w)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: "deadline exceeded in queue"})
+		default: // client went away
+			s.failed.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer s.lim.release()
+
+	if s.testExecGate != nil {
+		s.testExecGate(ctx)
+	}
+
+	rep, err := s.bat.run(ctx, key, q)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: "deadline exceeded"})
+		case errors.Is(err, context.Canceled):
+			s.failed.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		default:
+			s.failed.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+		}
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns:          rep.Columns(),
+		Rows:             rep.Rows(),
+		CacheHit:         rep.CacheHit,
+		Rewritten:        rep.Rewritten,
+		UsedView:         rep.UsedView,
+		FragmentsRead:    rep.FragmentsRead,
+		Retries:          rep.Retries,
+		SimulatedSeconds: rep.SimulatedSeconds(),
+	})
+}
+
+// healthzResponse is GET /healthz: a liveness summary. Status is "ok",
+// "degraded" (quarantined files or blacklisted views) or "draining".
+type healthzResponse struct {
+	Status      string         `json:"status"`
+	InFlight    int64          `json:"in_flight"`
+	Queries     uint64         `json:"queries"`
+	PoolBytes   int64          `json:"pool_bytes"`
+	PoolLimit   int64          `json:"pool_limit"`
+	Quarantined []string       `json:"quarantined,omitempty"`
+	Backoff     []string       `json:"backoff,omitempty"`
+	Blacklisted []string       `json:"blacklisted,omitempty"`
+	Admission   AdmissionStats `json:"admission"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.sys.Health()
+	adm, _, _ := s.lim.snapshot()
+	resp := healthzResponse{
+		Status:      "ok",
+		InFlight:    h.InFlight,
+		Queries:     h.Queries,
+		PoolBytes:   h.PoolBytes,
+		PoolLimit:   h.PoolLimit,
+		Quarantined: h.Quarantined,
+		Backoff:     h.Backoff,
+		Blacklisted: h.Blacklisted,
+		Admission:   adm,
+	}
+	status := http.StatusOK
+	if len(h.Quarantined) > 0 || len(h.Blacklisted) > 0 {
+		resp.Status = "degraded"
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// statzResponse is GET /statz: the full operational snapshot.
+type statzResponse struct {
+	Health    deepsea.Health `json:"health"`
+	Admission AdmissionStats `json:"admission"`
+	Serving   ServingStats   `json:"serving"`
+	// InFlightSlots/QueueDepth are the limiter's instantaneous occupancy.
+	InFlightSlots int `json:"in_flight_slots"`
+	QueueDepth    int `json:"queue_depth"`
+	// PlanAmortization is Queries / PlanAcquisitions — above 1 when
+	// template batching coalesces planning.
+	PlanAmortization float64 `json:"plan_amortization"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	h := s.sys.Health()
+	adm, inflight, depth := s.lim.snapshot()
+	resp := statzResponse{
+		Health:    h,
+		Admission: adm,
+		Serving: ServingStats{
+			Served:     s.served.Load(),
+			Failed:     s.failed.Load(),
+			Shed:       s.shed.Load(),
+			TimedOut:   s.timedOut.Load(),
+			BadRequest: s.badRequest.Load(),
+		},
+		InFlightSlots: inflight,
+		QueueDepth:    depth,
+	}
+	if h.PlanAcquisitions > 0 {
+		resp.PlanAmortization = float64(h.Queries) / float64(h.PlanAcquisitions)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// poolzResponse is GET /poolz: the materialized pool's contents.
+type poolzResponse struct {
+	Bytes     int64    `json:"bytes"`
+	Limit     int64    `json:"limit"`
+	Views     int      `json:"views"`
+	ViewFiles int      `json:"view_files"`
+	Fragments int      `json:"fragments"`
+	Contents  []string `json:"contents,omitempty"`
+}
+
+func (s *Server) handlePoolz(w http.ResponseWriter, r *http.Request) {
+	h := s.sys.Health()
+	writeJSON(w, http.StatusOK, poolzResponse{
+		Bytes:     h.PoolBytes,
+		Limit:     h.PoolLimit,
+		Views:     h.PoolViews,
+		ViewFiles: h.PoolViewFiles,
+		Fragments: h.PoolFragments,
+		Contents:  s.sys.PoolContents(),
+	})
+}

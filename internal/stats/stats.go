@@ -418,6 +418,21 @@ func (r *Registry) Views() []*ViewStat {
 	return out
 }
 
+// NumViews returns the number of tracked views across all shards.
+func (r *Registry) NumViews() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.views)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// NumShards returns the registry's shard count (observability).
+func (r *Registry) NumShards() int { return len(r.shards) }
+
 // Partition returns the partition statistics for (view, attr), creating
 // an empty record over dom on first use.
 func (r *Registry) Partition(view, attr string, dom interval.Interval) *PartitionStat {

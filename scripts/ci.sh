@@ -12,12 +12,15 @@
 #   5. chaos smoke — the seeded fault-injection and cancellation suite
 #      under the race detector: every surviving query byte-identical to
 #      the fault-free run, no leaked goroutines, no leaked pins
-#   6. staticcheck, when installed (the workflow installs it; local runs
+#   6. serving smoke — the HTTP frontend's admission, batching and
+#      drain-lifecycle suite under the race detector, then shuffled
+#   7. staticcheck, when installed (the workflow installs it; local runs
 #      skip it with a note rather than demanding the tool)
-#   7. bench smoke: cachespeed + lockspeed + faultspeed at short scale
-#      with JSON reports, then benchcheck gates the host-independent
-#      metrics (determinism, cache hit rate, pool mutations,
-#      fault-plumbing overhead)
+#   8. bench smoke: cachespeed + lockspeed + faultspeed + servespeed at
+#      short scale with JSON reports, then benchcheck gates the
+#      host-independent metrics (determinism, cache hit rate, pool
+#      mutations, fault-plumbing overhead, load-shed/coalescing
+#      behavior)
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -50,6 +53,10 @@ echo "==> chaos smoke (race)"
 $GO test -race -run 'TestChaos|TestFragmentReadFault|TestMaterializeFaults|TestPermanentMaterialize|TestProcessQueryContext' ./internal/core
 $GO test -race -run 'TestRunContext|TestForEachTask|TestViewScanReadFault' ./internal/engine
 
+echo "==> serving smoke (race + shuffle)"
+$GO test -race ./internal/server
+$GO test -race -shuffle=on ./internal/server
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "==> staticcheck"
     staticcheck ./...
@@ -64,6 +71,7 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment cachespeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment lockspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment faultspeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment servespeed -params short -json)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
