@@ -50,6 +50,13 @@ var floors = map[string][]floor{
 		{"plan_amortization", 1},    // and never worse than one acquisition per query
 		{"p99_ok", 1},               // p99 within max(1s, 50x p50) — host-tolerant
 	},
+	"persistspeed": {
+		{"identical", 1},           // journaled arm byte-identical to volatile
+		{"overhead_ok", 1},         // journal hot-path cost within 1.5x + 250ms slack
+		{"recovery_ok", 1},         // crash recovery ran and reported no error
+		{"recovered_identical", 1}, // post-restart answers byte-identical
+		{"warm_hit_ok", 1},         // first post-restart issues answered from recovered views
+	},
 }
 
 func check(path string) (failures []string, err error) {

@@ -43,6 +43,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max graceful-shutdown wait")
 	batchMax := flag.Int("batch-max", 0, "max queries per planning batch (0 = unbounded)")
 	batchLinger := flag.Duration("batch-linger", 0, "wait for same-template requests to join a planning batch (0 = off)")
+	journal := flag.String("journal", "", "durable-state directory: journal pool mutations there and warm-restart from it (empty = in-memory only)")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval when -journal is set (0 = only on drain)")
 	flag.Parse()
 
 	var opts []deepsea.Option
@@ -63,20 +65,44 @@ func main() {
 		opts = append(opts, deepsea.WithResultCache(cb))
 	}
 
+	var store deepsea.Datastore
+	if *journal != "" {
+		var err error
+		store, err = deepsea.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts = append(opts, deepsea.WithDatastore(store))
+	}
+
 	fmt.Printf("loading %d GB modelled instance (seed %d)...\n", *gb, *seed)
 	sys := deepsea.New(opts...)
+	if rec := sys.Recovery(); rec.Ran {
+		switch {
+		case rec.Err != "":
+			fmt.Fprintf(os.Stderr, "recovery failed, starting cold: %s\n", rec.Err)
+		case rec.FromSnapshot || rec.Replayed > 0:
+			fmt.Printf("recovered from %s: snapshot=%v, %d journal records replayed (%d skipped)\n",
+				*journal, rec.FromSnapshot, rec.Replayed, rec.Skipped)
+		}
+	}
 	if err := workload.Load(sys, workload.Generate(*gb, *seed, nil)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	srv := server.New(sys, server.Config{
+	scfg := server.Config{
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		QueueTimeout: *queueTimeout,
 		BatchMax:     *batchMax,
 		BatchLinger:  *batchLinger,
-	})
+	}
+	if store != nil {
+		scfg.SnapshotEvery = *snapshotEvery
+	}
+	srv := server.New(sys, scfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := server.SignalContext(context.Background())
@@ -100,6 +126,11 @@ func main() {
 	err := srv.Shutdown(dctx)
 	if herr := hs.Shutdown(dctx); err == nil {
 		err = herr
+	}
+	if store != nil {
+		if cerr := store.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)

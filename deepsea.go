@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"deepsea/internal/core"
+	"deepsea/internal/datastore"
 	"deepsea/internal/engine"
 	"deepsea/internal/faults"
 	"deepsea/internal/interval"
@@ -163,6 +164,12 @@ type FaultConfig struct {
 	StorageWrite float64
 	Worker       float64
 	Materialize  float64
+	// JournalAppend / SnapshotWrite inject at the datastore boundary
+	// (no-ops without WithDatastore): failed appends surface as
+	// Health.JournalAppendErrors, failed snapshots as
+	// Health.JournalSnapshotErrors; neither fails the query.
+	JournalAppend float64
+	SnapshotWrite float64
 	// PermanentFraction is the fraction of injected faults marked
 	// permanent (not worth retrying); the rest are transient.
 	PermanentFraction float64
@@ -182,6 +189,8 @@ func WithFaultInjection(fc FaultConfig) Option {
 			StorageWrite:      fc.StorageWrite,
 			Worker:            fc.Worker,
 			Materialize:       fc.Materialize,
+			JournalAppend:     fc.JournalAppend,
+			SnapshotWrite:     fc.SnapshotWrite,
 			PermanentFraction: fc.PermanentFraction,
 		}
 	}
@@ -200,6 +209,31 @@ func WithFaultRetries(n int) Option {
 // 1 clamp to 1. Rejections are counted in Health.CacheAdmissionRejects.
 func WithCacheAdmissionLimit(frac float64) Option {
 	return func(c *core.Config) { c.CacheMaxEntryFraction = frac }
+}
+
+// Datastore is the persistence boundary a System journals through. Use
+// OpenJournal for the file-backed implementation or implement the
+// interface for custom backends; datastore.Null (and a nil store) keep
+// the historical in-memory-only behaviour.
+type Datastore = datastore.Store
+
+// OpenJournal opens (or creates) the file-backed datastore rooted at
+// dir: a write-ahead journal of pool, statistics and file mutations
+// plus periodic snapshots. Pass the result to WithDatastore; the caller
+// owns it and should Close it after the System is drained. A journal
+// left behind by a previous process — even one that was killed
+// mid-write — is recovered on the next New that mounts it.
+func OpenJournal(dir string) (Datastore, error) {
+	return datastore.Open(dir)
+}
+
+// WithDatastore mounts a persistence store: every pool, statistics and
+// materialized-file mutation is journaled through it, and New first
+// replays the store's snapshot and journal tail so a restarted process
+// resumes with pool contents and hit statistics intact. Health reports
+// the recovery outcome and the journal's running counters.
+func WithDatastore(ds Datastore) Option {
+	return func(c *core.Config) { c.Datastore = ds }
 }
 
 // WithConfig replaces the whole configuration (advanced use).
@@ -414,6 +448,19 @@ func (s *System) Health() Health { return s.ds.Health() }
 // count. Under template-batched serving it grows slower than the query
 // count — the plan-amortization ratio.
 func (s *System) PlanAcquisitions() uint64 { return s.ds.PlanAcquisitions() }
+
+// Snapshot persists a consistent checkpoint of the whole system state
+// (pool manifest, materialized files, statistics, cache generations)
+// to the mounted datastore and truncates the journal behind it. It
+// briefly quiesces planning, so call it between queries or on a timer,
+// not per query. A no-op without WithDatastore. Recovery after a crash
+// replays the latest snapshot plus the journal tail written since.
+func (s *System) Snapshot() error { return s.ds.Snapshot() }
+
+// Recovery reports what New's recovery pass did: whether a snapshot
+// was loaded, how many journal records were replayed or skipped, and
+// the fatal error (if any) that forced a cold start.
+func (s *System) Recovery() core.RecoveryInfo { return s.ds.Recovery() }
 
 // Now returns the simulated clock in seconds.
 func (s *System) Now() float64 { return s.ds.Now() }

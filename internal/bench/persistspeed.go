@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"deepsea/internal/core"
+	"deepsea/internal/datastore"
+	"deepsea/internal/query"
+	"deepsea/internal/relation"
+	"deepsea/internal/workload"
+)
+
+// PersistspeedResult reports what the write-ahead journal costs on the
+// hot path and what a warm restart buys: the same repetitive workload
+// run volatile and journaled (results must stay identical), then the
+// journaled arm is abandoned mid-flight — no Close, no final snapshot,
+// exactly a crash — and recovered from the journal alone. The recovered
+// instance must answer the workload byte-identically and warm, from the
+// views it recovered rather than from base tables.
+type PersistspeedResult struct {
+	// MemWallSeconds and JournalWallSeconds time the identical timed
+	// phase without and with a FileStore attached.
+	MemWallSeconds     float64
+	JournalWallSeconds float64
+	// JournalRecords and JournalBytes count what the journaled arm wrote.
+	JournalRecords uint64
+	JournalBytes   int64
+	// RecoverySeconds times reopening the store and rebuilding the
+	// instance (snapshot load + journal tail replay).
+	RecoverySeconds float64
+	// Replayed counts journal records applied during recovery.
+	Replayed int
+	// Identical: the journaled arm matched the volatile arm byte for
+	// byte on every query. RecoveredIdentical: the recovered instance
+	// did too.
+	Identical          bool
+	RecoveredIdentical bool
+	// RecoveryOK reports recovery ran and reported no error.
+	RecoveryOK bool
+	// WarmHitFraction is the fraction of distinct templates the
+	// recovered instance answered from recovered views on first issue.
+	WarmHitFraction float64
+}
+
+// persistspeedRun executes the workload on one fresh system and returns
+// the timed-phase wall time plus per-query fingerprints for the whole
+// sequence. With returnSys the system is handed back un-closed so the
+// caller can abandon it crash-style.
+func persistspeedRun(data *workload.Data, warmup, timed []query.Node, cfg core.Config) (float64, []string, *core.DeepSea, error) {
+	d := core.New(cfg)
+	for _, t := range data.Tables {
+		d.AddBaseTable(t)
+	}
+	tables := make([]*relation.Table, 0, len(warmup)+len(timed))
+	for i, q := range warmup {
+		rep, err := d.ProcessQuery(q)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("persistspeed warmup %d: %w", i, err)
+		}
+		tables = append(tables, rep.Result)
+	}
+	start := time.Now()
+	for i, q := range timed {
+		rep, err := d.ProcessQuery(q)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("persistspeed query %d: %w", i, err)
+		}
+		tables = append(tables, rep.Result)
+	}
+	wall := time.Since(start).Seconds()
+	fingerprints := make([]string, 0, len(tables))
+	for _, tbl := range tables {
+		fingerprints = append(fingerprints, tbl.Fingerprint())
+	}
+	return wall, fingerprints, d, nil
+}
+
+// RunPersistspeed measures journal overhead and warm-restart fidelity.
+// Both arms run the identical warmup and timed phase; only the timed
+// phase is measured. The journaled arm then "crashes" (its store is
+// abandoned without Close or a snapshot), the directory is reopened,
+// and a fresh instance recovers from the journal tail alone.
+func RunPersistspeed(p Params) (*PersistspeedResult, error) {
+	gb := p.gb(2000)
+	data := workload.Generate(gb, p.Seed, nil)
+	total := p.queries(160)
+	nDistinct := total / 8
+	if nDistinct < 4 {
+		nDistinct = 4
+	}
+	if nDistinct > 12 {
+		nDistinct = 12
+	}
+	if total < nDistinct*2 {
+		total = nDistinct * 2
+	}
+	warmup, timed := cachespeedQueries(data, nDistinct, total, p.Seed+41)
+
+	res := &PersistspeedResult{}
+
+	// Volatile arm.
+	memCfg := scaleCfg(DSCfg(), gb, 2000)
+	memWall, memPrints, _, err := persistspeedRun(data, warmup, timed, memCfg)
+	if err != nil {
+		return nil, err
+	}
+	res.MemWallSeconds = memWall
+
+	// Journaled arm over a throwaway directory.
+	dir, err := os.MkdirTemp("", "persistspeed-*")
+	if err != nil {
+		return nil, fmt.Errorf("persistspeed: temp dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := datastore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persistspeed: open store: %w", err)
+	}
+	jCfg := scaleCfg(DSCfg(), gb, 2000)
+	jCfg.Datastore = store
+	jWall, jPrints, _, err := persistspeedRun(data, warmup, timed, jCfg)
+	if err != nil {
+		return nil, err
+	}
+	res.JournalWallSeconds = jWall
+	st := store.Stats()
+	res.JournalRecords, res.JournalBytes = st.Records, st.Bytes
+	res.Identical = equalPrints(memPrints, jPrints)
+
+	// Crash: the journaled system and its store handle are simply
+	// abandoned — every record was flushed per append, nothing else is
+	// durable. Reopen and recover.
+	recStart := time.Now()
+	store2, err := datastore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persistspeed: reopen store: %w", err)
+	}
+	defer store2.Close()
+	rCfg := scaleCfg(DSCfg(), gb, 2000)
+	rCfg.Datastore = store2
+	d := core.New(rCfg)
+	res.RecoverySeconds = time.Since(recStart).Seconds()
+	for _, t := range data.Tables {
+		d.AddBaseTable(t)
+	}
+	rec := d.Recovery()
+	res.RecoveryOK = rec.Ran && rec.Err == ""
+	res.Replayed = rec.Replayed
+
+	// Warm probe: the distinct templates, first issue after restart.
+	// Each must come back byte-identical; WarmHitFraction counts how
+	// many were answered from recovered views.
+	probe := warmup[:len(warmup)/2]
+	warm := 0
+	res.RecoveredIdentical = true
+	for i, q := range probe {
+		rep, err := d.ProcessQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("persistspeed probe %d: %w", i, err)
+		}
+		if rep.Result.Fingerprint() != memPrints[i] {
+			res.RecoveredIdentical = false
+		}
+		if rep.Rewritten {
+			warm++
+		}
+	}
+	if len(probe) > 0 {
+		res.WarmHitFraction = float64(warm) / float64(len(probe))
+	}
+	return res, nil
+}
+
+func equalPrints(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overhead returns journal wall / volatile wall.
+func (r *PersistspeedResult) Overhead() float64 {
+	if r.MemWallSeconds == 0 {
+		return 0
+	}
+	return r.JournalWallSeconds / r.MemWallSeconds
+}
+
+// overheadOK bounds the journal's hot-path cost: within 1.5x of the
+// volatile arm plus a quarter-second of absolute slack for tiny
+// CI-scale runs where both walls are milliseconds.
+func (r *PersistspeedResult) overheadOK() bool {
+	return r.JournalWallSeconds <= r.MemWallSeconds*1.5+0.25
+}
+
+// Metrics exports pass/fail gates (0/1) and the raw figures.
+func (r *PersistspeedResult) Metrics() map[string]float64 {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return map[string]float64{
+		"identical":            b(r.Identical),
+		"overhead_ok":          b(r.overheadOK()),
+		"recovery_ok":          b(r.RecoveryOK),
+		"recovered_identical":  b(r.RecoveredIdentical),
+		"warm_hit_ok":          b(r.WarmHitFraction >= 0.5),
+		"warm_hit_fraction":    r.WarmHitFraction,
+		"overhead":             r.Overhead(),
+		"wall_seconds_mem":     r.MemWallSeconds,
+		"wall_seconds_journal": r.JournalWallSeconds,
+		"recovery_seconds":     r.RecoverySeconds,
+		"journal_records":      float64(r.JournalRecords),
+		"journal_bytes":        float64(r.JournalBytes),
+		"replayed":             float64(r.Replayed),
+	}
+}
+
+// Print renders the comparison.
+func (r *PersistspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Write-ahead journal overhead and warm restart\n")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\twall s\tjournal records\tjournal bytes")
+	fmt.Fprintf(tw, "volatile\t%.3f\t-\t-\n", r.MemWallSeconds)
+	fmt.Fprintf(tw, "journaled\t%.3f\t%d\t%d\n",
+		r.JournalWallSeconds, r.JournalRecords, r.JournalBytes)
+	tw.Flush()
+	fmt.Fprintf(w, "hot-path overhead: %.2fx (ok: %v); results identical: %v\n",
+		r.Overhead(), r.overheadOK(), r.Identical)
+	fmt.Fprintf(w, "crash recovery: %.3fs, %d records replayed, clean: %v\n",
+		r.RecoverySeconds, r.Replayed, r.RecoveryOK)
+	fmt.Fprintf(w, "post-restart: identical %v, warm-hit fraction %.0f%%\n",
+		r.RecoveredIdentical, r.WarmHitFraction*100)
+}

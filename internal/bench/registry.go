@@ -74,6 +74,9 @@ var Experiments = []Experiment{
 	{"servespeed", "HTTP serving layer: admission, load shedding, template-batched planning (results stay identical)", func(p Params) (Printable, error) {
 		return RunServespeed(p)
 	}},
+	{"persistspeed", "Write-ahead journal overhead and warm-restart fidelity (results stay identical)", func(p Params) (Printable, error) {
+		return RunPersistspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

@@ -23,7 +23,10 @@ type Dep struct {
 // Stats counts cache traffic. Invalidations are entries dropped on Get
 // because a dependency's generation moved — distinct from capacity
 // Evictions. AdmissionRejects counts Puts refused by the cost-aware
-// admission guard (result larger than the per-entry limit).
+// admission guard (result larger than the per-entry limit); a disabled
+// cache (capacity <= 0) counts its refused Puts separately in
+// DisabledPuts so /statz distinguishes "configured off" from "results
+// too large to admit".
 type Stats struct {
 	Hits             int64
 	Misses           int64
@@ -31,6 +34,7 @@ type Stats struct {
 	Evictions        int64
 	Invalidations    int64
 	AdmissionRejects int64
+	DisabledPuts     int64
 }
 
 type entry struct {
@@ -51,6 +55,10 @@ type ResultCache struct {
 	// working set on its way through the LRU. Defaults to maxBytes (no
 	// guard beyond the trivial whole-cache bound).
 	maxEntry int64
+	// disabled marks a cache constructed with maxBytes <= 0: Get and Put
+	// short-circuit without touching the hit/miss/reject counters, so a
+	// configured-off cache does not masquerade as one that is thrashing.
+	disabled bool
 	bytes    int64
 	entries  map[string]*entry
 	lru      *list.List // front = most recently used; values are *entry
@@ -66,7 +74,10 @@ func New(maxBytes int64) *ResultCache {
 // NewWithEntryLimit is New with a cost-aware admission guard: results
 // larger than maxEntry bytes are refused (counted in
 // Stats.AdmissionRejects) instead of cached. maxEntry <= 0 or >
-// maxBytes clamps to maxBytes.
+// maxBytes clamps to maxBytes. maxBytes <= 0 yields a disabled cache:
+// every Get misses and every Put is dropped, without polluting the
+// traffic counters (historically the zero capacity clamped maxEntry to
+// 0 too, so every Put counted as an admission reject).
 func NewWithEntryLimit(maxBytes, maxEntry int64) *ResultCache {
 	if maxEntry <= 0 || maxEntry > maxBytes {
 		maxEntry = maxBytes
@@ -74,9 +85,16 @@ func NewWithEntryLimit(maxBytes, maxEntry int64) *ResultCache {
 	return &ResultCache{
 		maxBytes: maxBytes,
 		maxEntry: maxEntry,
+		disabled: maxBytes <= 0,
 		entries:  make(map[string]*entry),
 		lru:      list.New(),
 	}
+}
+
+// Disabled reports whether the cache is configured off (capacity <= 0).
+// A nil cache is disabled.
+func (c *ResultCache) Disabled() bool {
+	return c == nil || c.disabled
 }
 
 // Get returns the cached table for key if present and still valid. gen
@@ -84,7 +102,7 @@ func NewWithEntryLimit(maxBytes, maxEntry int64) *ResultCache {
 // recorded dependency generations disagree is stale — it is dropped and
 // the Get misses. A hit refreshes the entry's LRU position.
 func (c *ResultCache) Get(key string, gen func(viewID string) uint64) (*relation.Table, bool) {
-	if c == nil {
+	if c == nil || c.disabled {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -114,6 +132,12 @@ func (c *ResultCache) Get(key string, gen func(viewID string) uint64) (*relation
 // key replaces the old entry.
 func (c *ResultCache) Put(key string, tbl *relation.Table, deps []Dep) {
 	if c == nil || tbl == nil {
+		return
+	}
+	if c.disabled {
+		c.mu.Lock()
+		c.stats.DisabledPuts++
+		c.mu.Unlock()
 		return
 	}
 	bytes := tbl.Bytes()

@@ -180,3 +180,53 @@ func TestAdmissionGuardDefaultsToWholeCache(t *testing.T) {
 		t.Fatal("clamped entry limit refused a fitting result")
 	}
 }
+
+// TestDisabledCache: a zero/negative budget builds a disabled cache
+// that short-circuits everything and reports the traffic distinctly —
+// DisabledPuts, not AdmissionRejects (a tuning failure) or Misses (a
+// capacity signal).
+func TestDisabledCache(t *testing.T) {
+	for _, c := range []*ResultCache{New(0), New(-1), NewWithEntryLimit(0, 10)} {
+		if !c.Disabled() {
+			t.Fatal("zero-budget cache not disabled")
+		}
+		c.Put("k", testTable(3), []Dep{{ViewID: "v", Gen: 1}})
+		c.Put("k2", testTable(1), nil)
+		if _, ok := c.Get("k", gens(map[string]uint64{"v": 1})); ok {
+			t.Error("disabled cache returned a hit")
+		}
+		s := c.Stats()
+		if s.DisabledPuts != 2 {
+			t.Errorf("DisabledPuts = %d, want 2", s.DisabledPuts)
+		}
+		if s.AdmissionRejects != 0 || s.Insertions != 0 || s.Misses != 0 || s.Hits != 0 {
+			t.Errorf("disabled cache bled into other counters: %+v", s)
+		}
+		if c.Len() != 0 || c.Bytes() != 0 {
+			t.Errorf("disabled cache holds entries: len=%d bytes=%d", c.Len(), c.Bytes())
+		}
+	}
+	// A nil cache is disabled too (and safe to call).
+	var nilCache *ResultCache
+	if !nilCache.Disabled() {
+		t.Error("nil cache not reported disabled")
+	}
+}
+
+// TestEnabledCacheNoDisabledPuts: a live cache never counts
+// DisabledPuts, even when admission rejects an oversized entry.
+func TestEnabledCacheNoDisabledPuts(t *testing.T) {
+	c := NewWithEntryLimit(1<<20, 64)
+	c.Put("small", testTable(1), nil)
+	c.Put("huge", testTable(10_000), nil)
+	s := c.Stats()
+	if s.DisabledPuts != 0 {
+		t.Errorf("enabled cache counted %d DisabledPuts", s.DisabledPuts)
+	}
+	if s.AdmissionRejects == 0 {
+		t.Error("oversized entry not admission-rejected")
+	}
+	if c.Disabled() {
+		t.Error("enabled cache reports disabled")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"deepsea/internal/datastore"
 	"deepsea/internal/interval"
 	"deepsea/internal/matching"
 	"deepsea/internal/partition"
@@ -106,6 +107,19 @@ func (d *DeepSea) trackViewCandidate(root, n query.Node) string {
 			recompute = c.Seconds
 		}
 		vs.Cost = recompute + d.writeCostEstimate(vs.Size, 1)
+		// The initial size/cost estimates are set exactly once per tracked
+		// view; journal them so a recovered registry does not hold the
+		// view at Φ = 0 forever (this path never re-runs once the record
+		// exists).
+		d.journalVStat(vs)
+		// The signature index is in-memory-only state the pool manifest
+		// cannot reproduce (signatures come from query plans); journal the
+		// entry once so a warm restart matches views without having seen
+		// their defining queries.
+		if d.store != nil {
+			sch := n.Schema()
+			d.appendRecord(datastore.Record{Op: "track_view", View: id, Sig: sig, Schema: &sch})
+		}
 		if saving := d.initialSaving(root, n, vs.Size); saving > 0 {
 			vs.RecordUse(d.Eng.Now(), saving)
 		}

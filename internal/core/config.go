@@ -7,6 +7,7 @@
 package core
 
 import (
+	"deepsea/internal/datastore"
 	"deepsea/internal/engine"
 	"deepsea/internal/faults"
 	"deepsea/internal/relation"
@@ -174,6 +175,12 @@ type Config struct {
 	// recoverable fault (a quarantined fragment read, a transient worker
 	// fault) before its error is returned; 0 selects the default (3).
 	FaultRetries int
+	// Datastore is the persistence boundary: pool, statistics and
+	// materialized-file mutations journal through it and recovery replays
+	// them on construction. nil — the default — keeps the historical
+	// in-memory-only behaviour (as does datastore.Null). The caller owns
+	// the store's lifecycle (Close after the instance drains).
+	Datastore datastore.Store
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.

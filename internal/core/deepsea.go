@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"deepsea/internal/cache"
+	"deepsea/internal/datastore"
 	"deepsea/internal/engine"
 	"deepsea/internal/faults"
 	"deepsea/internal/interval"
@@ -116,10 +117,48 @@ type DeepSea struct {
 	// quarantined (leaf lock: never held while acquiring another).
 	quarMu  sync.Mutex
 	quarLog []string
+
+	// store is the persistence boundary (nil without a datastore): every
+	// pool/engine/stats mutation journals through it, and Snapshot
+	// checkpoints into it. recovered reports what recovery did when the
+	// instance was built.
+	store     datastore.Store
+	recovered RecoveryInfo
 }
 
 // New assembles a DeepSea instance (or a baseline, depending on cfg).
+// With a datastore configured it first recovers the previous life's
+// state (snapshot load + journal tail replay), then attaches the
+// journal hooks so new mutations are durable. A fatal recovery failure
+// (corrupt snapshot, a recovered pool that fails its consistency walk)
+// never fails construction: the instance starts cold, the failure is
+// reported via Recovery()/Health, and a cold snapshot overwrites the
+// stored state so the bad history cannot replay again.
 func New(cfg Config) *DeepSea {
+	d := build(cfg)
+	if cfg.Datastore != nil {
+		d.store = cfg.Datastore
+		if err := d.recoverFromStore(); err != nil {
+			info := d.recovered
+			info.Err = err.Error()
+			d = build(cfg)
+			d.store = cfg.Datastore
+			d.recovered = info
+			_ = d.Snapshot()
+		}
+		d.Pool.SetJournal(d.appendRecord)
+		d.Eng.SetJournal(d.appendRecord)
+		d.Stats.SetJournal(d.appendRecord)
+		if d.faults != nil {
+			d.store.SetFaults(d.faults)
+		}
+	}
+	return d
+}
+
+// build assembles the in-memory components; recovery and journaling are
+// layered on by New.
+func build(cfg Config) *DeepSea {
 	cm := engine.DefaultCostModel()
 	if cfg.CostModel != nil {
 		cm = *cfg.CostModel
@@ -496,6 +535,7 @@ func (d *DeepSea) finishPlanned(ctx context.Context, pq *plannedQuery) (QueryRep
 				vs := d.Stats.View(vc.id)
 				if !vs.Measured {
 					vs.Size = tbl.Bytes()
+					d.journalVStat(vs)
 				}
 			}
 		}

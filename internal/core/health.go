@@ -35,12 +35,18 @@ type Health struct {
 	Blacklisted []string
 
 	// Result-cache traffic and occupancy; all zero when caching is off.
+	// CacheEnabled distinguishes a configured-off cache from an enabled
+	// one that happens to be idle; DisabledPuts counts results a disabled
+	// cache declined (reported separately from AdmissionRejects, which
+	// only an enabled cache increments).
+	CacheEnabled          bool
 	CacheHits             int64
 	CacheMisses           int64
 	CacheInsertions       int64
 	CacheEvictions        int64
 	CacheInvalidations    int64
 	CacheAdmissionRejects int64
+	CacheDisabledPuts     int64
 	CacheBytes            int64
 	CacheCapacity         int64
 	CacheEntries          int
@@ -52,6 +58,28 @@ type Health struct {
 	// FaultsInjected is the cumulative injected-fault count (zero when
 	// fault injection is off).
 	FaultsInjected uint64
+
+	// Journal health: all zero without a datastore. JournalAppendErrors
+	// and JournalSnapshotErrors are the degraded-durability signals a
+	// serving frontend should alarm on.
+	JournalEnabled        bool
+	JournalRecords        uint64
+	JournalBytes          int64
+	JournalAppendErrors   uint64
+	JournalSnapshots      uint64
+	JournalSnapshotErrors uint64
+	JournalTornRepairs    uint64
+	JournalLastSeq        uint64
+	JournalSnapshotSeq    uint64
+
+	// Recovery outcome of this instance's construction (see
+	// core.RecoveryInfo). RecoveryError non-empty means the stored state
+	// was unusable and the instance started cold.
+	Recovered         bool
+	RecoveredSnapshot bool
+	RecoveredRecords  int
+	RecoverySkipped   int
+	RecoveryError     string
 }
 
 // Health assembles the snapshot. Safe to call concurrently with query
@@ -78,12 +106,14 @@ func (d *DeepSea) Health() Health {
 	h.Backoff, h.Blacklisted = d.backoff.snapshot()
 
 	cs := d.Cache.Stats()
+	h.CacheEnabled = !d.Cache.Disabled()
 	h.CacheHits = cs.Hits
 	h.CacheMisses = cs.Misses
 	h.CacheInsertions = cs.Insertions
 	h.CacheEvictions = cs.Evictions
 	h.CacheInvalidations = cs.Invalidations
 	h.CacheAdmissionRejects = cs.AdmissionRejects
+	h.CacheDisabledPuts = cs.DisabledPuts
 	h.CacheBytes = d.Cache.Bytes()
 	h.CacheCapacity = d.Cache.Capacity()
 	h.CacheEntries = d.Cache.Len()
@@ -94,6 +124,24 @@ func (d *DeepSea) Health() Health {
 	if d.faults != nil {
 		h.FaultsInjected = d.faults.TotalInjected()
 	}
+
+	if d.store != nil {
+		ss := d.store.Stats()
+		h.JournalEnabled = true
+		h.JournalRecords = ss.Records
+		h.JournalBytes = ss.Bytes
+		h.JournalAppendErrors = ss.AppendErrors
+		h.JournalSnapshots = ss.Snapshots
+		h.JournalSnapshotErrors = ss.SnapshotErrors
+		h.JournalTornRepairs = ss.TornTailRepairs
+		h.JournalLastSeq = ss.LastSeq
+		h.JournalSnapshotSeq = ss.SnapshotSeq
+	}
+	h.Recovered = d.recovered.Ran
+	h.RecoveredSnapshot = d.recovered.FromSnapshot
+	h.RecoveredRecords = d.recovered.Replayed
+	h.RecoverySkipped = d.recovered.Skipped
+	h.RecoveryError = d.recovered.Err
 	return h
 }
 

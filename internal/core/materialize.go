@@ -106,6 +106,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 				fs := d.Stats.Partition(vc.id, attr, dom).Frag(iv)
 				fs.Size = fragBytes
 				fs.Measured = fragTbl != nil
+				d.journalFStat(vc.id, attr, fs)
 			}
 		}
 	}
@@ -115,6 +116,7 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 	// vs.Cost keeps the recompute estimate (Section 7.1's COST(V));
 	// the charged materialization overhead is returned to the caller.
 	vs.Measured = captured != nil
+	d.journalVStat(vs)
 	return cost, true, nil
 }
 
@@ -422,6 +424,7 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 		fs := pstat.Frag(fc.iv)
 		fs.Size = bytes
 		fs.Measured = tbl != nil
+		d.journalFStat(fc.viewID, fc.attr, fs)
 		return cost, []interval.Interval{fc.iv}, nil
 	}
 
@@ -506,6 +509,7 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 		fs := pstat.Frag(iv)
 		fs.Size = bytes
 		fs.Measured = d.Cfg.ExecuteRows
+		d.journalFStat(fc.viewID, fc.attr, fs)
 		written = append(written, iv)
 		pending = append(pending, partition.Fragment{Iv: iv, Path: path, Size: bytes})
 	}

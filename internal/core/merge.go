@@ -121,6 +121,7 @@ func (d *DeepSea) mergePair(viewID string, part *partition.Partition, pstat *sta
 	fs := pstat.Frag(mergedIv)
 	fs.Size = bytes
 	fs.Measured = d.Cfg.ExecuteRows
+	d.journalFStat(viewID, part.Attr, fs)
 	fs.RecordHit(d.Eng.Now())
 	return cost, nil
 }

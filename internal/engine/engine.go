@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"deepsea/internal/datastore"
 	"deepsea/internal/faults"
 	"deepsea/internal/relation"
 	"deepsea/internal/storage"
@@ -53,6 +54,12 @@ type Engine struct {
 	// baseVersion counts base-catalog mutations. Result-cache keys embed
 	// it so cached rows never survive a base-table change.
 	baseVersion uint64
+
+	// journal, when non-nil, receives a record per materialized-file
+	// write/delete and per clock advance, emitted under e.mu. Base tables
+	// are deliberately not journaled: they are workload input, reloaded
+	// by the host on boot, not state the manager learned.
+	journal func(datastore.Record)
 }
 
 // New returns an engine with the given cost model. The simulated clock
@@ -95,6 +102,21 @@ func (e *Engine) SetFaults(in *faults.Injector) {
 // Faults returns the attached fault injector (nil when fault-free).
 func (e *Engine) Faults() *faults.Injector { return e.faults }
 
+// SetJournal attaches a mutation journal to the engine; nil detaches
+// it. Set before concurrent use (and detach during recovery replay).
+func (e *Engine) SetJournal(fn func(datastore.Record)) {
+	e.mu.Lock()
+	e.journal = fn
+	e.mu.Unlock()
+}
+
+// emit journals one record; caller holds e.mu.
+func (e *Engine) emit(rec datastore.Record) {
+	if e.journal != nil {
+		e.journal(rec)
+	}
+}
+
 // Now returns the simulated time in seconds.
 func (e *Engine) Now() float64 {
 	e.mu.RLock()
@@ -109,6 +131,18 @@ func (e *Engine) Advance(d float64) {
 	}
 	e.mu.Lock()
 	e.clock += d
+	e.emit(datastore.Record{Op: "clock", T: e.clock})
+	e.mu.Unlock()
+}
+
+// SetClock restores the simulated clock from a snapshot or journal
+// record. Restoring never moves the clock backwards: the paper's decay
+// t/tnow assumes monotone time.
+func (e *Engine) SetClock(t float64) {
+	e.mu.Lock()
+	if t > e.clock {
+		e.clock = t
+	}
 	e.mu.Unlock()
 }
 
@@ -160,6 +194,7 @@ func (e *Engine) WriteMaterialized(path string, t *relation.Table) (Cost, error)
 	}
 	e.mu.Lock()
 	e.mat[path] = t
+	e.emit(datastore.Record{Op: "put_file", Path: path, Size: bytes, Rows: t})
 	e.mu.Unlock()
 	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}, nil
 }
@@ -172,6 +207,7 @@ func (e *Engine) WriteMaterializedSize(path string, bytes int64) (Cost, error) {
 	}
 	e.mu.Lock()
 	delete(e.mat, path)
+	e.emit(datastore.Record{Op: "put_file", Path: path, Size: bytes})
 	e.mu.Unlock()
 	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}, nil
 }
@@ -209,5 +245,20 @@ func (e *Engine) DeleteMaterialized(path string) {
 	e.fs.Delete(path)
 	e.mu.Lock()
 	delete(e.mat, path)
+	e.emit(datastore.Record{Op: "del_file", Path: path})
+	e.mu.Unlock()
+}
+
+// RestoreFile recreates a materialized file during recovery — no write
+// cost, no I/O accounting, no fault check, no journal echo. rows may be
+// nil (estimate-only mode or a snapshot that dropped payloads).
+func (e *Engine) RestoreFile(path string, size int64, rows *relation.Table) {
+	e.fs.Restore(path, size)
+	e.mu.Lock()
+	if rows != nil {
+		e.mat[path] = rows
+	} else {
+		delete(e.mat, path)
+	}
 	e.mu.Unlock()
 }

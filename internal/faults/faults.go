@@ -36,6 +36,13 @@ const (
 	// a fault here fails the whole materialization attempt before any
 	// write happens.
 	Materialize
+	// JournalAppend covers the datastore's write-ahead journal appends:
+	// a fault here drops the record (degrading durability, never
+	// correctness) and is counted as an append error.
+	JournalAppend
+	// SnapshotWrite covers the datastore's snapshot publication: a fault
+	// here leaves the previous snapshot in place and the journal intact.
+	SnapshotWrite
 
 	numSites
 )
@@ -51,6 +58,10 @@ func (s Site) String() string {
 		return "worker"
 	case Materialize:
 		return "materialize"
+	case JournalAppend:
+		return "journal-append"
+	case SnapshotWrite:
+		return "snapshot-write"
 	default:
 		return fmt.Sprintf("site(%d)", int(s))
 	}
@@ -68,6 +79,10 @@ type Config struct {
 	StorageWrite float64
 	Worker       float64
 	Materialize  float64
+	// JournalAppend and SnapshotWrite are the datastore's durability
+	// sites, in [0, 1].
+	JournalAppend float64
+	SnapshotWrite float64
 	// PermanentFraction is the fraction of injected faults that are
 	// permanent (non-retryable); the rest are transient. 0 makes every
 	// fault transient, 1 makes every fault permanent.
@@ -150,6 +165,8 @@ func New(cfg Config) *Injector {
 	in.probs[StorageWrite] = cfg.StorageWrite
 	in.probs[Worker] = cfg.Worker
 	in.probs[Materialize] = cfg.Materialize
+	in.probs[JournalAppend] = cfg.JournalAppend
+	in.probs[SnapshotWrite] = cfg.SnapshotWrite
 	return in
 }
 

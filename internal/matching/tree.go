@@ -76,6 +76,19 @@ func (ft *FilterTree) Len() int {
 	return len(ft.byID)
 }
 
+// Entries returns every indexed entry, sorted by ID — the persistence
+// boundary walks this to snapshot the index.
+func (ft *FilterTree) Entries() []*Entry {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	out := make([]*Entry, 0, len(ft.byID))
+	for _, e := range ft.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Candidates returns the entries whose family matches the query
 // signature — the survivors of the index's pruning, still subject to the
 // detailed sufficient condition. The returned slice is a copy, so a

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"deepsea/internal/datastore"
 	"deepsea/internal/interval"
 	"deepsea/internal/partition"
 	"deepsea/internal/relation"
@@ -78,11 +79,63 @@ type Pool struct {
 	// survive Remove/GC: a re-created view must not resurrect stale
 	// cached results by restarting at zero.
 	gens map[string]uint64
+	// journal, when non-nil, receives one record per pool mutation while
+	// p.mu is held, so the journal's order for pool ops is the mutation
+	// order. Creation-only paths (Ensure, EnsurePartition) journal only
+	// when they actually create.
+	journal func(datastore.Record)
 }
 
 // New returns an empty pool with the given size limit.
 func New(smax int64) *Pool {
 	return &Pool{Smax: smax, views: make(map[string]*View), gens: make(map[string]uint64)}
+}
+
+// SetJournal attaches a mutation journal; nil detaches it. Every
+// mutation method emits a record describing itself while holding the
+// pool mutex. Replaying those records through the same mutation API
+// reproduces the pool — contents, size counter and generation counters
+// alike. Set before concurrent use (and detach during replay, or the
+// recovery would journal its own echoes).
+func (p *Pool) SetJournal(fn func(datastore.Record)) {
+	p.mu.Lock()
+	p.journal = fn
+	p.mu.Unlock()
+}
+
+// emit journals one record; caller holds p.mu.
+func (p *Pool) emit(rec datastore.Record) {
+	if p.journal != nil {
+		p.journal(rec)
+	}
+}
+
+// Generations returns a copy of every view's content-mutation counter,
+// for snapshots: the cache keys validity to these, so a warm restart
+// must resume them rather than restart at zero.
+func (p *Pool) Generations() map[string]uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]uint64, len(p.gens))
+	for id, g := range p.gens {
+		out[id] = g
+	}
+	return out
+}
+
+// RestoreGenerations overwrites the generation counters from a snapshot.
+// Recovery calls it after replaying the mutation tail, which bumped
+// generations exactly as the original mutations did — so this only
+// matters for counters the snapshot carries beyond the replayed state
+// (views evicted before the snapshot, for example).
+func (p *Pool) RestoreGenerations(gens map[string]uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, g := range gens {
+		if g > p.gens[id] {
+			p.gens[id] = g
+		}
+	}
 }
 
 // Generation returns the view's content-mutation counter. It is zero for
@@ -117,6 +170,8 @@ func (p *Pool) Ensure(id string, schema relation.Schema) *View {
 	if !ok {
 		v = &View{ID: id, Schema: schema, Parts: make(map[string]*partition.Partition)}
 		p.views[id] = v
+		sch := schema
+		p.emit(datastore.Record{Op: "ensure_view", View: id, Schema: &sch})
 	}
 	return v
 }
@@ -129,6 +184,7 @@ func (p *Pool) Remove(id string) {
 		p.size -= v.TotalSize()
 		delete(p.views, id)
 		p.gens[id]++
+		p.emit(datastore.Record{Op: "remove_view", View: id})
 	}
 }
 
@@ -146,6 +202,7 @@ func (p *Pool) SetViewFile(id, path string, size int64) {
 	v.Path = path
 	v.Size = size
 	p.gens[id]++
+	p.emit(datastore.Record{Op: "set_view_file", View: id, Path: path, Size: size})
 }
 
 // DropViewFile removes the view's unpartitioned file from the metadata
@@ -161,6 +218,7 @@ func (p *Pool) DropViewFile(id string) {
 	v.Path = ""
 	v.Size = 0
 	p.gens[id]++
+	p.emit(datastore.Record{Op: "drop_view_file", View: id})
 }
 
 // EnsurePartition returns the view's partition on attr, creating an
@@ -176,6 +234,7 @@ func (p *Pool) EnsurePartition(id, attr string, dom interval.Interval, overlappi
 	if !ok {
 		part = partition.New(id, attr, dom, overlapping)
 		v.Parts[attr] = part
+		p.emit(datastore.Record{Op: "ensure_part", View: id, Attr: attr, Dom: dom, Overlapping: overlapping})
 	}
 	return part
 }
@@ -200,6 +259,7 @@ func (p *Pool) AddFragment(id, attr string, f partition.Fragment) {
 	p.size += f.Size
 	part.Add(f)
 	p.gens[id]++
+	p.emit(datastore.Record{Op: "add_frag", View: id, Attr: attr, Iv: f.Iv, Path: f.Path, Size: f.Size})
 }
 
 // RemoveFragment deletes the fragment stored for iv from the view's
@@ -222,6 +282,7 @@ func (p *Pool) RemoveFragment(id, attr string, iv interval.Interval) bool {
 	p.size -= f.Size
 	part.Remove(iv)
 	p.gens[id]++
+	p.emit(datastore.Record{Op: "remove_frag", View: id, Attr: attr, Iv: iv})
 	return true
 }
 
@@ -341,6 +402,7 @@ func (p *Pool) gcView(id string, v *View) {
 		p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
 		delete(p.views, id)
 		p.gens[id]++
+		p.emit(datastore.Record{Op: "remove_view", View: id})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -121,6 +122,151 @@ func TestLimiterQueueTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.release()
+}
+
+// TestLimiterReleaseSkipsAbandonedWaiter pins the handover invariant
+// white-box: release must pass over a waiter that abandoned (timed out
+// or canceled but not yet dequeued — the window between its select
+// firing and it retaking the mutex) and admit the next live one,
+// keeping the slot accounted to exactly one owner.
+func TestLimiterReleaseSkipsAbandonedWaiter(t *testing.T) {
+	l := newLimiter(1, 8, 0)
+	l.inflight = 1
+	abandoned := &waiter{ready: make(chan struct{}), abandoned: true}
+	live := &waiter{ready: make(chan struct{})}
+	l.queue = []*waiter{abandoned, live}
+
+	l.release()
+
+	if !live.admitted {
+		t.Error("live waiter behind an abandoned one was not admitted")
+	}
+	select {
+	case <-live.ready:
+	default:
+		t.Error("live waiter's ready channel not closed")
+	}
+	if abandoned.admitted {
+		t.Error("abandoned waiter was granted the slot")
+	}
+	select {
+	case <-abandoned.ready:
+		t.Error("abandoned waiter's ready channel was closed")
+	default:
+	}
+	// The slot moved from releaser to the live waiter: still one
+	// in-flight, queue drained.
+	if _, inflight, depth := l.snapshot(); inflight != 1 || depth != 0 {
+		t.Errorf("inflight=%d depth=%d, want 1 and 0", inflight, depth)
+	}
+
+	// With only abandoned waiters queued, release frees the slot.
+	l.queue = []*waiter{{ready: make(chan struct{}), abandoned: true}}
+	l.release()
+	if _, inflight, depth := l.snapshot(); inflight != 0 || depth != 0 {
+		t.Errorf("after abandoned-only release: inflight=%d depth=%d, want 0 and 0", inflight, depth)
+	}
+}
+
+// TestLimiterFIFOPastAbandoned checks end-to-end that a canceled waiter
+// does not absorb the handed-over slot nor break FIFO for those behind
+// it.
+func TestLimiterFIFOPastAbandoned(t *testing.T) {
+	leakcheck.Check(t)
+	l := newLimiter(1, 8, 0)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan error, 1)
+	go func() { bDone <- l.acquire(ctx) }()
+	waitQueueDepth(t, l, 1)
+	cDone := make(chan error, 1)
+	go func() {
+		err := l.acquire(context.Background())
+		cDone <- err
+	}()
+	waitQueueDepth(t, l, 2)
+
+	cancel()
+	if err := <-bDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+	// C is still queued; releasing A's slot must admit C, not leak the
+	// slot into B's corpse.
+	l.release()
+	select {
+	case err := <-cDone:
+		if err != nil {
+			t.Fatalf("waiter behind the canceled one: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter behind the canceled one never admitted: slot leaked")
+	}
+	l.release()
+	if _, inflight, depth := l.snapshot(); inflight != 0 || depth != 0 {
+		t.Errorf("limiter not drained: inflight=%d depth=%d", inflight, depth)
+	}
+}
+
+// TestLimiterAbandonHandoverRace is the -race stress for the
+// abandon/handover window: many waiters with deadlines short enough
+// that releases routinely race their timeouts. Whatever interleaving
+// the scheduler picks, a slot must be neither leaked (concurrency
+// drops below the limit forever) nor double-granted (concurrency
+// exceeds the limit), and the limiter must drain to zero.
+func TestLimiterAbandonHandoverRace(t *testing.T) {
+	leakcheck.Check(t)
+	const (
+		slots   = 4
+		workers = 200
+	)
+	l := newLimiter(slots, workers, 0)
+	var cur, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A spread of tiny deadlines: some requests are admitted
+			// immediately, some after queueing, many abandon right as a
+			// release considers them.
+			ctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(i%5)*200*time.Microsecond)
+			defer cancel()
+			if err := l.acquire(ctx); err != nil {
+				return
+			}
+			admitted.Add(1)
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+			l.release()
+		}(i)
+	}
+	wg.Wait()
+
+	if p := peak.Load(); p > slots {
+		t.Errorf("slot double-granted: observed %d concurrent holders, limit %d", p, slots)
+	}
+	stats, inflight, depth := l.snapshot()
+	if inflight != 0 || depth != 0 {
+		t.Errorf("slot leaked: inflight=%d depth=%d after full drain", inflight, depth)
+	}
+	if int64(stats.Admitted) != admitted.Load() {
+		t.Errorf("stats.Admitted = %d, %d goroutines actually admitted", stats.Admitted, admitted.Load())
+	}
+	// Every worker is accounted exactly once across the outcomes.
+	total := stats.Admitted + stats.ShedQueueFull + stats.Canceled + stats.ShedTimeout
+	if total != workers {
+		t.Errorf("outcomes sum to %d (%+v), want %d", total, stats, workers)
+	}
 }
 
 func TestLimiterContextCancel(t *testing.T) {

@@ -54,6 +54,11 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on shed responses in seconds
 	// (default 1).
 	RetryAfter int
+	// SnapshotEvery, when positive, checkpoints the system to its
+	// mounted datastore on this period (and once more on drain), keeping
+	// the journal tail — and therefore recovery time — short. Pointless
+	// without deepsea.WithDatastore (default 0 = off).
+	SnapshotEvery time.Duration
 }
 
 func (c *Config) fill() {
@@ -103,6 +108,12 @@ type Server struct {
 	draining atomic.Bool
 	reqWG    sync.WaitGroup
 
+	// snapStop/snapDone bound the periodic-snapshot goroutine (nil
+	// without SnapshotEvery).
+	snapStop chan struct{}
+	snapDone chan struct{}
+	snapErrs atomic.Uint64
+
 	served     atomic.Uint64
 	failed     atomic.Uint64
 	shed       atomic.Uint64
@@ -133,7 +144,31 @@ func New(sys *deepsea.System, cfg Config) *Server {
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/poolz", s.handlePoolz)
 	s.mux = mux
+	if cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
 	return s
+}
+
+// snapshotLoop checkpoints the system on a timer until Shutdown. A
+// failed snapshot is counted and retried next tick — the journal keeps
+// the durability floor in the meantime.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.sys.Snapshot(); err != nil {
+				s.snapErrs.Add(1)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
 }
 
 // Handler returns the HTTP handler (mount it on any http.Server).
@@ -157,14 +192,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.bat.close()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// The system is quiet now: stop the snapshot ticker and take one
+	// final checkpoint so a restart replays no journal tail at all.
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
+	if serr := s.sys.Snapshot(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
 // QueryResponse is the JSON body of a successful POST /query.
@@ -296,7 +341,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthzResponse is GET /healthz: a liveness summary. Status is "ok",
-// "degraded" (quarantined files or blacklisted views) or "draining".
+// "degraded" (quarantined files, blacklisted views, journal append
+// errors, or a recovery that fell back to a cold start) or "draining".
 type healthzResponse struct {
 	Status      string         `json:"status"`
 	InFlight    int64          `json:"in_flight"`
@@ -306,25 +352,38 @@ type healthzResponse struct {
 	Quarantined []string       `json:"quarantined,omitempty"`
 	Backoff     []string       `json:"backoff,omitempty"`
 	Blacklisted []string       `json:"blacklisted,omitempty"`
-	Admission   AdmissionStats `json:"admission"`
+	// Journal durability summary (all zero without a datastore):
+	// JournalAppendErrors > 0 or a non-empty RecoveryError degrades the
+	// status — the server still answers queries, but state written since
+	// the last good append would not survive a crash.
+	JournalEnabled      bool           `json:"journal_enabled,omitempty"`
+	JournalAppendErrors uint64         `json:"journal_append_errors,omitempty"`
+	JournalLastSeq      uint64         `json:"journal_last_seq,omitempty"`
+	RecoveryError       string         `json:"recovery_error,omitempty"`
+	Admission           AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := s.sys.Health()
 	adm, _, _ := s.lim.snapshot()
 	resp := healthzResponse{
-		Status:      "ok",
-		InFlight:    h.InFlight,
-		Queries:     h.Queries,
-		PoolBytes:   h.PoolBytes,
-		PoolLimit:   h.PoolLimit,
-		Quarantined: h.Quarantined,
-		Backoff:     h.Backoff,
-		Blacklisted: h.Blacklisted,
-		Admission:   adm,
+		Status:              "ok",
+		InFlight:            h.InFlight,
+		Queries:             h.Queries,
+		PoolBytes:           h.PoolBytes,
+		PoolLimit:           h.PoolLimit,
+		Quarantined:         h.Quarantined,
+		Backoff:             h.Backoff,
+		Blacklisted:         h.Blacklisted,
+		JournalEnabled:      h.JournalEnabled,
+		JournalAppendErrors: h.JournalAppendErrors,
+		JournalLastSeq:      h.JournalLastSeq,
+		RecoveryError:       h.RecoveryError,
+		Admission:           adm,
 	}
 	status := http.StatusOK
-	if len(h.Quarantined) > 0 || len(h.Blacklisted) > 0 {
+	if len(h.Quarantined) > 0 || len(h.Blacklisted) > 0 ||
+		h.JournalAppendErrors > 0 || h.RecoveryError != "" {
 		resp.Status = "degraded"
 	}
 	if s.draining.Load() {
@@ -345,6 +404,9 @@ type statzResponse struct {
 	// PlanAmortization is Queries / PlanAcquisitions — above 1 when
 	// template batching coalesces planning.
 	PlanAmortization float64 `json:"plan_amortization"`
+	// SnapshotTickErrors counts failed periodic checkpoints taken by the
+	// SnapshotEvery ticker (store-level counters live in Health).
+	SnapshotTickErrors uint64 `json:"snapshot_tick_errors,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -360,8 +422,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			TimedOut:   s.timedOut.Load(),
 			BadRequest: s.badRequest.Load(),
 		},
-		InFlightSlots: inflight,
-		QueueDepth:    depth,
+		InFlightSlots:      inflight,
+		QueueDepth:         depth,
+		SnapshotTickErrors: s.snapErrs.Load(),
 	}
 	if h.PlanAcquisitions > 0 {
 		resp.PlanAmortization = float64(h.Queries) / float64(h.PlanAcquisitions)

@@ -144,6 +144,11 @@ func of(n query.Node) *Signature {
 // computed from.
 func (s *Signature) Schema() relation.Schema { return s.schema }
 
+// SetSchema re-attaches the output schema after a signature crossed a
+// serialization boundary (the schema field does not marshal; recovery
+// restores it from the persisted view schema).
+func (s *Signature) SetSchema(sch relation.Schema) { s.schema = sch }
+
 // Key returns a canonical string identifying the signature. Two subtrees
 // with equal signatures produce equal keys. The key is used as the view
 // identity in the pool and statistics.

@@ -11,8 +11,26 @@ import (
 	"sort"
 	"sync"
 
+	"deepsea/internal/datastore"
 	"deepsea/internal/interval"
 )
+
+// journalRef is the registry's shared journal hook, threaded into every
+// record it creates so the hot-path mutators (RecordUse, RecordHit,
+// RefineCand, Drop, PruneExpired) can emit without a registry lookup.
+// All records share one ref, so attaching a journal after recovery
+// reaches records created before the attachment. A nil ref (records
+// built outside a registry) or nil fn (no datastore) emits nothing.
+type journalRef struct {
+	fn func(datastore.Record)
+}
+
+func (j *journalRef) emit(rec datastore.Record) {
+	if j == nil || j.fn == nil {
+		return
+	}
+	j.fn(rec)
+}
 
 // Decay is the paper's DEC(tnow, t): zero once a benefit is older than
 // TMax, otherwise proportional weighting t/tnow, so that older savings
@@ -72,6 +90,8 @@ type ViewStat struct {
 	// decay is DEC(tnow,t) = t/tnow inside the timeout window, the
 	// benefit is an O(log n) suffix-sum query instead of an O(n) scan.
 	cumSavingT []float64
+
+	journal *journalRef
 }
 
 // RecordUse appends a (timestamp, saving) pair. Timestamps must be
@@ -83,6 +103,7 @@ func (v *ViewStat) RecordUse(t, saving float64) {
 		prev = v.cumSavingT[n-1]
 	}
 	v.cumSavingT = append(v.cumSavingT, prev+saving*t)
+	v.journal.emit(datastore.Record{Op: "use", View: v.ID, T: t, Saving: saving})
 }
 
 // Benefit returns B(V, tnow) = Σ saving · DEC(tnow, t).
@@ -132,6 +153,12 @@ type FragStat struct {
 
 	// cumT[i] = Σ_{j<=i} Hits[j]; see ViewStat.cumSavingT.
 	cumT []float64
+
+	// view and attr identify the owning partition for journaling; set by
+	// PartitionStat.Frag (empty for free-standing records, which then
+	// journal nothing for lack of an identity).
+	view, attr string
+	journal    *journalRef
 }
 
 // RecordHit appends a hit timestamp. Timestamps must be non-decreasing.
@@ -142,6 +169,7 @@ func (f *FragStat) RecordHit(t float64) {
 		prev = f.cumT[n-1]
 	}
 	f.cumT = append(f.cumT, prev+t)
+	f.journal.emit(datastore.Record{Op: "hit", View: f.view, Attr: f.attr, Iv: f.Iv, T: t})
 }
 
 // DecayedHits returns H(I) = Σ DEC(tnow, t) over the hit timestamps.
@@ -213,7 +241,8 @@ type PartitionStat struct {
 	// view is materialized, Cand becomes its initial partitioning.
 	Cand interval.Set
 
-	frags map[interval.Interval]*FragStat
+	frags   map[interval.Interval]*FragStat
+	journal *journalRef
 }
 
 // RefineCand splits the candidate partitioning at the end points of the
@@ -225,7 +254,8 @@ func (p *PartitionStat) RefineCand(q interval.Interval) []interval.Interval {
 	if !ok {
 		return nil
 	}
-	if len(p.Cand) == 0 {
+	init := len(p.Cand) == 0
+	if init {
 		p.Cand = interval.Set{p.Dom}
 	}
 	var next interval.Set
@@ -243,6 +273,12 @@ func (p *PartitionStat) RefineCand(q interval.Interval) []interval.Interval {
 	}
 	next.Sort()
 	p.Cand = next
+	// Journal only refinements that changed the partitioning: replaying
+	// the state-changing subsequence reproduces Cand exactly, because a
+	// no-op refinement stays a no-op whenever it is re-applied.
+	if init || len(created) > 0 {
+		p.journal.emit(datastore.Record{Op: "refine", View: p.View, Attr: p.Attr, Iv: q})
+	}
 	return created
 }
 
@@ -259,7 +295,7 @@ func NewPartitionStat(view, attr string, dom interval.Interval) *PartitionStat {
 func (p *PartitionStat) Frag(iv interval.Interval) *FragStat {
 	f, ok := p.frags[iv]
 	if !ok {
-		f = &FragStat{Iv: iv}
+		f = &FragStat{Iv: iv, view: p.View, attr: p.Attr, journal: p.journal}
 		p.frags[iv] = f
 	}
 	return f
@@ -273,7 +309,12 @@ func (p *PartitionStat) Lookup(iv interval.Interval) (*FragStat, bool) {
 
 // Drop removes a fragment's statistics (used when a fragment candidate is
 // superseded by a refinement).
-func (p *PartitionStat) Drop(iv interval.Interval) { delete(p.frags, iv) }
+func (p *PartitionStat) Drop(iv interval.Interval) {
+	if _, ok := p.frags[iv]; ok {
+		delete(p.frags, iv)
+		p.journal.emit(datastore.Record{Op: "frag_drop", View: p.View, Attr: p.Attr, Iv: iv})
+	}
+}
 
 // Fragments returns all tracked fragment statistics sorted by interval.
 func (p *PartitionStat) Fragments() []*FragStat {
@@ -308,6 +349,7 @@ func (p *PartitionStat) PruneExpired(tnow float64, d Decay, keep func(interval.I
 			continue
 		}
 		delete(p.frags, iv)
+		p.journal.emit(datastore.Record{Op: "frag_drop", View: p.View, Attr: p.Attr, Iv: iv})
 		n++
 	}
 	return n
@@ -351,7 +393,8 @@ type regShard struct {
 type Registry struct {
 	Decay Decay
 
-	shards []regShard
+	shards  []regShard
+	journal *journalRef
 }
 
 // NewRegistry returns an empty statistics registry with the default
@@ -365,13 +408,19 @@ func NewShardedRegistry(d Decay, n int) *Registry {
 	if n <= 0 {
 		n = defaultStatsShards
 	}
-	r := &Registry{Decay: d, shards: make([]regShard, n)}
+	r := &Registry{Decay: d, shards: make([]regShard, n), journal: &journalRef{}}
 	for i := range r.shards {
 		r.shards[i].views = make(map[string]*ViewStat)
 		r.shards[i].parts = make(map[string]map[string]*PartitionStat)
 	}
 	return r
 }
+
+// SetJournal attaches a mutation journal to the registry; nil detaches
+// it. The shared ref reaches every record the registry ever created, so
+// attaching after a recovery replay covers the restored records too. Set
+// while no statistics are being written (initialisation or recovery).
+func (r *Registry) SetJournal(fn func(datastore.Record)) { r.journal.fn = fn }
 
 // shard maps a view id to its shard.
 func (r *Registry) shard(view string) *regShard {
@@ -388,7 +437,7 @@ func (r *Registry) View(id string) *ViewStat {
 	defer s.mu.Unlock()
 	v, ok := s.views[id]
 	if !ok {
-		v = &ViewStat{ID: id}
+		v = &ViewStat{ID: id, journal: r.journal}
 		s.views[id] = v
 	}
 	return v
@@ -447,7 +496,11 @@ func (r *Registry) Partition(view, attr string, dom interval.Interval) *Partitio
 	p, ok := m[attr]
 	if !ok {
 		p = NewPartitionStat(view, attr, dom)
+		p.journal = r.journal
 		m[attr] = p
+		// Journal the creation so replay rebuilds the record — with its
+		// domain — before any hit/refine/drop record that references it.
+		r.journal.emit(datastore.Record{Op: "part", View: view, Attr: attr, Dom: dom})
 	}
 	if p.Dom != dom {
 		// The domain of an attribute is fixed by the schema; a mismatch

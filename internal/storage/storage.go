@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deepsea/internal/faults"
 )
@@ -40,8 +41,10 @@ type FS struct {
 	mu    sync.RWMutex
 	files map[string]File
 	// bytesWritten and bytesRead accumulate lifetime I/O for reporting.
-	bytesWritten int64
-	bytesRead    int64
+	// They are atomics so the read path — every concurrent fragment scan
+	// — only takes the shared lock and never serializes on accounting.
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
 }
 
 // NewFS returns an empty simulated file system. A blockSize of 0 selects
@@ -82,9 +85,21 @@ func (fs *FS) Write(path string, size int64) error {
 	}
 	fs.mu.Lock()
 	fs.files[path] = File{Path: path, Size: size}
-	fs.bytesWritten += size
 	fs.mu.Unlock()
+	fs.bytesWritten.Add(size)
 	return nil
+}
+
+// Restore recreates a file during recovery without accounting I/O or
+// consulting the fault injector: the bytes were written (and charged) in
+// a previous life of the process.
+func (fs *FS) Restore(path string, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	fs.mu.Lock()
+	fs.files[path] = File{Path: path, Size: size}
+	fs.mu.Unlock()
 }
 
 // Read accounts a full read of the named file and returns its size. It
@@ -93,31 +108,32 @@ func (fs *FS) Write(path string, size int64) error {
 // An attached fault injector may also fail the read; no bytes are
 // accounted then.
 func (fs *FS) Read(path string) (int64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
 	f, ok := fs.files[path]
+	fs.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("storage: read of missing file %s", path)
 	}
 	if err := fs.faults.Check(faults.StorageRead, path); err != nil {
 		return 0, fmt.Errorf("storage: read %s: %w", path, err)
 	}
-	fs.bytesRead += f.Size
+	fs.bytesRead.Add(f.Size)
 	return f.Size, nil
 }
 
 // ReadPartial accounts a read of n bytes from the named file (fragment
 // clipping reads only part of a file's key range).
 func (fs *FS) ReadPartial(path string, n int64) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if _, ok := fs.files[path]; !ok {
+	fs.mu.RLock()
+	_, ok := fs.files[path]
+	fs.mu.RUnlock()
+	if !ok {
 		return fmt.Errorf("storage: read of missing file %s", path)
 	}
 	if err := fs.faults.Check(faults.StorageRead, path); err != nil {
 		return fmt.Errorf("storage: read %s: %w", path, err)
 	}
-	fs.bytesRead += n
+	fs.bytesRead.Add(n)
 	return nil
 }
 
@@ -176,15 +192,7 @@ func (fs *FS) List() []File {
 }
 
 // BytesWritten returns lifetime bytes written.
-func (fs *FS) BytesWritten() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bytesWritten
-}
+func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
 
 // BytesRead returns lifetime bytes read.
-func (fs *FS) BytesRead() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bytesRead
-}
+func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"deepsea/internal/faults"
@@ -124,5 +126,92 @@ func TestReadFaultAccountsNothing(t *testing.T) {
 	}
 	if !fs.Exists("f") {
 		t.Error("Exists affected by read faults")
+	}
+}
+
+// TestParallelReadAccounting is the regression test for the read path
+// taking the exclusive lock just to bump the byte counters: many
+// goroutines read concurrently (only possible under RLock) while
+// writers churn other paths, and the atomic counters still account
+// every byte exactly.
+func TestParallelReadAccounting(t *testing.T) {
+	fs := NewFS(100)
+	const (
+		readers      = 8
+		readsPerG    = 2000
+		fileSize     = 1 << 20
+		partialPerG  = 1000
+		partialBytes = 1 << 10
+	)
+	for i := 0; i < readers; i++ {
+		if err := fs.Write(fmt.Sprintf("f%d", i), fileSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrotePre := fs.BytesWritten()
+
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := fmt.Sprintf("f%d", g)
+			for i := 0; i < readsPerG; i++ {
+				if _, err := fs.Read(path); err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+			}
+			for i := 0; i < partialPerG; i++ {
+				if err := fs.ReadPartial(path, partialBytes); err != nil {
+					t.Errorf("ReadPartial: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent writers on disjoint paths: Write takes the exclusive
+	// lock; under the old scheme it would serialize with every read.
+	var wwg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wwg.Add(1)
+		go func(g int) {
+			defer wwg.Done()
+			for i := 0; i < 500; i++ {
+				if err := fs.Write(fmt.Sprintf("w%d-%d", g, i), 10); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wwg.Wait()
+
+	wantRead := int64(readers) * (int64(readsPerG)*fileSize + int64(partialPerG)*partialBytes)
+	if got := fs.BytesRead(); got != wantRead {
+		t.Errorf("BytesRead = %d, want %d", got, wantRead)
+	}
+	wantWritten := wrotePre + 4*500*10
+	if got := fs.BytesWritten(); got != wantWritten {
+		t.Errorf("BytesWritten = %d, want %d", got, wantWritten)
+	}
+}
+
+// TestRestoreAccountsNothing: recovery re-creates files without
+// charging I/O or consulting the fault injector.
+func TestRestoreAccountsNothing(t *testing.T) {
+	fs := NewFS(100)
+	fs.SetFaults(faults.New(faults.Config{Seed: 1, StorageWrite: 1}))
+	fs.Restore("f", 5000)
+	if !fs.Exists("f") || fs.Size("f") != 5000 {
+		t.Fatal("Restore did not create the file")
+	}
+	if fs.BytesWritten() != 0 {
+		t.Errorf("Restore accounted %d written bytes", fs.BytesWritten())
+	}
+	fs.Restore("neg", -1)
+	if fs.Size("neg") != 0 {
+		t.Errorf("negative Restore size = %d, want clamp to 0", fs.Size("neg"))
 	}
 }

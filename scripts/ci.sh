@@ -14,13 +14,15 @@
 #      the fault-free run, no leaked goroutines, no leaked pins
 #   6. serving smoke — the HTTP frontend's admission, batching and
 #      drain-lifecycle suite under the race detector, then shuffled
-#   7. staticcheck, when installed (the workflow installs it; local runs
+#   7. crash-recovery chaos — the datastore suite, the core recovery
+#      suite, and the kill -9 warm-restart test under the race detector
+#   8. staticcheck, when installed (the workflow installs it; local runs
 #      skip it with a note rather than demanding the tool)
-#   8. bench smoke: cachespeed + lockspeed + faultspeed + servespeed at
-#      short scale with JSON reports, then benchcheck gates the
-#      host-independent metrics (determinism, cache hit rate, pool
-#      mutations, fault-plumbing overhead, load-shed/coalescing
-#      behavior)
+#   9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
+#      persistspeed at short scale with JSON reports, then benchcheck
+#      gates the host-independent metrics (determinism, cache hit rate,
+#      pool mutations, fault-plumbing overhead, load-shed/coalescing
+#      behavior, journal overhead and warm-restart fidelity)
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -57,6 +59,11 @@ echo "==> serving smoke (race + shuffle)"
 $GO test -race ./internal/server
 $GO test -race -shuffle=on ./internal/server
 
+echo "==> crash-recovery chaos (race)"
+$GO test -race ./internal/datastore
+$GO test -race -run 'TestRecovery|TestSnapshotNoop' ./internal/core
+$GO test -race -run 'TestCrashRecoveryWarmRestart|TestLimiterAbandonHandoverRace' ./internal/server
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "==> staticcheck"
     staticcheck ./...
@@ -72,6 +79,7 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment lockspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment faultspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment servespeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment persistspeed -params short -json)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
