@@ -50,6 +50,12 @@ var floors = map[string][]floor{
 		{"plan_amortization", 1},    // and never worse than one acquisition per query
 		{"p99_ok", 1},               // p99 within max(1s, 50x p50) — host-tolerant
 	},
+	"maintspeed": {
+		{"identical", 1},     // background results byte-identical to inline
+		{"p99_improves", 1},  // simulated p99 drops when queries stop paying maintenance
+		{"converges", 1},     // drained pool matches the inline fragment set exactly
+		{"no_lost_tasks", 1}, // enqueued == completed + failed + deduped + dropped after drain
+	},
 	"persistspeed": {
 		{"identical", 1},           // journaled arm byte-identical to volatile
 		{"overhead_ok", 1},         // journal hot-path cost within 1.5x + 250ms slack

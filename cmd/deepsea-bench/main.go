@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"deepsea/internal/bench"
@@ -27,8 +29,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data and workload generation")
 	parallelism := flag.Int("parallelism", 0, "engine data-path workers (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
 	jsonOut := flag.Bool("json", false, "additionally write each experiment's report to BENCH_<id>.json (wall-clock, speedup, cache hit rate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile of the whole run to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			_ = pprof.Lookup("mutex").WriteTo(f, 0)
+		}()
+	}
 
 	bench.SetDefaultParallelism(*parallelism)
 

@@ -43,6 +43,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max graceful-shutdown wait")
 	batchMax := flag.Int("batch-max", 0, "max queries per planning batch (0 = unbounded)")
 	batchLinger := flag.Duration("batch-linger", 0, "wait for same-template requests to join a planning batch (0 = off)")
+	maintWorkers := flag.Int("maint-workers", 0, "background maintenance workers: materializations, splits and merges leave the query path (0 = inline maintenance)")
+	maintQueue := flag.Int("maint-queue", 0, "background maintenance queue capacity (0 = default 1024; only with -maint-workers)")
 	journal := flag.String("journal", "", "durable-state directory: journal pool mutations there and warm-restart from it (empty = in-memory only)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval when -journal is set (0 = only on drain)")
 	flag.Parse()
@@ -63,6 +65,10 @@ func main() {
 			os.Exit(2)
 		}
 		opts = append(opts, deepsea.WithResultCache(cb))
+	}
+
+	if *maintWorkers > 0 {
+		opts = append(opts, deepsea.WithBackgroundMaintenance(*maintWorkers, *maintQueue))
 	}
 
 	var store deepsea.Datastore

@@ -38,6 +38,7 @@ import (
 	"deepsea/internal/engine"
 	"deepsea/internal/faults"
 	"deepsea/internal/interval"
+	"deepsea/internal/maintain"
 	"deepsea/internal/query"
 	"deepsea/internal/relation"
 )
@@ -234,6 +235,23 @@ func OpenJournal(dir string) (Datastore, error) {
 // the recovery outcome and the journal's running counters.
 func WithDatastore(ds Datastore) Option {
 	return func(c *core.Config) { c.Datastore = ds }
+}
+
+// WithBackgroundMaintenance moves all pool maintenance — view and
+// fragment materialization, splits, merges, sweeps — off the query
+// path onto a bounded worker pool. Queries enqueue prioritized
+// candidates and return after execution alone; workers drain the queue
+// in Φ order, re-validating each task against the live pool so stale
+// work no-ops. workers is the drain concurrency (0 keeps the default
+// inline mode); queue bounds the pending-task heap (0 means the
+// default of 1024). When the queue is full new candidates are dropped
+// — maintenance is advisory, so a dropped task only delays
+// materialization until a later query re-proposes it.
+func WithBackgroundMaintenance(workers, queue int) Option {
+	return func(c *core.Config) {
+		c.MaintWorkers = workers
+		c.MaintQueue = queue
+	}
 }
 
 // WithConfig replaces the whole configuration (advanced use).
@@ -434,6 +452,10 @@ func (s *System) TemplateKey(q *Query) (string, error) {
 	return query.TemplateFingerprint(plan), nil
 }
 
+// MaintStats is the background maintenance pool's counter snapshot;
+// see maintain.Stats for field documentation.
+type MaintStats = maintain.Stats
+
 // Health is a consistent operational snapshot of the system — pool
 // occupancy versus the budget, quarantined files, views under
 // materialization backoff or blacklisted, result-cache counters, and
@@ -461,6 +483,24 @@ func (s *System) Snapshot() error { return s.ds.Snapshot() }
 // was loaded, how many journal records were replayed or skipped, and
 // the fatal error (if any) that forced a cold start.
 func (s *System) Recovery() core.RecoveryInfo { return s.ds.Recovery() }
+
+// DrainMaintenance blocks until the background maintenance queue is
+// empty and all in-flight tasks have committed, or ctx is done. A
+// no-op (nil) without WithBackgroundMaintenance. Call it before
+// comparing pool contents against an inline run, or before Snapshot
+// when the checkpoint should include all enqueued work.
+func (s *System) DrainMaintenance(ctx context.Context) error {
+	return s.ds.DrainMaintenance(ctx)
+}
+
+// CloseMaintenance drains the queue and stops the background workers.
+// Idempotent; a no-op without WithBackgroundMaintenance. After Close,
+// queries still run but new maintenance candidates are dropped.
+func (s *System) CloseMaintenance() { s.ds.CloseMaintenance() }
+
+// MaintStats returns the background maintenance counters (all zero in
+// inline mode); see Health for the serving-oriented view.
+func (s *System) MaintStats() MaintStats { return s.ds.MaintStats() }
 
 // Now returns the simulated clock in seconds.
 func (s *System) Now() float64 { return s.ds.Now() }

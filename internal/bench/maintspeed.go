@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"deepsea/internal/core"
+)
+
+// The maintspeed experiment measures the background maintenance
+// dataflow: the same adaptive workload run with inline maintenance
+// (queries pay for materializations, splits, merges and sweeps) versus
+// background mode (queries enqueue candidates and return after
+// execution alone; a bounded worker pool drains them in Φ order). The
+// gated properties are the correctness contract, not wall-clock:
+// results byte-identical, the query-visible simulated p99 strictly
+// below the inline arm (the tail no longer pays materialization), the
+// pool converging to the exact fragment set inline maintenance builds,
+// and the task-accounting identity holding after the final drain (no
+// maintenance silently lost).
+
+// MaintspeedRow is one arm of the comparison.
+type MaintspeedRow struct {
+	Name string
+	// WallSeconds is real elapsed time for the whole workload.
+	WallSeconds float64
+	// SimP50/SimP99/SimTotal summarize the per-query simulated seconds
+	// the queries were charged (inline: exec + maintenance; background:
+	// exec only).
+	SimP50, SimP99, SimTotal float64
+}
+
+// MaintspeedResult reports the inline-vs-background comparison.
+type MaintspeedResult struct {
+	Rows    []MaintspeedRow
+	Queries int
+	// Identical: every background result byte-identical to inline.
+	Identical bool
+	// Converges: after the final drain the background pool holds exactly
+	// the fragment set (intervals and sizes) the inline arm built.
+	Converges bool
+	// NoLostTasks: after the final drain the queue is empty, no task is
+	// in flight, and Enqueued == Completed + Failed + Deduped + Dropped.
+	NoLostTasks bool
+	// Task traffic of the background arm.
+	TasksEnqueued, TasksCompleted, TasksFailed, TasksDeduped, TasksDropped uint64
+}
+
+// maintPoolShape describes a pool's logical contents independent of
+// file paths (workers may number files differently than inline
+// maintenance): view-file sizes plus sorted fragment intervals/sizes.
+func maintPoolShape(d *core.DeepSea) []string {
+	var out []string
+	for _, pv := range d.Pool.Views() {
+		if pv.Path != "" {
+			out = append(out, fmt.Sprintf("view %s size=%d", pv.ID, pv.Size))
+		}
+		for attr, part := range pv.Parts {
+			for _, f := range part.Fragments() {
+				out = append(out, fmt.Sprintf("frag %s.%s %s size=%d", pv.ID, attr, f.Iv, f.Size))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maintShapesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maintPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func maintSummarize(name string, wall float64, sims []float64) MaintspeedRow {
+	row := MaintspeedRow{Name: name, WallSeconds: wall}
+	sorted := append([]float64(nil), sims...)
+	sort.Float64s(sorted)
+	row.SimP50 = maintPercentile(sorted, 0.5)
+	row.SimP99 = maintPercentile(sorted, 0.99)
+	for _, s := range sims {
+		row.SimTotal += s
+	}
+	return row
+}
+
+// RunMaintspeed runs the inline-vs-background maintenance comparison.
+func RunMaintspeed(p Params) (*MaintspeedResult, error) {
+	factRows := 12000
+	if p.ScaleGB == -1 { // Short mode: shrink the table
+		factRows = 4000
+	}
+	nQueries := p.queries(40)
+	fams := lockspeedFamilies(1, factRows, nQueries, p.Seed)
+	fam := fams[0]
+
+	mkSystem := func(mutate func(*core.Config)) *core.DeepSea {
+		cfg := DSCfg()
+		cfg.MinFragBytes = 64 << 20
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = defaultParallelism
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		d := core.New(cfg)
+		d.AddBaseTable(fam.fact)
+		d.AddBaseTable(fam.dim)
+		return d
+	}
+
+	res := &MaintspeedResult{Queries: nQueries, Identical: true}
+
+	// Inline arm: the classic Algorithm 1 — each query pays for its own
+	// maintenance before returning.
+	inline := mkSystem(nil)
+	want := make([]string, nQueries)
+	inlineSims := make([]float64, nQueries)
+	start := time.Now()
+	for q, node := range fam.queries {
+		rep, err := inline.ProcessQuery(node)
+		if err != nil {
+			return nil, fmt.Errorf("maintspeed inline query %d: %w", q, err)
+		}
+		inlineSims[q] = rep.TotalSeconds
+		want[q] = rep.Result.Fingerprint()
+	}
+	res.Rows = append(res.Rows,
+		maintSummarize("inline", time.Since(start).Seconds(), inlineSims))
+
+	// Background arm: queries enqueue and return; a drain after each
+	// query settles the pool so every plan sees the state inline
+	// maintenance would have left — the convergence contract. The
+	// query-visible simulated time still excludes all maintenance.
+	bg := mkSystem(func(c *core.Config) { c.MaintWorkers = 2 })
+	defer bg.CloseMaintenance()
+	bgSims := make([]float64, nQueries)
+	start = time.Now()
+	for q, node := range fam.queries {
+		rep, err := bg.ProcessQuery(node)
+		if err != nil {
+			return nil, fmt.Errorf("maintspeed background query %d: %w", q, err)
+		}
+		bgSims[q] = rep.TotalSeconds
+		if rep.Result.Fingerprint() != want[q] {
+			res.Identical = false
+		}
+		if err := bg.DrainMaintenance(context.Background()); err != nil {
+			return nil, fmt.Errorf("maintspeed drain after query %d: %w", q, err)
+		}
+	}
+	res.Rows = append(res.Rows,
+		maintSummarize("background", time.Since(start).Seconds(), bgSims))
+
+	res.Converges = maintShapesEqual(maintPoolShape(inline), maintPoolShape(bg))
+	ms := bg.MaintStats()
+	res.TasksEnqueued = ms.Enqueued
+	res.TasksCompleted = ms.Completed
+	res.TasksFailed = ms.Failed
+	res.TasksDeduped = ms.Deduped
+	res.TasksDropped = ms.Dropped
+	res.NoLostTasks = ms.Depth == 0 && ms.InFlight == 0 &&
+		ms.Enqueued == ms.Completed+ms.Failed+ms.Deduped+ms.Dropped
+	return res, nil
+}
+
+// P99Improves reports whether the background arm's query-visible
+// simulated p99 is strictly below the inline arm's.
+func (r *MaintspeedResult) P99Improves() bool {
+	return len(r.Rows) == 2 && r.Rows[1].SimP99 < r.Rows[0].SimP99
+}
+
+// Metrics exports the headline numbers. "identical", "p99_improves",
+// "converges" and "no_lost_tasks" are the regression-gated properties
+// (host-independent: they gate simulated seconds and pool contents,
+// not wall-clock); the rest are informational.
+func (r *MaintspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"identical":       0,
+		"p99_improves":    0,
+		"converges":       0,
+		"no_lost_tasks":   0,
+		"tasks_enqueued":  float64(r.TasksEnqueued),
+		"tasks_completed": float64(r.TasksCompleted),
+		"tasks_deduped":   float64(r.TasksDeduped),
+		"tasks_dropped":   float64(r.TasksDropped),
+	}
+	if r.Identical {
+		m["identical"] = 1
+	}
+	if r.P99Improves() {
+		m["p99_improves"] = 1
+	}
+	if r.Converges {
+		m["converges"] = 1
+	}
+	if r.NoLostTasks {
+		m["no_lost_tasks"] = 1
+	}
+	for _, row := range r.Rows {
+		m["wall_seconds_"+row.Name] = row.WallSeconds
+		m["sim_p50_"+row.Name] = row.SimP50
+		m["sim_p99_"+row.Name] = row.SimP99
+		m["sim_total_"+row.Name] = row.SimTotal
+	}
+	return m
+}
+
+// Print renders the comparison.
+func (r *MaintspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Background maintenance dataflow, %d queries (simulated seconds are what each query was charged)\n", r.Queries)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "arm\twall s\tsim p50\tsim p99\tsim total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.1f\t%.1f\n",
+			row.Name, row.WallSeconds, row.SimP50, row.SimP99, row.SimTotal)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "tasks: %d enqueued = %d completed + %d failed + %d deduped + %d dropped\n",
+		r.TasksEnqueued, r.TasksCompleted, r.TasksFailed, r.TasksDeduped, r.TasksDropped)
+	fmt.Fprintf(w, "results identical: %v, p99 improves: %v, pool converges: %v, no lost tasks: %v\n",
+		r.Identical, r.P99Improves(), r.Converges, r.NoLostTasks)
+}

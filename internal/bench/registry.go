@@ -77,6 +77,9 @@ var Experiments = []Experiment{
 	{"persistspeed", "Write-ahead journal overhead and warm-restart fidelity (results stay identical)", func(p Params) (Printable, error) {
 		return RunPersistspeed(p)
 	}},
+	{"maintspeed", "Background maintenance dataflow: queries pay execution only (results stay identical, pool converges)", func(p Params) (Printable, error) {
+		return RunMaintspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

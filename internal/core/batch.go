@@ -63,7 +63,7 @@ func (d *DeepSea) ProcessBatchContext(items []BatchItem) ([]QueryReport, []error
 		var key string
 		if d.Cache != nil && d.Cfg.ExecuteRows {
 			key = d.cacheKey(it.Query)
-			if tbl, ok := d.Cache.Get(key, d.Pool.Generation); ok {
+			if tbl, ok := d.Cache.Get(key, d.Pool.GenFn()); ok {
 				reports[i] = QueryReport{Result: tbl, CacheHit: true}
 				continue
 			}

@@ -217,6 +217,10 @@ type fragCandidate struct {
 	// Example 2). Horizontal splits never qualify: their complement
 	// pieces are not in the query's stream.
 	byproduct bool
+	// value is the selection's Φ ranking of the admitted candidate —
+	// background maintenance orders its queue by it. Set by
+	// selectConfiguration on the candidates it returns.
+	value float64
 }
 
 // fragCandidates implements Definition 7 (partition candidates) plus the

@@ -181,6 +181,18 @@ type Config struct {
 	// in-memory-only behaviour (as does datastore.Null). The caller owns
 	// the store's lifecycle (Close after the instance drains).
 	Datastore datastore.Store
+	// MaintWorkers moves pool maintenance (materialization, splits,
+	// merges, eviction, speculative re-materialization) off the query
+	// path onto a background worker pool with this many workers: queries
+	// enqueue Φ-ranked maintenance candidates and return after execution,
+	// never paying materialization cost. 0 — the default — keeps the
+	// historical inline behaviour (step 9 runs on the query goroutine).
+	MaintWorkers int
+	// MaintQueue bounds the background maintenance queue; when full, new
+	// candidates are dropped (they will be re-proposed by later queries
+	// over the same ranges). 0 selects the default (1024). Only
+	// meaningful with MaintWorkers > 0.
+	MaintQueue int
 }
 
 // DefaultConfig returns the full DeepSea system with an unlimited pool.
@@ -260,6 +272,21 @@ func (c *Config) faultRetries() int {
 	return defaultFaultRetries
 }
 
+// defaultMaintQueue bounds the background maintenance queue when Config
+// leaves MaintQueue at zero.
+const defaultMaintQueue = 1024
+
+func (c *Config) maintQueue() int {
+	if c.MaintQueue > 0 {
+		return c.MaintQueue
+	}
+	return defaultMaintQueue
+}
+
+// background reports whether maintenance runs on the worker pool rather
+// than inline on the query goroutine.
+func (c *Config) background() bool { return c.MaintWorkers > 0 }
+
 // QueryReport summarises how one query was processed.
 type QueryReport struct {
 	// Result holds the query output (nil in estimate-only mode).
@@ -305,4 +332,14 @@ type QueryReport struct {
 	// Retries is how many times the query was re-executed after
 	// recoverable faults before this (successful) answer.
 	Retries int
+	// DeferredMaintenance reports that pool maintenance for this query
+	// was enqueued to the background pool instead of applied inline
+	// (Config.MaintWorkers > 0): MatCost is then zero and the
+	// Materialized*/Merged/Evicted lists are empty — the work lands
+	// asynchronously and is charged to the background clock.
+	DeferredMaintenance bool
+	// MaintTasksEnqueued is how many maintenance tasks this query
+	// proposed to the background pool (deduplicated tasks still count;
+	// only meaningful with DeferredMaintenance).
+	MaintTasksEnqueued int
 }

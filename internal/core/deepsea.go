@@ -15,6 +15,7 @@ import (
 	"deepsea/internal/faults"
 	"deepsea/internal/interval"
 	"deepsea/internal/lockcheck"
+	"deepsea/internal/maintain"
 	"deepsea/internal/matching"
 	"deepsea/internal/pool"
 	"deepsea/internal/query"
@@ -124,6 +125,20 @@ type DeepSea struct {
 	// instance was built.
 	store     datastore.Store
 	recovered RecoveryInfo
+
+	// maint is the background maintenance pool (nil in inline mode).
+	// maintCommitMu serializes drain-cycle commits: the journal group
+	// buffer below is instance-global, so one committer runs at a time
+	// (untracked leaf lock, acquired before any view stripe).
+	maint         *maintain.Pool
+	maintCommitMu sync.Mutex
+
+	// groupMu guards the journal group buffer: while a drain cycle has a
+	// group open (grouping), appendRecord buffers records into groupBuf
+	// instead of appending them individually (leaf lock).
+	groupMu  sync.Mutex
+	grouping bool
+	groupBuf []*datastore.Record
 }
 
 // New assembles a DeepSea instance (or a baseline, depending on cfg).
@@ -141,6 +156,7 @@ func New(cfg Config) *DeepSea {
 		if err := d.recoverFromStore(); err != nil {
 			info := d.recovered
 			info.Err = err.Error()
+			d.CloseMaintenance()
 			d = build(cfg)
 			d.store = cfg.Datastore
 			d.recovered = info
@@ -180,7 +196,7 @@ func build(cfg Config) *DeepSea {
 	if cfg.CacheBytes > 0 {
 		rc = cache.NewWithEntryLimit(cfg.CacheBytes, cfg.cacheMaxEntryBytes())
 	}
-	return &DeepSea{
+	d := &DeepSea{
 		Cache:   rc,
 		Cfg:     cfg,
 		Eng:     eng,
@@ -199,6 +215,10 @@ func build(cfg Config) *DeepSea {
 			PhysicalOnly: cfg.PhysicalMatch,
 		},
 	}
+	if cfg.background() {
+		d.maint = maintain.NewPool(cfg.MaintWorkers, cfg.maintQueue(), maintBatchMax, d.applyMaintBatch)
+	}
+	return d
 }
 
 // AddBaseTable registers a base table with the engine.
@@ -214,12 +234,15 @@ func (d *DeepSea) cacheKey(q query.Node) string {
 	return query.Fingerprint(q) + "@" + strconv.FormatUint(d.Eng.BaseVersion(), 10)
 }
 
-// viewDeps lists the materialized views a plan reads, each pinned to its
-// current pool generation. Caller holds the stripes of every view the
-// plan reads (they are part of the maintenance lock set), so the
-// generations are consistent with the pool state the result was built
-// against.
+// viewDeps lists the materialized views a plan reads, each pinned to
+// its pool generation from one epoch-published snapshot. On the inline
+// path the caller holds the stripes of every view the plan reads (they
+// are part of the maintenance lock set), so the generations are exactly
+// the post-maintenance state; on the deferred path the snapshot may lag
+// a concurrent background commit, which at worst invalidates the entry
+// immediately — never serves a stale one.
 func (d *DeepSea) viewDeps(plan query.Node) []cache.Dep {
+	gen := d.Pool.GenFn()
 	seen := make(map[string]bool)
 	var deps []cache.Dep
 	query.Walk(plan, func(n query.Node) {
@@ -228,7 +251,7 @@ func (d *DeepSea) viewDeps(plan query.Node) []cache.Dep {
 			return
 		}
 		seen[vs.ViewID] = true
-		deps = append(deps, cache.Dep{ViewID: vs.ViewID, Gen: d.Pool.Generation(vs.ViewID)})
+		deps = append(deps, cache.Dep{ViewID: vs.ViewID, Gen: gen(vs.ViewID)})
 	})
 	return deps
 }
@@ -303,12 +326,13 @@ func (d *DeepSea) ProcessQueryContext(ctx context.Context, q query.Node) (QueryR
 	defer d.inflight.Add(-1)
 
 	// Result-cache lookup — before planning and off every manager lock.
-	// Generation checks run against the pool's own internal lock, so a
-	// hit is consistent: no entry over an evicted or split view survives.
+	// Generation checks read one epoch-published snapshot of the pool's
+	// generation map (no lock at all), so a hit is consistent: no entry
+	// over an evicted or split view survives.
 	var key string
 	if d.Cache != nil && d.Cfg.ExecuteRows {
 		key = d.cacheKey(q)
-		if tbl, ok := d.Cache.Get(key, d.Pool.Generation); ok {
+		if tbl, ok := d.Cache.Get(key, d.Pool.GenFn()); ok {
 			return QueryReport{Result: tbl, CacheHit: true}, nil
 		}
 	}
@@ -509,6 +533,33 @@ func (d *DeepSea) finishPlanned(ctx context.Context, pq *plannedQuery) (QueryRep
 		return QueryReport{}, d.quarantineFromError(qbest, runErr), runErr
 	}
 
+	// Background mode: the query is done — hand steps 9+ to the worker
+	// pool as Φ-ranked per-unit tasks and return without touching a
+	// single view stripe. The query pays execution cost only; the
+	// deferred mutations re-validate against the live pool when a drain
+	// cycle applies them.
+	if d.maint != nil {
+		d.unpin(pins)
+		report := QueryReport{
+			Result:              res.Table,
+			ExecCost:            res.Cost,
+			TotalSeconds:        res.Cost.Seconds,
+			DeferredMaintenance: true,
+		}
+		if bestRW != nil {
+			report.Rewritten = true
+			report.UsedView = bestRW.ViewID
+			report.FragmentsRead = len(bestRW.CoverFrags)
+			report.RemainderGaps = len(bestRW.Gaps)
+		}
+		report.MaintTasksEnqueued = d.enqueueMaintenance(pq, res.Captured)
+		d.Eng.Advance(res.Cost.Seconds)
+		if key != "" && res.Table != nil {
+			d.Cache.Put(key, res.Table, d.viewDeps(qbest))
+		}
+		return report, nil, nil
+	}
+
 	// Maintenance section: steps 9+ (stats, pool maintenance, clock)
 	// under only this query's view stripes, exclusive. Queries whose
 	// lock sets cover disjoint stripes run their maintenance — including
@@ -697,6 +748,11 @@ func (d *DeepSea) quarantineFromError(plan query.Node, runErr error) []string {
 // concurrent execution are left alone: that query planned against them,
 // and dropping them now would turn its read into a missing-file logic
 // error. Reports whether the file was removed.
+//
+// In background mode the rows are captured before the delete and a
+// speculative re-materialization task is enqueued: the read fault was
+// transient (the simulated store still holds the rows), so the pool can
+// be healed without waiting for a future query to re-derive the range.
 func (d *DeepSea) quarantine(viewID, path string) bool {
 	held := d.views.lockViews([]string{viewID})
 	defer d.views.unlockViews(held)
@@ -708,17 +764,36 @@ func (d *DeepSea) quarantine(viewID, path string) bool {
 		return false
 	}
 	if pv.Path == path {
+		var rows *relation.Table
+		if d.maint != nil {
+			rows = d.Eng.Materialized(path)
+		}
+		size, schema := pv.Size, pv.Schema
 		d.Eng.DeleteMaterialized(path)
 		d.Pool.DropViewFile(viewID)
 		d.Pool.GCViews(viewID)
+		d.enqueueRemat(&rematTask{
+			viewID: viewID, path: path, schema: schema,
+			isView: true, rows: rows, size: size,
+		})
 		return true
 	}
 	for attr, part := range pv.Parts {
 		for _, fr := range part.Fragments() {
 			if fr.Path == path {
+				var rows *relation.Table
+				if d.maint != nil {
+					rows = d.Eng.Materialized(path)
+				}
 				d.Eng.DeleteMaterialized(path)
 				d.Pool.RemoveFragment(viewID, attr, fr.Iv)
 				d.Pool.GCViews(viewID)
+				d.enqueueRemat(&rematTask{
+					viewID: viewID, path: path, schema: pv.Schema,
+					attr: attr, iv: fr.Iv, dom: part.Dom,
+					overlapping: part.Overlapping,
+					rows:        rows, size: fr.Size,
+				})
 				return true
 			}
 		}

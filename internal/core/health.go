@@ -51,9 +51,34 @@ type Health struct {
 	CacheCapacity         int64
 	CacheEntries          int
 
-	// Statistics-registry size (tracked views, shard count).
-	StatsViews  int
-	StatsShards int
+	// Statistics-registry sizes, read from one epoch-published snapshot
+	// (views, partitions and fragments are mutually consistent — they
+	// describe the same epoch). StatsEpoch is the snapshot's mutation
+	// count; StatsShards is the configured shard count.
+	StatsViews      int
+	StatsPartitions int
+	StatsFragments  int
+	StatsEpoch      uint64
+	StatsShards     int
+
+	// Background maintenance (all zero in inline mode). MaintSaturated
+	// is the degraded signal: the queue is at capacity and new
+	// candidates are being dropped. The counters obey
+	// Enqueued == Completed + Failed + Deduped + Dropped + Depth + InFlight.
+	MaintEnabled    bool
+	MaintWorkers    int
+	MaintQueueDepth int
+	MaintQueueCap   int
+	MaintInFlight   int
+	MaintEnqueued   uint64
+	MaintCompleted  uint64
+	MaintFailed     uint64
+	MaintDeduped    uint64
+	MaintDropped    uint64
+	MaintSaturated  bool
+	// MaintKinds breaks completed tasks down by task type with mean
+	// queue-wait and apply latencies (wall-clock seconds).
+	MaintKinds []MaintKindHealth
 
 	// FaultsInjected is the cumulative injected-fault count (zero when
 	// fault injection is off).
@@ -80,6 +105,21 @@ type Health struct {
 	RecoveredRecords  int
 	RecoverySkipped   int
 	RecoveryError     string
+}
+
+// MaintKindHealth is one task type's completion and latency summary,
+// self-contained for consumers outside internal/.
+type MaintKindHealth struct {
+	// Kind is the task type ("materialize", "split", "merge", "sweep",
+	// "rematerialize").
+	Kind string
+	// Completed counts applied tasks of this kind (failed ones
+	// included).
+	Completed uint64
+	// AvgWaitSeconds is the mean enqueue-to-pop latency;
+	// AvgRunSeconds the mean apply latency. Both wall-clock.
+	AvgWaitSeconds float64
+	AvgRunSeconds  float64
 }
 
 // Health assembles the snapshot. Safe to call concurrently with query
@@ -118,8 +158,35 @@ func (d *DeepSea) Health() Health {
 	h.CacheCapacity = d.Cache.Capacity()
 	h.CacheEntries = d.Cache.Len()
 
-	h.StatsViews = d.Stats.NumViews()
+	sc := d.Stats.Counters()
+	h.StatsViews = sc.Views
+	h.StatsPartitions = sc.Partitions
+	h.StatsFragments = sc.Fragments
+	h.StatsEpoch = sc.Epoch
 	h.StatsShards = d.Stats.NumShards()
+
+	if d.maint != nil {
+		ms := d.maint.Stats()
+		h.MaintEnabled = true
+		h.MaintWorkers = ms.Workers
+		h.MaintQueueDepth = ms.Depth
+		h.MaintQueueCap = ms.Capacity
+		h.MaintInFlight = ms.InFlight
+		h.MaintEnqueued = ms.Enqueued
+		h.MaintCompleted = ms.Completed
+		h.MaintFailed = ms.Failed
+		h.MaintDeduped = ms.Deduped
+		h.MaintDropped = ms.Dropped
+		h.MaintSaturated = ms.Depth >= ms.Capacity
+		for _, ks := range ms.Kinds {
+			k := MaintKindHealth{Kind: ks.Kind, Completed: ks.Completed}
+			if ks.Completed > 0 {
+				k.AvgWaitSeconds = ks.WaitSeconds / float64(ks.Completed)
+				k.AvgRunSeconds = ks.RunSeconds / float64(ks.Completed)
+			}
+			h.MaintKinds = append(h.MaintKinds, k)
+		}
+	}
 
 	if d.faults != nil {
 		h.FaultsInjected = d.faults.TotalInjected()

@@ -84,11 +84,21 @@ type RecoveryInfo struct {
 
 // appendRecord forwards one mutation record to the datastore. Append
 // errors degrade durability, never correctness: the store counts them
-// and they surface via Health.
+// and they surface via Health. While a background drain cycle has a
+// journal group open, records buffer into it and reach the store as
+// one AppendGroup call when the cycle commits (see applyMaintBatch).
 func (d *DeepSea) appendRecord(rec datastore.Record) {
 	if d.store == nil {
 		return
 	}
+	d.groupMu.Lock()
+	if d.grouping {
+		r := rec
+		d.groupBuf = append(d.groupBuf, &r)
+		d.groupMu.Unlock()
+		return
+	}
+	d.groupMu.Unlock()
 	_ = d.store.Append(&rec)
 }
 

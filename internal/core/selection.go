@@ -19,6 +19,10 @@ type selectedView struct {
 	dom  interval.Interval
 	// pieces lists the selected initial fragments; nil means all.
 	pieces []interval.Interval
+	// value is the selection's Φ ranking of the admitted candidate (the
+	// max over its admitted pieces) — background maintenance orders its
+	// queue by it.
+	value float64
 }
 
 // selectConfiguration implements Sections 7.2 and 7.3: filter view and
@@ -179,6 +183,7 @@ func (d *DeepSea) selectConfiguration(vcands []viewCandidate, fcands []fragCandi
 		if vc, ok := backV[c.Key()]; ok {
 			key := vc.id
 			sv := wholeInfo[vc.id]
+			sv.value = c.Value
 			if _, seen := byView[key]; !seen {
 				byView[key] = &sv
 				order = append(order, key)
@@ -193,8 +198,12 @@ func (d *DeepSea) selectConfiguration(vcands []viewCandidate, fcands []fragCandi
 				order = append(order, key)
 			}
 			sv.pieces = append(sv.pieces, np.iv)
+			if c.Value > sv.value {
+				sv.value = c.Value
+			}
 		}
 		if fc, ok := backF[c.Key()]; ok {
+			fc.value = c.Value
 			selFrags = append(selFrags, fc)
 		}
 	}

@@ -96,6 +96,14 @@ type Store interface {
 	// describes is already applied, so callers count the error and keep
 	// going.
 	Append(rec *Record) error
+	// AppendGroup journals a batch of records as one store call:
+	// sequence numbers are assigned contiguously in slice order and the
+	// batch reaches the kernel with a single flush, amortizing the
+	// per-record flush cost across a maintenance drain cycle. Appends
+	// are best-effort record by record, like Append: a failed record is
+	// counted and skipped, the rest of the group still lands, and the
+	// first error is returned.
+	AppendGroup(recs []*Record) error
 	// WriteSnapshot atomically replaces the stored snapshot with data
 	// (opaque to the store) covering every record appended so far, then
 	// discards the now-redundant journal prefix.
@@ -121,6 +129,9 @@ type Null struct{}
 
 // Append discards the record.
 func (Null) Append(*Record) error { return nil }
+
+// AppendGroup discards the records.
+func (Null) AppendGroup([]*Record) error { return nil }
 
 // WriteSnapshot discards the snapshot.
 func (Null) WriteSnapshot([]byte) error { return nil }

@@ -129,6 +129,53 @@ func (s *FileStore) Append(rec *Record) error {
 		s.appendE++
 		return fmt.Errorf("datastore: append to closed store")
 	}
+	if err := s.appendLocked(rec); err != nil {
+		return err
+	}
+	// Hand the line to the kernel immediately: process death (kill -9)
+	// then loses nothing, only an OS crash can drop unflushed bytes.
+	if err := s.journalW.Flush(); err != nil {
+		s.appendE++
+		s.lastErr = err
+		return fmt.Errorf("datastore: append: %w", err)
+	}
+	return nil
+}
+
+// AppendGroup journals a batch under one lock acquisition with a single
+// trailing flush, so a maintenance drain cycle pays the syscall once for
+// the whole batch instead of once per record. Failed records are counted
+// and skipped like in Append; the first error is returned after the rest
+// of the group has been attempted.
+func (s *FileStore) AppendGroup(recs []*Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		s.appendE += uint64(len(recs))
+		return fmt.Errorf("datastore: append to closed store")
+	}
+	var first error
+	for _, rec := range recs {
+		if err := s.appendLocked(rec); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.journalW.Flush(); err != nil {
+		s.appendE++
+		s.lastErr = err
+		if first == nil {
+			first = fmt.Errorf("datastore: append: %w", err)
+		}
+	}
+	return first
+}
+
+// appendLocked encodes and buffers one record; the caller holds s.mu,
+// has checked the store is open, and flushes afterwards.
+func (s *FileStore) appendLocked(rec *Record) error {
 	s.seq++
 	rec.Seq = s.seq
 	if err := s.faults.Check(faults.JournalAppend, rec.Op); err != nil {
@@ -148,13 +195,6 @@ func (s *FileStore) Append(rec *Record) error {
 	line = append(line, payload...)
 	line = append(line, '\n')
 	if _, err := s.journalW.Write(line); err != nil {
-		s.appendE++
-		s.lastErr = err
-		return fmt.Errorf("datastore: append: %w", err)
-	}
-	// Hand the line to the kernel immediately: process death (kill -9)
-	// then loses nothing, only an OS crash can drop unflushed bytes.
-	if err := s.journalW.Flush(); err != nil {
 		s.appendE++
 		s.lastErr = err
 		return fmt.Errorf("datastore: append: %w", err)

@@ -23,6 +23,12 @@ var (
 	held = make(map[uint64][]entry)
 )
 
+// TestHook, when non-nil, observes every Acquire after its order check
+// passes. It runs under the checker's mutex, so it must not call back
+// into lockcheck. Tests install it to assert lock-freedom of specific
+// paths — e.g. that a cache-hit query acquires no tracked lock at all.
+var TestHook func(rank, idx int, name string)
+
 // goid extracts the calling goroutine's id from its stack header
 // ("goroutine 123 [running]:"). Debug-build only, so the cost of the
 // stack capture is acceptable.
@@ -57,6 +63,9 @@ func Acquire(rank, idx int, name string) {
 		}
 	}
 	held[g] = append(s, entry{rank: rank, idx: idx, name: name})
+	if h := TestHook; h != nil {
+		h(rank, idx, name)
+	}
 }
 
 // Release records a lock release. Releases may happen in any order;

@@ -8,6 +8,7 @@ package matching
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deepsea/internal/relation"
 	"deepsea/internal/signature"
@@ -23,6 +24,15 @@ type Entry struct {
 	Schema relation.Schema
 }
 
+// treeState is one immutable epoch of the index. Readers load it with a
+// single atomic pointer read and then work on maps and slices that no
+// writer will ever mutate again — a reader can never observe a
+// partially built tree, whatever the interleaving.
+type treeState struct {
+	families map[string][]*Entry
+	byID     map[string]*Entry
+}
+
 // FilterTree indexes view signatures for fast candidate pruning. The
 // original filter tree of Goldstein and Larson is a multi-level trie
 // keyed by signature parts (relations, then join predicates, ...); since
@@ -30,59 +40,75 @@ type Entry struct {
 // view and query, the trie collapses to a hash on the combined family key
 // — same pruning power, simpler structure. Detailed range/residual/
 // output checks run only within the matching family.
-// FilterTree methods are safe for concurrent use; entries themselves are
-// immutable once added.
+//
+// Concurrency: the index is epoch-published. The current state lives
+// behind an atomic pointer to an immutable treeState; every lookup is a
+// single lock-free load. Writers (candidate registration under the
+// planning lock, the maintenance committer) serialize on writeMu, build
+// a copy-on-write successor state, and publish it atomically. Entries
+// themselves are immutable once added.
 type FilterTree struct {
-	mu       sync.RWMutex
-	families map[string][]*Entry
-	byID     map[string]*Entry
+	writeMu sync.Mutex
+	state   atomic.Pointer[treeState]
 }
 
 // NewFilterTree returns an empty index.
 func NewFilterTree() *FilterTree {
-	return &FilterTree{
+	ft := &FilterTree{}
+	ft.state.Store(&treeState{
 		families: make(map[string][]*Entry),
 		byID:     make(map[string]*Entry),
-	}
+	})
+	return ft
 }
 
-// Add indexes a view entry. Adding an already-indexed ID is a no-op.
+// Add indexes a view entry: copy-on-write of the affected family, then
+// an atomic publish. Adding an already-indexed ID is a no-op.
 func (ft *FilterTree) Add(e *Entry) {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if _, ok := ft.byID[e.ID]; ok {
+	ft.writeMu.Lock()
+	defer ft.writeMu.Unlock()
+	cur := ft.state.Load()
+	if _, ok := cur.byID[e.ID]; ok {
 		return
 	}
-	ft.byID[e.ID] = e
-	fam := e.Sig.FamilyKey()
-	ft.families[fam] = append(ft.families[fam], e)
-	sort.Slice(ft.families[fam], func(i, j int) bool {
-		return ft.families[fam][i].ID < ft.families[fam][j].ID
-	})
+	next := &treeState{
+		families: make(map[string][]*Entry, len(cur.families)+1),
+		byID:     make(map[string]*Entry, len(cur.byID)+1),
+	}
+	for k, v := range cur.families {
+		next.families[k] = v // published slices are immutable; share them
+	}
+	for k, v := range cur.byID {
+		next.byID[k] = v
+	}
+	next.byID[e.ID] = e
+	famKey := e.Sig.FamilyKey()
+	fam := make([]*Entry, 0, len(cur.families[famKey])+1)
+	fam = append(fam, cur.families[famKey]...)
+	fam = append(fam, e)
+	sort.Slice(fam, func(i, j int) bool { return fam[i].ID < fam[j].ID })
+	next.families[famKey] = fam
+	ft.state.Store(next)
 }
 
-// Lookup returns the entry with the given ID.
+// Lookup returns the entry with the given ID. Lock-free.
 func (ft *FilterTree) Lookup(id string) (*Entry, bool) {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	e, ok := ft.byID[id]
+	e, ok := ft.state.Load().byID[id]
 	return e, ok
 }
 
-// Len returns the number of indexed views.
+// Len returns the number of indexed views. Lock-free.
 func (ft *FilterTree) Len() int {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	return len(ft.byID)
+	return len(ft.state.Load().byID)
 }
 
 // Entries returns every indexed entry, sorted by ID — the persistence
-// boundary walks this to snapshot the index.
+// boundary walks this to snapshot the index. Lock-free and consistent:
+// all entries come from one published epoch.
 func (ft *FilterTree) Entries() []*Entry {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	out := make([]*Entry, 0, len(ft.byID))
-	for _, e := range ft.byID {
+	st := ft.state.Load()
+	out := make([]*Entry, 0, len(st.byID))
+	for _, e := range st.byID {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -91,10 +117,8 @@ func (ft *FilterTree) Entries() []*Entry {
 
 // Candidates returns the entries whose family matches the query
 // signature — the survivors of the index's pruning, still subject to the
-// detailed sufficient condition. The returned slice is a copy, so a
-// concurrent Add cannot invalidate it under the caller.
+// detailed sufficient condition. Lock-free. The returned slice is a
+// copy, so callers may reorder or extend it freely.
 func (ft *FilterTree) Candidates(q *signature.Signature) []*Entry {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	return append([]*Entry(nil), ft.families[q.FamilyKey()]...)
+	return append([]*Entry(nil), ft.state.Load().families[q.FamilyKey()]...)
 }

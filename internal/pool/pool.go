@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deepsea/internal/datastore"
 	"deepsea/internal/interval"
@@ -79,6 +80,13 @@ type Pool struct {
 	// survive Remove/GC: a re-created view must not resurrect stale
 	// cached results by restarting at zero.
 	gens map[string]uint64
+	// genSnap is the epoch-published immutable copy of gens: every
+	// mutation republishes it (copy-on-write under p.mu), so the hot
+	// read path — cache-hit generation validation, which runs on every
+	// query before planning — is a single atomic load instead of an
+	// RLock per dependency. Mutations are rare (maintenance only) and
+	// the map is small, so the per-mutation copy is cheap.
+	genSnap atomic.Pointer[map[string]uint64]
 	// journal, when non-nil, receives one record per pool mutation while
 	// p.mu is held, so the journal's order for pool ops is the mutation
 	// order. Creation-only paths (Ensure, EnsurePartition) journal only
@@ -88,7 +96,27 @@ type Pool struct {
 
 // New returns an empty pool with the given size limit.
 func New(smax int64) *Pool {
-	return &Pool{Smax: smax, views: make(map[string]*View), gens: make(map[string]uint64)}
+	p := &Pool{Smax: smax, views: make(map[string]*View), gens: make(map[string]uint64)}
+	empty := map[string]uint64{}
+	p.genSnap.Store(&empty)
+	return p
+}
+
+// bumpGen advances a view's generation and republishes the immutable
+// snapshot. Caller holds p.mu.
+func (p *Pool) bumpGen(id string) {
+	p.gens[id]++
+	p.publishGens()
+}
+
+// publishGens copies gens into a fresh immutable map and publishes it.
+// Caller holds p.mu.
+func (p *Pool) publishGens() {
+	snap := make(map[string]uint64, len(p.gens))
+	for id, g := range p.gens {
+		snap[id] = g
+	}
+	p.genSnap.Store(&snap)
 }
 
 // SetJournal attaches a mutation journal; nil detaches it. Every
@@ -114,10 +142,9 @@ func (p *Pool) emit(rec datastore.Record) {
 // for snapshots: the cache keys validity to these, so a warm restart
 // must resume them rather than restart at zero.
 func (p *Pool) Generations() map[string]uint64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make(map[string]uint64, len(p.gens))
-	for id, g := range p.gens {
+	snap := *p.genSnap.Load()
+	out := make(map[string]uint64, len(snap))
+	for id, g := range snap {
 		out[id] = g
 	}
 	return out
@@ -136,14 +163,24 @@ func (p *Pool) RestoreGenerations(gens map[string]uint64) {
 			p.gens[id] = g
 		}
 	}
+	p.publishGens()
 }
 
 // Generation returns the view's content-mutation counter. It is zero for
 // never-touched views and keeps counting across removal and re-creation.
+// Lock-free: one atomic load of the published snapshot.
 func (p *Pool) Generation(id string) uint64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.gens[id]
+	return (*p.genSnap.Load())[id]
+}
+
+// GenFn returns a generation lookup bound to one published epoch: every
+// call answers from the same immutable snapshot, so a multi-dependency
+// validation (the result cache checking every view a plan read) sees a
+// single consistent pool state even while the maintenance committer
+// publishes new epochs concurrently.
+func (p *Pool) GenFn() func(id string) uint64 {
+	snap := *p.genSnap.Load()
+	return func(id string) uint64 { return snap[id] }
 }
 
 // View returns the pool entry for id, or nil.
@@ -183,7 +220,7 @@ func (p *Pool) Remove(id string) {
 	if v, ok := p.views[id]; ok {
 		p.size -= v.TotalSize()
 		delete(p.views, id)
-		p.gens[id]++
+		p.bumpGen(id)
 		p.emit(datastore.Record{Op: "remove_view", View: id})
 	}
 }
@@ -201,7 +238,7 @@ func (p *Pool) SetViewFile(id, path string, size int64) {
 	p.size += size - v.Size
 	v.Path = path
 	v.Size = size
-	p.gens[id]++
+	p.bumpGen(id)
 	p.emit(datastore.Record{Op: "set_view_file", View: id, Path: path, Size: size})
 }
 
@@ -217,7 +254,7 @@ func (p *Pool) DropViewFile(id string) {
 	p.size -= v.Size
 	v.Path = ""
 	v.Size = 0
-	p.gens[id]++
+	p.bumpGen(id)
 	p.emit(datastore.Record{Op: "drop_view_file", View: id})
 }
 
@@ -258,7 +295,7 @@ func (p *Pool) AddFragment(id, attr string, f partition.Fragment) {
 	}
 	p.size += f.Size
 	part.Add(f)
-	p.gens[id]++
+	p.bumpGen(id)
 	p.emit(datastore.Record{Op: "add_frag", View: id, Attr: attr, Iv: f.Iv, Path: f.Path, Size: f.Size})
 }
 
@@ -281,7 +318,7 @@ func (p *Pool) RemoveFragment(id, attr string, iv interval.Interval) bool {
 	}
 	p.size -= f.Size
 	part.Remove(iv)
-	p.gens[id]++
+	p.bumpGen(id)
 	p.emit(datastore.Record{Op: "remove_frag", View: id, Attr: attr, Iv: iv})
 	return true
 }
@@ -401,7 +438,7 @@ func (p *Pool) gcView(id string, v *View) {
 	if empty {
 		p.size -= v.TotalSize() // only a stray Size could remain; keep the counter exact
 		delete(p.views, id)
-		p.gens[id]++
+		p.bumpGen(id)
 		p.emit(datastore.Record{Op: "remove_view", View: id})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -51,8 +52,12 @@ type Config struct {
 	// back to back. Costs up to BatchLinger of latency per batch
 	// (default 0 = batch only what accumulates during the prior batch).
 	BatchLinger time.Duration
-	// RetryAfter is the Retry-After hint on shed responses in seconds
-	// (default 1).
+	// RetryAfter is the floor of the Retry-After hint on shed responses
+	// in seconds (default 1). The actual hint is derived per response
+	// from the admission queue's depth and the recent completion rate —
+	// roughly how long until a new arrival would reach the front — and
+	// clamped to [RetryAfter, 60]; when the rate is unknown (no recent
+	// completions) the floor is used as-is.
 	RetryAfter int
 	// SnapshotEvery, when positive, checkpoints the system to its
 	// mounted datastore on this period (and once more on drain), keeping
@@ -119,6 +124,9 @@ type Server struct {
 	shed       atomic.Uint64
 	timedOut   atomic.Uint64
 	badRequest atomic.Uint64
+
+	// completions feeds the drain-rate estimate behind Retry-After.
+	completions completionRing
 
 	// testExecGate, when set (tests only, before serving), runs after
 	// admission and before execution — it lets tests hold all slots busy
@@ -200,12 +208,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	// The system is quiet now: stop the snapshot ticker and take one
-	// final checkpoint so a restart replays no journal tail at all.
+	// The system is quiet now: stop the snapshot ticker, drain the
+	// background maintenance queue (so enqueued materializations and
+	// merges commit and get journaled), then take one final checkpoint
+	// so a restart replays no journal tail at all.
 	if s.snapStop != nil {
 		close(s.snapStop)
 		<-s.snapDone
 	}
+	if derr := s.sys.DrainMaintenance(ctx); derr != nil && err == nil {
+		err = derr
+	}
+	s.sys.CloseMaintenance()
 	if serr := s.sys.Snapshot(); serr != nil && err == nil {
 		err = serr
 	}
@@ -236,9 +250,67 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// completionRing tracks request completions in one-second buckets so
+// shed responses can estimate the server's drain rate without keeping
+// per-request timestamps. The window is len(buckets) seconds; buckets
+// older than the window are lazily zeroed as the clock wraps onto them.
+type completionRing struct {
+	mu      sync.Mutex
+	buckets [8]uint64
+	stamps  [8]int64 // unix second each bucket currently counts for
+}
+
+func (r *completionRing) note(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % int64(len(r.buckets)))
+	r.mu.Lock()
+	if r.stamps[i] != sec {
+		r.stamps[i] = sec
+		r.buckets[i] = 0
+	}
+	r.buckets[i]++
+	r.mu.Unlock()
+}
+
+// rate returns completions per second averaged over the full window.
+// Idle seconds count as zeros (silence is signal); 0 means no
+// completion landed inside the window at all.
+func (r *completionRing) rate(now time.Time) float64 {
+	sec := now.Unix()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n uint64
+	for i := range r.buckets {
+		if age := sec - r.stamps[i]; age >= 0 && age < int64(len(r.buckets)) {
+			n += r.buckets[i]
+		}
+	}
+	return float64(n) / float64(len(r.buckets))
+}
+
+// retryAfter derives the Retry-After hint for a shed response: with
+// depth requests already queued and the recent drain rate, a new
+// arrival reaches the front in about (depth+1)/rate seconds. Clamped
+// to [cfg.RetryAfter, 60]; an unknown rate falls back to the floor.
+func (s *Server) retryAfter() int {
+	_, _, depth := s.lim.snapshot()
+	rate := s.completions.rate(time.Now())
+	if rate <= 0 {
+		return s.cfg.RetryAfter
+	}
+	secs := int(math.Ceil(float64(depth+1) / rate))
+	if secs < s.cfg.RetryAfter {
+		secs = s.cfg.RetryAfter
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 func (s *Server) writeShed(w http.ResponseWriter) {
 	s.shed.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	writeJSON(w, http.StatusTooManyRequests, errResponse{Error: ErrShed.Error()})
 }
 
@@ -306,7 +378,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	defer s.lim.release()
+	// Every slot hand-back counts toward the drain rate, success or not:
+	// Retry-After estimates slot turnover, not success throughput.
+	defer func() {
+		s.lim.release()
+		s.completions.note(time.Now())
+	}()
 
 	if s.testExecGate != nil {
 		s.testExecGate(ctx)
@@ -342,7 +419,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // healthzResponse is GET /healthz: a liveness summary. Status is "ok",
 // "degraded" (quarantined files, blacklisted views, journal append
-// errors, or a recovery that fell back to a cold start) or "draining".
+// errors, a saturated maintenance queue, or a recovery that fell back
+// to a cold start) or "draining".
 type healthzResponse struct {
 	Status      string         `json:"status"`
 	InFlight    int64          `json:"in_flight"`
@@ -356,11 +434,17 @@ type healthzResponse struct {
 	// JournalAppendErrors > 0 or a non-empty RecoveryError degrades the
 	// status — the server still answers queries, but state written since
 	// the last good append would not survive a crash.
-	JournalEnabled      bool           `json:"journal_enabled,omitempty"`
-	JournalAppendErrors uint64         `json:"journal_append_errors,omitempty"`
-	JournalLastSeq      uint64         `json:"journal_last_seq,omitempty"`
-	RecoveryError       string         `json:"recovery_error,omitempty"`
-	Admission           AdmissionStats `json:"admission"`
+	JournalEnabled      bool   `json:"journal_enabled,omitempty"`
+	JournalAppendErrors uint64 `json:"journal_append_errors,omitempty"`
+	JournalLastSeq      uint64 `json:"journal_last_seq,omitempty"`
+	RecoveryError       string `json:"recovery_error,omitempty"`
+	// Background maintenance summary (absent in inline mode). A
+	// saturated queue degrades the status: candidates are being dropped,
+	// so the pool adapts slower than the workload demands.
+	MaintEnabled    bool           `json:"maint_enabled,omitempty"`
+	MaintQueueDepth int            `json:"maint_queue_depth,omitempty"`
+	MaintSaturated  bool           `json:"maint_saturated,omitempty"`
+	Admission       AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -379,11 +463,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		JournalAppendErrors: h.JournalAppendErrors,
 		JournalLastSeq:      h.JournalLastSeq,
 		RecoveryError:       h.RecoveryError,
+		MaintEnabled:        h.MaintEnabled,
+		MaintQueueDepth:     h.MaintQueueDepth,
+		MaintSaturated:      h.MaintSaturated,
 		Admission:           adm,
 	}
 	status := http.StatusOK
 	if len(h.Quarantined) > 0 || len(h.Blacklisted) > 0 ||
-		h.JournalAppendErrors > 0 || h.RecoveryError != "" {
+		h.JournalAppendErrors > 0 || h.RecoveryError != "" || h.MaintSaturated {
 		resp.Status = "degraded"
 	}
 	if s.draining.Load() {
@@ -407,6 +494,11 @@ type statzResponse struct {
 	// SnapshotTickErrors counts failed periodic checkpoints taken by the
 	// SnapshotEvery ticker (store-level counters live in Health).
 	SnapshotTickErrors uint64 `json:"snapshot_tick_errors,omitempty"`
+	// CompletionRate is the recent slot-turnover rate (requests per
+	// second over the drain-rate window); RetryAfterHint is the
+	// Retry-After a shed response would carry right now.
+	CompletionRate float64 `json:"completion_rate"`
+	RetryAfterHint int     `json:"retry_after_hint"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -425,6 +517,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		InFlightSlots:      inflight,
 		QueueDepth:         depth,
 		SnapshotTickErrors: s.snapErrs.Load(),
+		CompletionRate:     s.completions.rate(time.Now()),
+		RetryAfterHint:     s.retryAfter(),
 	}
 	if h.PlanAcquisitions > 0 {
 		resp.PlanAmortization = float64(h.Queries) / float64(h.PlanAcquisitions)

@@ -10,6 +10,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deepsea/internal/datastore"
 	"deepsea/internal/interval"
@@ -30,6 +31,54 @@ func (j *journalRef) emit(rec datastore.Record) {
 		return
 	}
 	j.fn(rec)
+}
+
+// Counters is one epoch-published snapshot of the registry's object
+// counts. Epoch increments on every change, so two reads with equal
+// epochs saw the identical state. Health surfaces read one snapshot
+// atomically instead of summing per-shard counts that can shift
+// mid-walk.
+type Counters struct {
+	// Views, Partitions and Fragments count tracked statistics records
+	// (candidates and pool members alike).
+	Views      int
+	Partitions int
+	Fragments  int
+	// Epoch is the number of counter mutations published so far.
+	Epoch uint64
+}
+
+// countersRef is the registry's shared counter cell, threaded into
+// every PartitionStat it creates (like journalRef) so fragment
+// creation and deletion deep inside a record can bump the published
+// counts without a registry lookup. Writers serialize on mu and
+// publish a fresh immutable snapshot; readers load it lock-free.
+type countersRef struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[Counters]
+}
+
+func newCountersRef() *countersRef {
+	c := &countersRef{}
+	c.snap.Store(&Counters{})
+	return c
+}
+
+// add publishes a new snapshot with the deltas applied. Nil-safe, like
+// journalRef.emit, for records built outside a registry.
+func (c *countersRef) add(views, parts, frags int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	cur := c.snap.Load()
+	c.snap.Store(&Counters{
+		Views:      cur.Views + views,
+		Partitions: cur.Partitions + parts,
+		Fragments:  cur.Fragments + frags,
+		Epoch:      cur.Epoch + 1,
+	})
+	c.mu.Unlock()
 }
 
 // Decay is the paper's DEC(tnow, t): zero once a benefit is older than
@@ -241,8 +290,9 @@ type PartitionStat struct {
 	// view is materialized, Cand becomes its initial partitioning.
 	Cand interval.Set
 
-	frags   map[interval.Interval]*FragStat
-	journal *journalRef
+	frags    map[interval.Interval]*FragStat
+	journal  *journalRef
+	counters *countersRef
 }
 
 // RefineCand splits the candidate partitioning at the end points of the
@@ -297,6 +347,7 @@ func (p *PartitionStat) Frag(iv interval.Interval) *FragStat {
 	if !ok {
 		f = &FragStat{Iv: iv, view: p.View, attr: p.Attr, journal: p.journal}
 		p.frags[iv] = f
+		p.counters.add(0, 0, 1)
 	}
 	return f
 }
@@ -312,6 +363,7 @@ func (p *PartitionStat) Lookup(iv interval.Interval) (*FragStat, bool) {
 func (p *PartitionStat) Drop(iv interval.Interval) {
 	if _, ok := p.frags[iv]; ok {
 		delete(p.frags, iv)
+		p.counters.add(0, 0, -1)
 		p.journal.emit(datastore.Record{Op: "frag_drop", View: p.View, Attr: p.Attr, Iv: iv})
 	}
 }
@@ -351,6 +403,9 @@ func (p *PartitionStat) PruneExpired(tnow float64, d Decay, keep func(interval.I
 		delete(p.frags, iv)
 		p.journal.emit(datastore.Record{Op: "frag_drop", View: p.View, Attr: p.Attr, Iv: iv})
 		n++
+	}
+	if n > 0 {
+		p.counters.add(0, 0, -n)
 	}
 	return n
 }
@@ -393,8 +448,9 @@ type regShard struct {
 type Registry struct {
 	Decay Decay
 
-	shards  []regShard
-	journal *journalRef
+	shards   []regShard
+	journal  *journalRef
+	counters *countersRef
 }
 
 // NewRegistry returns an empty statistics registry with the default
@@ -408,7 +464,7 @@ func NewShardedRegistry(d Decay, n int) *Registry {
 	if n <= 0 {
 		n = defaultStatsShards
 	}
-	r := &Registry{Decay: d, shards: make([]regShard, n), journal: &journalRef{}}
+	r := &Registry{Decay: d, shards: make([]regShard, n), journal: &journalRef{}, counters: newCountersRef()}
 	for i := range r.shards {
 		r.shards[i].views = make(map[string]*ViewStat)
 		r.shards[i].parts = make(map[string]map[string]*PartitionStat)
@@ -439,6 +495,7 @@ func (r *Registry) View(id string) *ViewStat {
 	if !ok {
 		v = &ViewStat{ID: id, journal: r.journal}
 		s.views[id] = v
+		r.counters.add(1, 0, 0)
 	}
 	return v
 }
@@ -482,6 +539,12 @@ func (r *Registry) NumViews() int {
 // NumShards returns the registry's shard count (observability).
 func (r *Registry) NumShards() int { return len(r.shards) }
 
+// Counters returns the current epoch-published count snapshot: one
+// lock-free load, internally consistent — views, partitions and
+// fragments all describe the same epoch, unlike a NumViews-style walk
+// that sums shards while writers move between them.
+func (r *Registry) Counters() Counters { return *r.counters.snap.Load() }
+
 // Partition returns the partition statistics for (view, attr), creating
 // an empty record over dom on first use.
 func (r *Registry) Partition(view, attr string, dom interval.Interval) *PartitionStat {
@@ -497,7 +560,9 @@ func (r *Registry) Partition(view, attr string, dom interval.Interval) *Partitio
 	if !ok {
 		p = NewPartitionStat(view, attr, dom)
 		p.journal = r.journal
+		p.counters = r.counters
 		m[attr] = p
+		r.counters.add(0, 1, 0)
 		// Journal the creation so replay rebuilds the record — with its
 		// domain — before any hit/refine/drop record that references it.
 		r.journal.emit(datastore.Record{Op: "part", View: view, Attr: attr, Dom: dom})

@@ -19,10 +19,13 @@
 #   8. staticcheck, when installed (the workflow installs it; local runs
 #      skip it with a note rather than demanding the tool)
 #   9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
-#      persistspeed at short scale with JSON reports, then benchcheck
-#      gates the host-independent metrics (determinism, cache hit rate,
-#      pool mutations, fault-plumbing overhead, load-shed/coalescing
-#      behavior, journal overhead and warm-restart fidelity)
+#      persistspeed + maintspeed at short scale with JSON reports (the
+#      maintspeed run also captures CPU and mutex profiles as
+#      artifacts), then benchcheck gates the host-independent metrics
+#      (determinism, cache hit rate, pool mutations, fault-plumbing
+#      overhead, load-shed/coalescing behavior, journal overhead and
+#      warm-restart fidelity, background-maintenance equivalence and
+#      task accounting)
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -80,6 +83,8 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment faultspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment servespeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment persistspeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment maintspeed -params short -json \
+    -cpuprofile maintspeed.cpu.pprof -mutexprofile maintspeed.mutex.pprof)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
