@@ -3,15 +3,25 @@
 // fails when a quality floor regresses. Only host-independent
 // properties are gated — determinism ("identical"), cache hit rate,
 // pool mutation counts; wall-clock speedups vary with the runner's
-// core count and are reported but never enforced.
+// core count and are reported but never enforced. (Gates like
+// "scaling_ok" stay host-independent by auto-passing on hosts that
+// cannot physically exhibit the speedup.)
 //
-// Usage: benchcheck BENCH_cachespeed.json BENCH_lockspeed.json ...
+// Usage:
+//
+//	benchcheck BENCH_<id>.json ...   gate the given reports
+//	benchcheck -list                 print every gated experiment and its floors
+//	benchcheck -preflight            fail if a registered *speed experiment has no floors
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+
+	"deepsea/internal/bench"
 )
 
 // report mirrors the fields of bench.Report that the gate reads.
@@ -28,7 +38,9 @@ type floor struct {
 }
 
 // floors lists the gated metrics per experiment. Experiments without an
-// entry pass with a note — new experiments opt in here.
+// entry pass with a note — new experiments opt in here. The -preflight
+// mode enforces that every registered *speed experiment HAS opted in,
+// so a new perf experiment cannot silently ship ungated.
 var floors = map[string][]floor{
 	"cachespeed": {
 		{"identical", 1},        // cached answers byte-identical to computed
@@ -37,6 +49,9 @@ var floors = map[string][]floor{
 	"lockspeed": {
 		{"identical", 1}, // striped execution byte-identical to serial
 		{"mutations", 1}, // the workload must exercise pool maintenance
+	},
+	"parspeed": {
+		{"identical", 1}, // parallel data path byte-identical to serial
 	},
 	"faultspeed": {
 		{"identical", 1},   // zero-rate injector changes nothing
@@ -62,6 +77,11 @@ var floors = map[string][]floor{
 		{"recovery_ok", 1},         // crash recovery ran and reported no error
 		{"recovered_identical", 1}, // post-restart answers byte-identical
 		{"warm_hit_ok", 1},         // first post-restart issues answered from recovered views
+	},
+	"shardspeed": {
+		{"identical_across_shard_counts", 1}, // merged results byte-identical for k in {1,2,3}
+		{"scaling_ok", 1},                    // >= 1.6x at 3 shards on a disjoint trace (host-guarded)
+		{"skew_bounded", 1},                  // hotspot p99 within 2x of uniform after one rebalance
 	},
 }
 
@@ -93,19 +113,74 @@ func check(path string) (failures []string, err error) {
 	return failures, nil
 }
 
+// list prints every registered experiment with its floors (or a
+// "no floors" marker), in registry order — the CI-visible inventory of
+// what is and is not gated.
+func list() {
+	for _, e := range bench.Experiments {
+		gates, ok := floors[e.ID]
+		if !ok {
+			fmt.Printf("%-12s (no floors) %s\n", e.ID, e.Title)
+			continue
+		}
+		parts := make([]string, len(gates))
+		for i, f := range gates {
+			parts[i] = fmt.Sprintf("%s>=%g", f.metric, f.min)
+		}
+		fmt.Printf("%-12s %s\n", e.ID, strings.Join(parts, " "))
+	}
+}
+
+// preflight fails when a registered *speed experiment (the perf suite)
+// has no floors, or when floors name an experiment that no longer
+// exists — both are silent-gap bugs in the gate itself.
+func preflight() (failures []string) {
+	known := map[string]bool{}
+	for _, e := range bench.Experiments {
+		known[e.ID] = true
+		if strings.HasSuffix(e.ID, "speed") {
+			if _, ok := floors[e.ID]; !ok {
+				failures = append(failures, fmt.Sprintf("experiment %q has no benchcheck floors", e.ID))
+			}
+		}
+	}
+	var ids []string
+	for id := range floors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !known[id] {
+			failures = append(failures, fmt.Sprintf("floors registered for unknown experiment %q", id))
+		}
+	}
+	return failures
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<id>.json ...")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<id>.json ... | benchcheck -list | benchcheck -preflight")
 		os.Exit(2)
 	}
 	var failures []string
-	for _, path := range os.Args[1:] {
-		fs, err := check(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcheck:", err)
-			os.Exit(2)
+	switch os.Args[1] {
+	case "-list", "--list":
+		list()
+		return
+	case "-preflight", "--preflight":
+		failures = preflight()
+		if len(failures) == 0 {
+			fmt.Println("benchcheck: every *speed experiment has floors")
 		}
-		failures = append(failures, fs...)
+	default:
+		for _, path := range os.Args[1:] {
+			fs, err := check(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchcheck:", err)
+				os.Exit(2)
+			}
+			failures = append(failures, fs...)
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -113,5 +188,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("benchcheck: all gates passed")
+	if os.Args[1] != "-preflight" && os.Args[1] != "--preflight" {
+		fmt.Println("benchcheck: all gates passed")
+	}
 }

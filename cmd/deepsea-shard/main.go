@@ -1,0 +1,171 @@
+// Command deepsea-shard fronts a range-sharded DeepSea cluster with a
+// scatter-gather coordinator. Two modes:
+//
+// Self-contained — boot N in-process shard servers (each a full System
+// over the same deterministic dataset) and coordinate across them:
+//
+//	deepsea-shard -shards 3 -addr :8080 -gb 10
+//
+// External — coordinate already-running deepsea-serve instances:
+//
+//	deepsea-shard -shard-addrs http://h1:8081,http://h2:8082 -addr :8080
+//
+// The coordinator splits the item_sk domain [-lo, -hi] evenly at boot,
+// pushes each shard its range (a fenced /admin/range handoff), routes
+// single-range queries to the owning shard, scatters spanning queries
+// in partial-aggregate mode and merges the results deterministically.
+// With -rebalance-every it periodically moves hot range boundaries to
+// equalize observed heat.
+//
+// Endpoints:
+//
+//	POST /query           — run one query (same body as deepsea-serve)
+//	GET  /healthz         — routing table + per-shard reachability
+//	GET  /statz           — scatter counters + per-shard heat share
+//	POST /admin/rebalance — recompute and apply equi-heat boundaries
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/server"
+	"deepsea/internal/shard"
+	"deepsea/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "coordinator listen address")
+	shards := flag.Int("shards", 0, "boot this many in-process shard servers (self-contained mode)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard base URLs (external mode)")
+	basePort := flag.Int("base-port", 8081, "first port for in-process shards (self-contained mode)")
+	lo := flag.Int64("lo", workload.ItemSkLo, "partition-key domain low bound")
+	hi := flag.Int64("hi", workload.ItemSkHi, "partition-key domain high bound")
+	gb := flag.Int64("gb", 1, "modelled instance size per in-process shard")
+	seed := flag.Int64("seed", 1, "dataset seed for in-process shards")
+	rebalanceEvery := flag.Duration("rebalance-every", 0, "periodic equi-heat rebalance interval (0 = manual via /admin/rebalance)")
+	reqTimeout := flag.Duration("shard-timeout", 15*time.Second, "per-shard request timeout")
+	flag.Parse()
+
+	var addrs []string
+	var inner []*http.Server
+	switch {
+	case *shardAddrs != "":
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	case *shards > 0:
+		fmt.Printf("booting %d in-process shards (%d GB each, seed %d)...\n", *shards, *gb, *seed)
+		data := workload.Generate(*gb, *seed, nil)
+		for i := 0; i < *shards; i++ {
+			sys := deepsea.New()
+			if err := workload.Load(sys, data); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			srv := server.New(sys, server.Config{})
+			hs := &http.Server{
+				Addr:    fmt.Sprintf("127.0.0.1:%d", *basePort+i),
+				Handler: srv.Handler(),
+			}
+			go func() {
+				if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}()
+			inner = append(inner, hs)
+			addrs = append(addrs, "http://"+hs.Addr)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -shards N or -shard-addrs")
+		os.Exit(2)
+	}
+
+	coord, err := shard.New(shard.Config{
+		Addrs:          addrs,
+		DomainLo:       *lo,
+		DomainHi:       *hi,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The shards must be reachable before the initial range push; retry
+	// briefly so external shards still starting up don't fail the boot.
+	var initErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if initErr = coord.Init(); initErr == nil {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if initErr != nil {
+		fmt.Fprintf(os.Stderr, "initial range assignment failed: %v\n", initErr)
+		os.Exit(1)
+	}
+	for _, sh := range coord.Shards() {
+		fmt.Printf("shard %s owns [%d,%d] (epoch %d)\n", sh.Addr, sh.Lo, sh.Hi, sh.Epoch)
+	}
+
+	stopRebalance := make(chan struct{})
+	if *rebalanceEvery > 0 {
+		go func() {
+			t := time.NewTicker(*rebalanceEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if moved, err := coord.Rebalance(); err != nil {
+						fmt.Fprintf(os.Stderr, "rebalance: %v\n", err)
+					} else if moved {
+						for _, sh := range coord.Shards() {
+							fmt.Printf("rebalanced: %s owns [%d,%d] (epoch %d)\n",
+								sh.Addr, sh.Lo, sh.Hi, sh.Epoch)
+						}
+					}
+				case <-stopRebalance:
+					return
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	ctx, stop := server.SignalContext(context.Background())
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("coordinating %d shards on %s\n", len(addrs), *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	close(stopRebalance)
+	dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err = hs.Shutdown(dctx)
+	for _, s := range inner {
+		if serr := s.Shutdown(dctx); err == nil {
+			err = serr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
+}

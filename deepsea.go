@@ -505,6 +505,25 @@ func (s *System) MaintStats() MaintStats { return s.ds.MaintStats() }
 // Now returns the simulated clock in seconds.
 func (s *System) Now() float64 { return s.ds.Now() }
 
+// OwnedRange describes the partition-key range a sharded instance
+// owns; see System.SetOwnedRange.
+type OwnedRange = core.OwnedRange
+
+// SetOwnedRange declares this System one shard of a scatter-gather
+// cluster, owning the contiguous partition-key range [lo, hi] as of the
+// given handoff epoch. Standalone systems never call this. The range is
+// advisory to the engine (the shard still holds the full base tables —
+// ownership controls which rows a coordinator routes here, and the view
+// pool specializes to the ranges actually queried); the serving layer
+// enforces it by rejecting out-of-range or stale-epoch requests.
+func (s *System) SetOwnedRange(lo, hi int64, epoch uint64) {
+	s.ds.SetOwnedRange(lo, hi, epoch)
+}
+
+// OwnedRange returns the declared shard range; ok is false for a
+// standalone System.
+func (s *System) OwnedRange() (r OwnedRange, ok bool) { return s.ds.OwnedRange() }
+
 // PoolBytes returns the current materialized-pool size in bytes.
 func (s *System) PoolBytes() int64 { return s.ds.Pool.TotalSize() }
 
@@ -670,6 +689,32 @@ func Min(col, as string) AggSpec {
 // Max takes the per-group maximum of col.
 func Max(col, as string) AggSpec {
 	return AggSpec{spec: query.AggSpec{Func: query.Max, Col: col, As: as}}
+}
+
+// Partial switches the query's top-level aggregation to partial mode:
+// instead of final values it emits mergeable per-group states — counts,
+// exact lossless sum encodings (see engine.MergePartialSums), and typed
+// min/max — under "#"-suffixed column names. A scatter-gather
+// coordinator runs the same query in partial mode on every shard and
+// merges the states; because the sums are exact, the merged result is
+// byte-identical for any partition of the rows across shards. Partial
+// plans carry a distinct fingerprint and template key, so caches never
+// conflate them with their full-mode twins. Calling Partial on a query
+// whose top operator is not an aggregation is an error at Run time.
+func (q *Query) Partial() *Query {
+	return &Query{build: func(s *System) (query.Node, error) {
+		n, err := q.build(s)
+		if err != nil {
+			return nil, err
+		}
+		agg, ok := n.(*query.Aggregate)
+		if !ok {
+			return nil, fmt.Errorf("deepsea: Partial() needs a top-level aggregation, got %T", n)
+		}
+		cp := *agg
+		cp.Partial = true
+		return &cp, nil
+	}}
 }
 
 // Grouped is the intermediate state of GroupBy awaiting Agg.

@@ -80,6 +80,9 @@ var Experiments = []Experiment{
 	{"maintspeed", "Background maintenance dataflow: queries pay execution only (results stay identical, pool converges)", func(p Params) (Printable, error) {
 		return RunMaintspeed(p)
 	}},
+	{"shardspeed", "Range-sharded scatter-gather: merged results identical across shard counts, disjoint traces scale, rebalance tames skew", func(p Params) (Printable, error) {
+		return RunShardspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/server"
+	"deepsea/internal/shard"
+	"deepsea/internal/workload"
+)
+
+// ShardspeedResult characterizes the range-sharded scatter-gather
+// layer: merged results are byte-identical no matter how many shards
+// the domain is cut into, a disjoint-range workload scales with the
+// shard count, and one equi-heat rebalance tames a hotspot's tail
+// latency.
+type ShardspeedResult struct {
+	// Queries is the per-phase trace length.
+	Queries int
+	// Identical reports the 2- and 3-shard clusters answered the mixed
+	// trace byte-identically to the 1-shard cluster (the merge-path
+	// reference).
+	Identical bool
+	// Speedup is 1-shard wall time / 3-shard wall time on a disjoint
+	// trace with client concurrency 3 (each shard models one
+	// single-executor node).
+	Speedup float64
+	// HostLimited is set when the host has fewer than 4 CPUs: the
+	// wall-clock gates auto-pass because the cluster cannot physically
+	// run its shards in parallel.
+	HostLimited bool
+	// UniformP99Millis is the 3-shard p99 on a uniform trace — the
+	// baseline the rebalanced hotspot p99 is held against.
+	UniformP99Millis float64
+	// HotspotBeforeP99Millis / HotspotAfterP99Millis bracket one
+	// equi-heat rebalance on a heavily skewed trace.
+	HotspotBeforeP99Millis float64
+	HotspotAfterP99Millis  float64
+	// RebalanceMoved reports the rebalance actually changed boundaries.
+	RebalanceMoved bool
+}
+
+// shardspeedCluster is one in-process cluster: k shard servers (each a
+// full System over the same dataset) behind a coordinator, all on
+// httptest listeners.
+type shardspeedCluster struct {
+	coord    *shard.Coordinator
+	front    *httptest.Server
+	servers  []*server.Server
+	backends []*httptest.Server
+}
+
+// shardspeedCluster boots k shards over data. Each shard server gets
+// MaxInFlight 1 and a single-worker engine: one shard models one
+// single-executor node, so the cluster's parallelism is exactly its
+// shard count and scaling measurements aren't confounded by the
+// engine's own data-path workers.
+func newShardspeedCluster(data *workload.Data, k int) (*shardspeedCluster, error) {
+	cl := &shardspeedCluster{}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		sys := deepsea.New(deepsea.WithParallelism(1))
+		if err := workload.Load(sys, data); err != nil {
+			cl.close()
+			return nil, err
+		}
+		srv := server.New(sys, server.Config{MaxInFlight: 1, MaxQueue: 256, QueueTimeout: -1})
+		ts := httptest.NewServer(srv.Handler())
+		cl.servers = append(cl.servers, srv)
+		cl.backends = append(cl.backends, ts)
+		addrs[i] = ts.URL
+	}
+	coord, err := shard.New(shard.Config{
+		Addrs:    addrs,
+		DomainLo: workload.ItemSkLo,
+		DomainHi: workload.ItemSkHi,
+	})
+	if err != nil {
+		cl.close()
+		return nil, err
+	}
+	if err := coord.Init(); err != nil {
+		cl.close()
+		return nil, err
+	}
+	cl.coord = coord
+	cl.front = httptest.NewServer(coord.Handler())
+	return cl, nil
+}
+
+func (cl *shardspeedCluster) close() {
+	if cl.front != nil {
+		cl.front.Close()
+	}
+	for i, srv := range cl.servers {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+		cl.backends[i].Close()
+	}
+}
+
+// shardspeedPost runs one trace query through a coordinator and returns
+// a canonical rendering (columns header plus rows in coordinator
+// order — the merge already sorts deterministically, so order is part
+// of the contract).
+func shardspeedPost(client *http.Client, url string, tq workload.TraceQuery) (string, error) {
+	body, err := json.Marshal(server.QuerySpec{Template: tq.Template.String(), Lo: tq.Lo, Hi: tq.Hi})
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var qr shard.Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return "", err
+	}
+	lines := make([]string, 0, len(qr.Rows)+1)
+	lines = append(lines, strings.Join(qr.Columns, ","))
+	for _, row := range qr.Rows {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, string(b))
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// shardspeedReplay runs the trace with the given client concurrency and
+// returns per-query latencies (ms) in trace order plus wall time.
+func shardspeedReplay(client *http.Client, url string, trace []workload.TraceQuery, concurrency int) ([]float64, time.Duration, error) {
+	lat := make([]float64, len(trace))
+	errs := make([]error, len(trace))
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, tq := range trace {
+		wg.Add(1)
+		go func(i int, tq workload.TraceQuery) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			qstart := time.Now()
+			_, err := shardspeedPost(client, url, tq)
+			lat[i] = time.Since(qstart).Seconds() * 1000
+			errs[i] = err
+		}(i, tq)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace query %d (%s [%d,%d]): %w",
+				i, trace[i].Template, trace[i].Lo, trace[i].Hi, err)
+		}
+	}
+	return lat, wall, nil
+}
+
+func p99(lat []float64) float64 {
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	return s[(len(s)*99)/100]
+}
+
+// RunShardspeed drives the sharded serving layer through three phases:
+// a mixed-range trace replayed byte-identically across 1/2/3-shard
+// clusters, a disjoint-range trace that must scale with the shard
+// count, and a hotspot trace bracketing one equi-heat rebalance.
+func RunShardspeed(p Params) (*ShardspeedResult, error) {
+	n := p.queries(48)
+	res := &ShardspeedResult{
+		Queries:     n,
+		Identical:   true,
+		HostLimited: runtime.NumCPU() < 4,
+	}
+	client := &http.Client{}
+	data := workload.Generate(1, p.Seed, nil)
+
+	// Phase 1: determinism across shard counts. The same mixed trace
+	// (disjoint backbone plus boundary-spanning queries) replays through
+	// k = 1, 2, 3 clusters; the 1-shard run is the reference — it takes
+	// the identical merge path, so any divergence is a real partial-merge
+	// bug, not float noise.
+	mixed := workload.MixedTrace(n, 3, workload.Q1, 0.1, p.Seed)
+	for i := 1; i < n; i += 3 {
+		mixed[i].Template = workload.Q16
+	}
+	var want []string
+	oneShard, err := newShardspeedCluster(data, 1)
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range []int{1, 2, 3} {
+		cl := oneShard
+		if k > 1 {
+			cl, err = newShardspeedCluster(data, k)
+			if err != nil {
+				oneShard.close()
+				return nil, err
+			}
+		}
+		got := make([]string, n)
+		for i, tq := range mixed {
+			canon, err := shardspeedPost(client, cl.front.URL, tq)
+			if err != nil {
+				cl.close()
+				if k > 1 {
+					oneShard.close()
+				}
+				return nil, fmt.Errorf("shardspeed %d-shard query %d: %w", k, i, err)
+			}
+			got[i] = canon
+		}
+		if ki == 0 {
+			want = got
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					res.Identical = false
+				}
+			}
+			cl.close()
+		}
+	}
+	oneShard.close()
+
+	// Phase 2: scaling. A disjoint trace (every query inside one shard's
+	// even slice) at client concurrency 3: the 3-shard cluster runs its
+	// single-executor nodes in parallel, the 1-shard cluster serializes
+	// on its one slot.
+	// Selectivity 0.3 of each shard's slice keeps per-query engine time
+	// well above the scatter overhead, so the ratio measures parallelism.
+	disjoint := workload.DisjointTrace(n, 3, workload.Q1, 0.3, p.Seed+1)
+	var wall [2]time.Duration
+	for i, k := range []int{1, 3} {
+		cl, err := newShardspeedCluster(data, k)
+		if err != nil {
+			return nil, err
+		}
+		// Warm-up pass so first-touch planning doesn't skew either arm.
+		if _, _, err := shardspeedReplay(client, cl.front.URL, disjoint[:3], 3); err != nil {
+			cl.close()
+			return nil, err
+		}
+		_, w, err := shardspeedReplay(client, cl.front.URL, disjoint, 3)
+		cl.close()
+		if err != nil {
+			return nil, fmt.Errorf("shardspeed scaling %d-shard: %w", k, err)
+		}
+		wall[i] = w
+	}
+	if wall[1] > 0 {
+		res.Speedup = wall[0].Seconds() / wall[1].Seconds()
+	}
+
+	// Phase 3: skew. On a fresh 3-shard cluster, measure the uniform
+	// baseline p99, hammer the hotspot (which both measures the skewed
+	// p99 and feeds the coordinator's heat map), rebalance once, and
+	// measure the hotspot p99 again — it must land within 2x of uniform.
+	cl, err := newShardspeedCluster(data, 3)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+	uniform := workload.UniformTrace(n, workload.Q1, 0.02, p.Seed+2)
+	uniLat, _, err := shardspeedReplay(client, cl.front.URL, uniform, 3)
+	if err != nil {
+		return nil, fmt.Errorf("shardspeed uniform: %w", err)
+	}
+	res.UniformP99Millis = p99(uniLat)
+
+	hot := workload.HotspotTrace(n, workload.Q1, 0.02, 0.5, p.Seed+3)
+	hotLat, _, err := shardspeedReplay(client, cl.front.URL, hot, 3)
+	if err != nil {
+		return nil, fmt.Errorf("shardspeed hotspot (before): %w", err)
+	}
+	res.HotspotBeforeP99Millis = p99(hotLat)
+
+	res.RebalanceMoved, err = cl.coord.Rebalance()
+	if err != nil {
+		return nil, fmt.Errorf("shardspeed rebalance: %w", err)
+	}
+
+	hotAfter := workload.HotspotTrace(n, workload.Q1, 0.02, 0.5, p.Seed+4)
+	hotLat, _, err = shardspeedReplay(client, cl.front.URL, hotAfter, 3)
+	if err != nil {
+		return nil, fmt.Errorf("shardspeed hotspot (after): %w", err)
+	}
+	res.HotspotAfterP99Millis = p99(hotLat)
+	return res, nil
+}
+
+// ScalingOK is the wall-clock scaling gate: 3 shards must beat 1 shard
+// by at least 1.6x on the disjoint trace. Hosts without enough CPUs to
+// run the shards in parallel auto-pass.
+func (r *ShardspeedResult) ScalingOK() bool {
+	return r.HostLimited || r.Speedup >= 1.6
+}
+
+// SkewBounded is the rebalance gate: the post-rebalance hotspot p99
+// must land within 2x of the uniform baseline (plus a small absolute
+// slack so microsecond-scale baselines don't gate on noise).
+func (r *ShardspeedResult) SkewBounded() bool {
+	if r.HostLimited {
+		return true
+	}
+	slack := 2 * r.UniformP99Millis
+	if slack < 50 {
+		slack = 50
+	}
+	return r.HotspotAfterP99Millis <= slack
+}
+
+// Metrics exports the headline numbers for machine-readable output.
+func (r *ShardspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"queries":                       float64(r.Queries),
+		"identical_across_shard_counts": 0,
+		"speedup_3shard":                r.Speedup,
+		"scaling_ok":                    0,
+		"uniform_p99_millis":            r.UniformP99Millis,
+		"hotspot_before_p99_millis":     r.HotspotBeforeP99Millis,
+		"hotspot_after_p99_millis":      r.HotspotAfterP99Millis,
+		"rebalance_moved":               0,
+		"skew_bounded":                  0,
+		"host_limited":                  0,
+	}
+	if r.Identical {
+		m["identical_across_shard_counts"] = 1
+	}
+	if r.ScalingOK() {
+		m["scaling_ok"] = 1
+	}
+	if r.RebalanceMoved {
+		m["rebalance_moved"] = 1
+	}
+	if r.SkewBounded() {
+		m["skew_bounded"] = 1
+	}
+	if r.HostLimited {
+		m["host_limited"] = 1
+	}
+	return m
+}
+
+// Print renders the sharded-serving characterization.
+func (r *ShardspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "range-sharded scatter-gather, %d queries per phase\n", r.Queries)
+	fmt.Fprintf(w, "merged results identical across 1/2/3-shard clusters: %v\n", r.Identical)
+	fmt.Fprintf(w, "disjoint-trace speedup, 3 shards vs 1: %.2fx (floor 1.6x, host-limited: %v)\n",
+		r.Speedup, r.HostLimited)
+	fmt.Fprintf(w, "p99: uniform %.1fms, hotspot before rebalance %.1fms, after %.1fms (moved: %v, bounded: %v)\n",
+		r.UniformP99Millis, r.HotspotBeforeP99Millis, r.HotspotAfterP99Millis,
+		r.RebalanceMoved, r.SkewBounded())
+}

@@ -139,6 +139,20 @@ type DeepSea struct {
 	groupMu  sync.Mutex
 	grouping bool
 	groupBuf []*datastore.Record
+
+	// ownedRange is the partition-key range this instance owns when it
+	// serves as one shard of a scatter-gather cluster (nil when
+	// standalone). Published atomically so Health and the serving layer
+	// read it without a lock; the epoch fences stale coordinator routing
+	// across handoffs.
+	ownedRange atomic.Pointer[OwnedRange]
+}
+
+// OwnedRange is the contiguous partition-key range a sharded instance
+// is responsible for, plus the handoff epoch it was assigned under.
+type OwnedRange struct {
+	Lo, Hi int64
+	Epoch  uint64
 }
 
 // New assembles a DeepSea instance (or a baseline, depending on cfg).

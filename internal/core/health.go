@@ -97,6 +97,15 @@ type Health struct {
 	JournalLastSeq        uint64
 	JournalSnapshotSeq    uint64
 
+	// Range ownership, for instances serving as one shard of a
+	// scatter-gather cluster. RangeOwned false means standalone (the
+	// other three fields are zero). The epoch is the fencing token of
+	// the latest ownership handoff applied to this instance.
+	RangeOwned bool
+	OwnedLo    int64
+	OwnedHi    int64
+	RangeEpoch uint64
+
 	// Recovery outcome of this instance's construction (see
 	// core.RecoveryInfo). RecoveryError non-empty means the stored state
 	// was unusable and the instance started cold.
@@ -204,6 +213,13 @@ func (d *DeepSea) Health() Health {
 		h.JournalLastSeq = ss.LastSeq
 		h.JournalSnapshotSeq = ss.SnapshotSeq
 	}
+	if or := d.ownedRange.Load(); or != nil {
+		h.RangeOwned = true
+		h.OwnedLo = or.Lo
+		h.OwnedHi = or.Hi
+		h.RangeEpoch = or.Epoch
+	}
+
 	h.Recovered = d.recovered.Ran
 	h.RecoveredSnapshot = d.recovered.FromSnapshot
 	h.RecoveredRecords = d.recovered.Replayed
@@ -218,3 +234,22 @@ func (d *DeepSea) PlanAcquisitions() uint64 { return d.planAcq.Load() }
 
 // InFlight returns the number of queries currently executing.
 func (d *DeepSea) InFlight() int64 { return d.inflight.Load() }
+
+// SetOwnedRange publishes the partition-key range this instance owns as
+// a shard, with its handoff epoch. The serving layer rejects queries
+// outside the owned range (or carrying a stale epoch) so a coordinator
+// with an outdated routing table fails fast instead of reading rows the
+// shard no longer answers for.
+func (d *DeepSea) SetOwnedRange(lo, hi int64, epoch uint64) {
+	d.ownedRange.Store(&OwnedRange{Lo: lo, Hi: hi, Epoch: epoch})
+}
+
+// OwnedRange returns the published shard range, or ok=false when the
+// instance is standalone.
+func (d *DeepSea) OwnedRange() (r OwnedRange, ok bool) {
+	p := d.ownedRange.Load()
+	if p == nil {
+		return OwnedRange{}, false
+	}
+	return *p, true
+}

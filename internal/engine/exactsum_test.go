@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExactAccAssociative is the property the scatter-gather merge
+// depends on: for any partition of a multiset of float64 values into
+// groups, summing each group exactly and merging the group totals gives
+// bit-identical float64 results — unlike a plain float fold, whose
+// result depends on the association.
+func TestExactAccAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 400)
+	for i := range vals {
+		// Prices with two decimals, the dataset's shape: inexact in
+		// binary, so naive folds genuinely disagree across partitions.
+		vals[i] = float64(rng.Intn(50000)) / 100
+		if rng.Intn(2) == 0 {
+			vals[i] = -vals[i]
+		}
+	}
+
+	var whole exactAcc
+	for _, v := range vals {
+		whole.add(v)
+	}
+	want := whole.float64()
+
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(7)
+		parts := make([]exactAcc, k)
+		for _, v := range vals {
+			parts[rng.Intn(k)].add(v)
+		}
+		var merged exactAcc
+		for i := range parts {
+			merged.merge(&parts[i])
+		}
+		if got := merged.float64(); got != want ||
+			math.Signbit(got) != math.Signbit(want) {
+			t.Fatalf("trial %d (k=%d): merged %v != whole %v", trial, k, got, want)
+		}
+	}
+}
+
+// TestExactAccEncodeRoundTrip checks the transport encoding is
+// lossless: decode(encode(acc)) merges exactly like acc itself.
+func TestExactAccEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b exactAcc
+	for i := 0; i < 100; i++ {
+		a.add(float64(rng.Intn(9900)+100) / 100)
+		b.add(-float64(rng.Intn(9900)+100) / 100)
+	}
+	ea, eb := a.encode(), b.encode()
+
+	total, rounded, err := MergePartialSums(ea, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct exactAcc
+	direct.merge(&a)
+	direct.merge(&b)
+	if want := direct.float64(); rounded != want {
+		t.Fatalf("round-tripped merge %v != direct merge %v", rounded, want)
+	}
+	// Re-encoding the merged total round-trips too.
+	if _, again, err := MergePartialSums(total); err != nil || again != rounded {
+		t.Fatalf("re-merge of total: %v, %v (err %v)", again, rounded, err)
+	}
+}
+
+// TestExactAccZeroAndSpecials covers the degenerate encodings: an empty
+// accumulator is exact zero, and non-finite inputs survive transport.
+func TestExactAccZeroAndSpecials(t *testing.T) {
+	var zero exactAcc
+	if got := zero.float64(); got != 0 {
+		t.Fatalf("zero acc = %v", got)
+	}
+	if _, v, err := MergePartialSums(zero.encode()); err != nil || v != 0 {
+		t.Fatalf("zero round trip: %v, %v", v, err)
+	}
+
+	var inf exactAcc
+	inf.add(1.5)
+	inf.add(math.Inf(1))
+	if got := inf.float64(); !math.IsInf(got, 1) {
+		t.Fatalf("inf acc = %v", got)
+	}
+	dec, err := decodeExactAcc(inf.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.float64(); !math.IsInf(got, 1) {
+		t.Fatalf("inf round trip = %v", got)
+	}
+}

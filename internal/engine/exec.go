@@ -572,10 +572,15 @@ func concatRows(l, r relation.Row) relation.Row {
 	return out
 }
 
-// aggState accumulates one aggregate function over one group.
+// aggState accumulates one aggregate function over one group. In
+// partial mode (Aggregate.Partial) sums additionally accumulate into
+// acc, the exact accumulator whose lossless encoding is what a partial
+// row carries — the float fold in sum is not associative, so only acc
+// can cross a merge boundary without breaking byte-identity.
 type aggState struct {
 	count int64
 	sum   float64
+	acc   *exactAcc
 	minI  int64
 	maxI  int64
 	minF  float64
@@ -678,6 +683,10 @@ func aggregate(t *relation.Table, a *query.Aggregate, bud *budget) *relation.Tab
 			if aIdx[i] >= 0 {
 				typ = inSchema.Cols[aIdx[i]].Type
 			}
+			if a.Partial {
+				row = appendPartialState(row, sp, st, typ)
+				continue
+			}
 			switch sp.Func {
 			case query.Count:
 				row = append(row, relation.IntVal(st.count))
@@ -696,7 +705,38 @@ func aggregate(t *relation.Table, a *query.Aggregate, bud *budget) *relation.Tab
 	return out
 }
 
+// appendPartialState emits one aggregate's mergeable accumulator state,
+// matching the PartialCols schema expansion: counts as ints, sums as
+// exact encodings, min/max as typed values.
+func appendPartialState(row relation.Row, sp query.AggSpec, st *aggState, typ relation.Type) relation.Row {
+	switch sp.Func {
+	case query.Count:
+		return append(row, relation.IntVal(st.count))
+	case query.Sum:
+		return append(row, relation.StringVal(st.partialSum()))
+	case query.Avg:
+		return append(row, relation.StringVal(st.partialSum()), relation.IntVal(st.count))
+	case query.Min:
+		return append(row, pickValue(typ, st.minI, st.minF, st.minS))
+	default: // Max
+		return append(row, pickValue(typ, st.maxI, st.maxF, st.maxS))
+	}
+}
+
+// partialSum encodes the exact accumulator (an empty accumulator — a
+// group whose rows never reached a sum — encodes as exact zero).
+func (st *aggState) partialSum() string {
+	if st.acc == nil {
+		var zero exactAcc
+		return zero.encode()
+	}
+	return st.acc.encode()
+}
+
 // accumulateRow folds one input row into a group's aggregate states.
+// In partial mode sums also fold into the exact accumulator: the same
+// addends, but in an associative domain, so the state survives a merge
+// boundary byte-identically.
 func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int, inSchema *relation.Schema) {
 	for i, sp := range a.Aggs {
 		st := &g.states[i]
@@ -706,6 +746,16 @@ func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int
 		}
 		v := row[aIdx[i]]
 		typ := inSchema.Cols[aIdx[i]].Type
+		if a.Partial && (sp.Func == query.Sum || sp.Func == query.Avg) && typ != relation.String {
+			if st.acc == nil {
+				st.acc = &exactAcc{}
+			}
+			if typ == relation.Int {
+				st.acc.add(float64(v.I))
+			} else {
+				st.acc.add(v.F)
+			}
+		}
 		switch typ {
 		case relation.Int:
 			st.sum += float64(v.I)
@@ -746,6 +796,12 @@ func mergeStates(dst, src []aggState, a *query.Aggregate) {
 			continue
 		}
 		d.sum += s.sum
+		if s.acc != nil {
+			if d.acc == nil {
+				d.acc = &exactAcc{}
+			}
+			d.acc.merge(s.acc)
+		}
 		if !d.seen {
 			d.minI, d.maxI = s.minI, s.maxI
 			d.minF, d.maxF = s.minF, s.maxF

@@ -271,10 +271,65 @@ func (a AggSpec) String() string {
 }
 
 // Aggregate groups its child by GroupBy and computes Aggs per group.
+//
+// Partial switches the node to partial-aggregation mode: instead of
+// final values it emits mergeable per-group accumulator states — counts
+// as ints, sums as exact lossless encodings (strings), min/max as typed
+// values — under the column-naming scheme of PartialCols. A
+// scatter-gather coordinator merges partial rows from range-disjoint
+// executions and renders the final values; because the sum encodings
+// are exact, the merged result is byte-identical for any partition of
+// the input rows. Partial is part of the node's canonical identity
+// (String), so partial and full plans never share a fingerprint, a
+// result-cache entry, or a planning batch.
 type Aggregate struct {
 	Child   Node
 	GroupBy []string
 	Aggs    []AggSpec
+	Partial bool
+}
+
+// Partial-aggregation column-name suffixes: a partial column is named
+// <As> + "#" + kind. The '#' separator never occurs in dataset column
+// names, so partial columns are recognizable by suffix alone.
+const (
+	PartialCount  = "count"   // row count (Int)
+	PartialSum    = "sum"     // exact sum encoding (String)
+	PartialAvgSum = "avg.sum" // exact sum encoding for an average (String)
+	PartialAvgN   = "avg.n"   // row count for an average (Int)
+	PartialMin    = "min"     // running minimum (input type)
+	PartialMax    = "max"     // running maximum (input type)
+)
+
+// PartialCols returns the partial-state columns one aggregate spec
+// expands to, given the aggregated column's input type.
+func PartialCols(sp AggSpec, inType relation.Type) []relation.Column {
+	name := func(kind string) string { return sp.As + "#" + kind }
+	switch sp.Func {
+	case Count:
+		return []relation.Column{{Name: name(PartialCount), Type: relation.Int}}
+	case Sum:
+		return []relation.Column{{Name: name(PartialSum), Type: relation.String}}
+	case Avg:
+		return []relation.Column{
+			{Name: name(PartialAvgSum), Type: relation.String},
+			{Name: name(PartialAvgN), Type: relation.Int},
+		}
+	case Min:
+		return []relation.Column{{Name: name(PartialMin), Type: inType}}
+	default: // Max
+		return []relation.Column{{Name: name(PartialMax), Type: inType}}
+	}
+}
+
+// SplitPartialCol splits a partial column name into its output name and
+// state kind; ok is false for plain (group-by) columns.
+func SplitPartialCol(col string) (base, kind string, ok bool) {
+	i := strings.LastIndex(col, "#")
+	if i < 0 {
+		return col, "", false
+	}
+	return col[:i], col[i+1:], true
 }
 
 // Schema implements Node.
@@ -285,6 +340,14 @@ func (a *Aggregate) Schema() relation.Schema {
 		out.Cols = append(out.Cols, cs.Col(g))
 	}
 	for _, sp := range a.Aggs {
+		if a.Partial {
+			var inType relation.Type
+			if sp.Func != Count {
+				inType = cs.Col(sp.Col).Type
+			}
+			out.Cols = append(out.Cols, PartialCols(sp, inType)...)
+			continue
+		}
 		out.Cols = append(out.Cols, relation.Column{Name: sp.As, Type: aggType(sp, &cs)})
 	}
 	return out
@@ -304,14 +367,24 @@ func aggType(sp AggSpec, cs *relation.Schema) relation.Type {
 // Children implements Node.
 func (a *Aggregate) Children() []Node { return []Node{a.Child} }
 
+// aggTag is the operator name in the canonical rendering: partial
+// aggregation is a distinct operator, so fingerprints, cache keys and
+// template keys never conflate the two result shapes.
+func (a *Aggregate) aggTag() string {
+	if a.Partial {
+		return "partial-agg"
+	}
+	return "agg"
+}
+
 // String implements Node.
 func (a *Aggregate) String() string {
 	aggs := make([]string, len(a.Aggs))
 	for i, sp := range a.Aggs {
 		aggs[i] = sp.String()
 	}
-	return fmt.Sprintf("agg[%s][%s](%s)",
-		strings.Join(a.GroupBy, ","), strings.Join(aggs, ","), a.Child)
+	return fmt.Sprintf("%s[%s][%s](%s)",
+		a.aggTag(), strings.Join(a.GroupBy, ","), strings.Join(aggs, ","), a.Child)
 }
 
 // ViewScan is the leaf that a rewriting substitutes for a matched

@@ -65,7 +65,7 @@ func templateString(n Node, b *strings.Builder) {
 		for i, sp := range v.Aggs {
 			aggs[i] = sp.String()
 		}
-		fmt.Fprintf(b, "agg[%s][%s](", strings.Join(v.GroupBy, ","), strings.Join(aggs, ","))
+		fmt.Fprintf(b, "%s[%s][%s](", v.aggTag(), strings.Join(v.GroupBy, ","), strings.Join(aggs, ","))
 		templateString(v.Child, b)
 		b.WriteString(")")
 	default:

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"runtime"
@@ -113,6 +114,14 @@ type Server struct {
 	draining atomic.Bool
 	reqWG    sync.WaitGroup
 
+	// fencing marks a range handoff in progress: new queries are refused
+	// with 503 until the new ownership is applied. activeQueries counts
+	// requests past the fence check, so the handoff can drain them;
+	// handoffMu serializes /admin/range calls.
+	fencing       atomic.Bool
+	activeQueries atomic.Int64
+	handoffMu     sync.Mutex
+
 	// snapStop/snapDone bound the periodic-snapshot goroutine (nil
 	// without SnapshotEvery).
 	snapStop chan struct{}
@@ -151,6 +160,7 @@ func New(sys *deepsea.System, cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/poolz", s.handlePoolz)
+	mux.HandleFunc("/admin/range", s.handleAdminRange)
 	s.mux = mux
 	if cfg.SnapshotEvery > 0 {
 		s.snapStop = make(chan struct{})
@@ -332,13 +342,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Count the request before checking the fence (mirroring the drain
+	// handshake above): a handoff that set the fence flag either refuses
+	// us here or sees our count and waits for it.
+	s.activeQueries.Add(1)
+	defer s.activeQueries.Add(-1)
+	if s.fencing.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "range handoff in progress"})
+		return
+	}
+
 	var spec QuerySpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		s.badRequest.Add(1)
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	q, err := spec.Build()
+	if resp, ok := s.checkOwnership(&spec); !ok {
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	q, err := spec.build()
 	if err != nil {
 		s.badRequest.Add(1)
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
@@ -422,14 +446,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // errors, a saturated maintenance queue, or a recovery that fell back
 // to a cold start) or "draining".
 type healthzResponse struct {
-	Status      string         `json:"status"`
-	InFlight    int64          `json:"in_flight"`
-	Queries     uint64         `json:"queries"`
-	PoolBytes   int64          `json:"pool_bytes"`
-	PoolLimit   int64          `json:"pool_limit"`
-	Quarantined []string       `json:"quarantined,omitempty"`
-	Backoff     []string       `json:"backoff,omitempty"`
-	Blacklisted []string       `json:"blacklisted,omitempty"`
+	Status      string   `json:"status"`
+	InFlight    int64    `json:"in_flight"`
+	Queries     uint64   `json:"queries"`
+	PoolBytes   int64    `json:"pool_bytes"`
+	PoolLimit   int64    `json:"pool_limit"`
+	Quarantined []string `json:"quarantined,omitempty"`
+	Backoff     []string `json:"backoff,omitempty"`
+	Blacklisted []string `json:"blacklisted,omitempty"`
 	// Journal durability summary (all zero without a datastore):
 	// JournalAppendErrors > 0 or a non-empty RecoveryError degrades the
 	// status — the server still answers queries, but state written since
@@ -441,10 +465,18 @@ type healthzResponse struct {
 	// Background maintenance summary (absent in inline mode). A
 	// saturated queue degrades the status: candidates are being dropped,
 	// so the pool adapts slower than the workload demands.
-	MaintEnabled    bool           `json:"maint_enabled,omitempty"`
-	MaintQueueDepth int            `json:"maint_queue_depth,omitempty"`
-	MaintSaturated  bool           `json:"maint_saturated,omitempty"`
-	Admission       AdmissionStats `json:"admission"`
+	MaintEnabled    bool `json:"maint_enabled,omitempty"`
+	MaintQueueDepth int  `json:"maint_queue_depth,omitempty"`
+	MaintSaturated  bool `json:"maint_saturated,omitempty"`
+	// Range ownership, present when the server runs as one shard of a
+	// scatter-gather cluster: the owned partition-key range and its
+	// handoff epoch (a coordinator polls these to rebuild its routing
+	// table after restart or failover).
+	RangeOwned bool           `json:"range_owned,omitempty"`
+	OwnedLo    int64          `json:"owned_lo,omitempty"`
+	OwnedHi    int64          `json:"owned_hi,omitempty"`
+	RangeEpoch uint64         `json:"range_epoch,omitempty"`
+	Admission  AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -466,6 +498,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaintEnabled:        h.MaintEnabled,
 		MaintQueueDepth:     h.MaintQueueDepth,
 		MaintSaturated:      h.MaintSaturated,
+		RangeOwned:          h.RangeOwned,
+		OwnedLo:             h.OwnedLo,
+		OwnedHi:             h.OwnedHi,
+		RangeEpoch:          h.RangeEpoch,
 		Admission:           adm,
 	}
 	status := http.StatusOK
@@ -546,4 +582,136 @@ func (s *Server) handlePoolz(w http.ResponseWriter, r *http.Request) {
 		Fragments: h.PoolFragments,
 		Contents:  s.sys.PoolContents(),
 	})
+}
+
+// rangeErrResponse is the 409 body for ownership and epoch violations.
+// It names the shard's actual ownership so the coordinator can repair
+// its routing table from the response alone.
+type rangeErrResponse struct {
+	Error      string `json:"error"`
+	OwnedLo    int64  `json:"owned_lo"`
+	OwnedHi    int64  `json:"owned_hi"`
+	RangeEpoch uint64 `json:"range_epoch"`
+}
+
+// checkOwnership enforces the shard's published range against the
+// request. Standalone servers (no owned range) accept everything; a
+// sharded server rejects stale-epoch requests and requests whose
+// item_sk range falls outside the owned range — both 409s carrying the
+// true ownership, since they mean the caller's routing table is wrong,
+// not that the query is malformed.
+func (s *Server) checkOwnership(spec *QuerySpec) (rangeErrResponse, bool) {
+	or, owned := s.sys.OwnedRange()
+	if !owned {
+		return rangeErrResponse{}, true
+	}
+	mk := func(format string, args ...any) rangeErrResponse {
+		return rangeErrResponse{
+			Error:      fmt.Sprintf(format, args...),
+			OwnedLo:    or.Lo,
+			OwnedHi:    or.Hi,
+			RangeEpoch: or.Epoch,
+		}
+	}
+	if spec.Epoch != 0 && spec.Epoch != or.Epoch {
+		return mk("stale routing epoch %d: shard owns [%d,%d] at epoch %d",
+			spec.Epoch, or.Lo, or.Hi, or.Epoch), false
+	}
+	if lo, hi, ok := spec.ItemRange(); ok && (lo < or.Lo || hi > or.Hi) {
+		return mk("range [%d,%d] not owned: shard owns [%d,%d] at epoch %d",
+			lo, hi, or.Lo, or.Hi, or.Epoch), false
+	}
+	return rangeErrResponse{}, true
+}
+
+// rangeRequest is the JSON body of POST /admin/range: the new ownership
+// to apply. The handler runs the full fenced-handoff sequence — refuse
+// new queries, drain in-flight ones, checkpoint to the datastore (best
+// effort), apply the new range and epoch, re-admit — and only then
+// returns, so when the coordinator sees 200 the shard is serving the
+// new range. DrainTimeoutMS bounds the drain wait (default 10s).
+type rangeRequest struct {
+	Lo             int64  `json:"lo"`
+	Hi             int64  `json:"hi"`
+	Epoch          uint64 `json:"epoch"`
+	DrainTimeoutMS int64  `json:"drain_timeout_ms,omitempty"`
+}
+
+// rangeResponse reports the applied ownership. SnapshotError is the
+// best-effort checkpoint's failure, informational only: the handoff
+// still completed (durability falls back to the journal tail).
+type rangeResponse struct {
+	Lo            int64  `json:"lo"`
+	Hi            int64  `json:"hi"`
+	Epoch         uint64 `json:"epoch"`
+	Drained       int64  `json:"drained"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
+}
+
+func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		or, owned := s.sys.OwnedRange()
+		if !owned {
+			writeJSON(w, http.StatusOK, rangeResponse{Lo: 0, Hi: -1})
+			return
+		}
+		writeJSON(w, http.StatusOK, rangeResponse{Lo: or.Lo, Hi: or.Hi, Epoch: or.Epoch})
+		return
+	case http.MethodPost:
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "GET or POST only"})
+		return
+	}
+	var req rangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Lo > req.Hi {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "empty range"})
+		return
+	}
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	// Epochs must advance: an older epoch is a handoff the cluster has
+	// already moved past (e.g. a delayed retry), and applying it would
+	// fork ownership.
+	if or, owned := s.sys.OwnedRange(); owned && req.Epoch <= or.Epoch {
+		writeJSON(w, http.StatusConflict, rangeErrResponse{
+			Error: fmt.Sprintf("stale handoff epoch %d: shard already at epoch %d",
+				req.Epoch, or.Epoch),
+			OwnedLo: or.Lo, OwnedHi: or.Hi, RangeEpoch: or.Epoch,
+		})
+		return
+	}
+
+	// Fence, then drain: requests count themselves before checking the
+	// fence, so once the count reaches zero no uncounted query is
+	// executing.
+	s.fencing.Store(true)
+	defer s.fencing.Store(false)
+	drainTimeout := 10 * time.Second
+	if req.DrainTimeoutMS > 0 {
+		drainTimeout = time.Duration(req.DrainTimeoutMS) * time.Millisecond
+	}
+	deadline := time.Now().Add(drainTimeout)
+	inFlight := s.activeQueries.Load()
+	drained := inFlight
+	for inFlight > 0 {
+		if time.Now().After(deadline) {
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{
+				Error: fmt.Sprintf("drain timed out with %d queries in flight", inFlight)})
+			return
+		}
+		time.Sleep(time.Millisecond)
+		inFlight = s.activeQueries.Load()
+	}
+
+	resp := rangeResponse{Lo: req.Lo, Hi: req.Hi, Epoch: req.Epoch, Drained: drained}
+	if err := s.sys.Snapshot(); err != nil {
+		resp.SnapshotError = err.Error()
+	}
+	s.sys.SetOwnedRange(req.Lo, req.Hi, req.Epoch)
+	writeJSON(w, http.StatusOK, resp)
 }

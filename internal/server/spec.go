@@ -44,6 +44,33 @@ type QuerySpec struct {
 	Aggs    []AggJSON   `json:"aggs,omitempty"`
 
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Partial switches the query's top-level aggregation to partial
+	// (mergeable-state) mode — set by a scatter-gather coordinator, which
+	// merges the per-shard states itself. Requires an aggregation.
+	Partial bool `json:"partial,omitempty"`
+	// Epoch, when nonzero, is the coordinator's routing-epoch fencing
+	// token: a shard whose ownership epoch differs rejects the request
+	// with 409, so a coordinator holding a stale routing table fails fast
+	// instead of silently reading rows the shard no longer answers for.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ItemRange returns the partition-key (item_sk) range the spec
+// addresses, for shard routing and ownership checks: the template
+// form's [Lo, Hi], or the builder form's first range predicate on an
+// item_sk column. ok is false when the spec carries no such range (a
+// full-domain query).
+func (sp *QuerySpec) ItemRange() (lo, hi int64, ok bool) {
+	if sp.Template != "" {
+		return sp.Lo, sp.Hi, true
+	}
+	for _, w := range sp.Where {
+		if strings.HasSuffix(w.Col, "item_sk") {
+			return w.Lo, w.Hi, true
+		}
+	}
+	return 0, 0, false
 }
 
 // JoinSpec equi-joins the running query with Table on Left = Right.
@@ -138,6 +165,19 @@ func (sp *QuerySpec) Build() (*deepsea.Query, error) {
 			}
 		}
 		q = q.GroupBy(sp.GroupBy...).Agg(specs...)
+	}
+	return q, nil
+}
+
+// build finishes Build by applying the partial-mode flag (shared by the
+// template and builder forms).
+func (sp *QuerySpec) build() (*deepsea.Query, error) {
+	q, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	if sp.Partial {
+		q = q.Partial()
 	}
 	return q, nil
 }

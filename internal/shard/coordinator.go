@@ -1,0 +1,537 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepsea/internal/server"
+)
+
+// Config tunes a Coordinator. Addrs are the shard servers' base URLs
+// ("http://host:port"); the domain is the partition-key span the
+// cluster covers (the workload's item_sk domain).
+type Config struct {
+	Addrs              []string
+	DomainLo, DomainHi int64
+	// RequestTimeout bounds each per-shard HTTP call (default 15s).
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client (tests; default &http.Client{}).
+	Client *http.Client
+}
+
+// Coordinator fronts a range-sharded deepsea cluster: it owns the
+// routing table, scatters queries to the shards owning their selection
+// ranges, merges the partial results, and moves range boundaries
+// between shards with fenced handoffs when the workload's heat skews.
+//
+// Locking: mu is the routing-table lock. Queries scatter under RLock;
+// a handoff takes the write lock, which both blocks new queries and
+// waits out in-flight ones — the coordinator half of the fencing
+// protocol (shards independently fence via /admin/range).
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu     sync.RWMutex
+	shards []ShardInfo // sorted by Lo; tiles [DomainLo, DomainHi]
+	epoch  uint64      // last issued handoff epoch
+
+	heatMu sync.Mutex
+	heat   *heatMap
+
+	queries    atomic.Uint64
+	scattered  atomic.Uint64 // per-shard subqueries issued
+	failures   atomic.Uint64
+	rebalances atomic.Uint64
+}
+
+// New builds a Coordinator over the given shard addresses. Call Init to
+// push the initial even range split to the shards before serving.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one shard address")
+	}
+	if cfg.DomainLo > cfg.DomainHi {
+		return nil, fmt.Errorf("shard: empty domain [%d,%d]", cfg.DomainLo, cfg.DomainHi)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: client,
+		heat:   newHeatMap(cfg.DomainLo, cfg.DomainHi),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/statz", c.handleStatz)
+	mux.HandleFunc("/admin/rebalance", c.handleRebalance)
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Init assigns the boot-time routing table: an even split of the
+// domain, pushed to every shard. Must succeed before serving.
+func (c *Coordinator) Init() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applyLocked(evenSplit(c.cfg.DomainLo, c.cfg.DomainHi, len(c.cfg.Addrs)))
+}
+
+// Shards returns a copy of the current routing table.
+func (c *Coordinator) Shards() []ShardInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]ShardInfo(nil), c.shards...)
+}
+
+// applyLocked pushes a new set of range boundaries to the shards
+// (bounds[i] goes to Addrs/shards[i]) and installs the new routing
+// table. Caller holds mu: no queries are in flight, so the shard-side
+// drains are instant. Shrinking shards are fenced before growing ones —
+// a range is always released by its old owner before its new owner
+// starts answering for it, so no two shards ever claim the same keys.
+// On a push failure the already-moved shards are rolled back to their
+// old ranges (best effort) and the old table stays installed.
+func (c *Coordinator) applyLocked(bounds [][2]int64) error {
+	if len(bounds) != len(c.cfg.Addrs) {
+		return fmt.Errorf("shard: %d bounds for %d shards", len(bounds), len(c.cfg.Addrs))
+	}
+	next := make([]ShardInfo, len(bounds))
+	for i, b := range bounds {
+		next[i] = ShardInfo{Addr: c.cfg.Addrs[i], Lo: b[0], Hi: b[1]}
+	}
+	if err := validate(next, c.cfg.DomainLo, c.cfg.DomainHi); err != nil {
+		return err
+	}
+
+	// Order: shards whose span shrinks (donors) before those that grow.
+	order := make([]int, len(next))
+	for i := range order {
+		order[i] = i
+	}
+	width := func(s ShardInfo) int64 { return s.Hi - s.Lo + 1 }
+	sort.SliceStable(order, func(a, b int) bool {
+		da := int64(1 << 62)
+		db := int64(1 << 62)
+		if len(c.shards) == len(next) {
+			da = width(next[order[a]]) - width(c.shards[order[a]])
+			db = width(next[order[b]]) - width(c.shards[order[b]])
+		}
+		return da < db
+	})
+
+	var applied []int
+	for _, i := range order {
+		c.epoch++
+		next[i].Epoch = c.epoch
+		if err := c.pushRange(c.cfg.Addrs[i], next[i].Lo, next[i].Hi, c.epoch); err != nil {
+			// Roll the moved shards back to their old ranges under fresh
+			// epochs so the installed (old) table stays authoritative.
+			for _, j := range applied {
+				if len(c.shards) == len(next) {
+					c.epoch++
+					old := c.shards[j]
+					if rerr := c.pushRange(old.Addr, old.Lo, old.Hi, c.epoch); rerr == nil {
+						c.shards[j].Epoch = c.epoch
+					}
+				}
+			}
+			return fmt.Errorf("shard: pushing range [%d,%d] to %s: %w",
+				next[i].Lo, next[i].Hi, c.cfg.Addrs[i], err)
+		}
+		applied = append(applied, i)
+	}
+	c.shards = next
+	return nil
+}
+
+// pushRange runs one shard-side fenced handoff via POST /admin/range.
+func (c *Coordinator) pushRange(addr string, lo, hi int64, epoch uint64) error {
+	body, _ := json.Marshal(map[string]any{"lo": lo, "hi": hi, "epoch": epoch})
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/admin/range", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return nil
+}
+
+// Rebalance recomputes equi-heat boundaries from the observed workload
+// and, when they differ from the current table, moves them with a
+// fenced handoff. Returns whether anything moved.
+func (c *Coordinator) Rebalance() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heatMu.Lock()
+	bounds := c.heat.boundaries(len(c.shards))
+	c.heatMu.Unlock()
+	same := len(bounds) == len(c.shards)
+	for i := 0; same && i < len(bounds); i++ {
+		same = bounds[i][0] == c.shards[i].Lo && bounds[i][1] == c.shards[i].Hi
+	}
+	if same {
+		return false, nil
+	}
+	if err := c.applyLocked(bounds); err != nil {
+		return false, err
+	}
+	c.rebalances.Add(1)
+	return true, nil
+}
+
+// wireResponse is a shard's POST /query body as the coordinator reads
+// it. Numbers decode as json.Number so group keys and min/max values
+// re-marshal byte-for-byte.
+type wireResponse struct {
+	Columns          []string `json:"columns"`
+	Rows             [][]any  `json:"rows"`
+	SimulatedSeconds float64  `json:"simulated_seconds"`
+	Error            string   `json:"error"`
+}
+
+// Response is the coordinator's POST /query body: the merged result
+// plus scatter accounting.
+type Response struct {
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	// ShardsContacted is how many shards the query's range spanned;
+	// SimulatedSeconds is the slowest shard's simulated time (the
+	// scatter phase runs them in parallel).
+	ShardsContacted  int     `json:"shards_contacted"`
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+}
+
+// errResponse is the coordinator's error body. FailedLo/FailedHi name
+// the range slice whose shard failed, so operators (and the CI smoke
+// test) see which part of the domain is down.
+type errResponse struct {
+	Error    string `json:"error"`
+	Shard    string `json:"shard,omitempty"`
+	FailedLo *int64 `json:"failed_lo,omitempty"`
+	FailedHi *int64 `json:"failed_hi,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	c.queries.Add(1)
+	var spec server.QuerySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	lo, hi, ok := spec.ItemRange()
+	if !ok {
+		// Without a partition-key predicate the coordinator cannot slice
+		// the query: every shard holds the full base tables, so fanning
+		// out unclamped would multiply-count every row.
+		writeJSON(w, http.StatusBadRequest, errResponse{
+			Error: "coordinator queries need an item_sk range predicate (or the template form's lo/hi)"})
+		return
+	}
+	if lo > hi || hi < c.cfg.DomainLo || lo > c.cfg.DomainHi {
+		writeJSON(w, http.StatusBadRequest, errResponse{
+			Error: fmt.Sprintf("range [%d,%d] outside domain [%d,%d]",
+				lo, hi, c.cfg.DomainLo, c.cfg.DomainHi)})
+		return
+	}
+
+	c.heatMu.Lock()
+	c.heat.record(lo, hi)
+	c.heatMu.Unlock()
+
+	// Scatter under the routing read-lock: a concurrent handoff waits
+	// for us, so the table we route by stays valid for the whole fan-out.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slices := route(c.shards, lo, hi)
+	if len(slices) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "no shard owns the range (cluster not initialized?)"})
+		return
+	}
+
+	partial := specAggregates(&spec)
+	type shardResult struct {
+		idx  int
+		resp *wireResponse
+		err  error
+	}
+	results := make([]shardResult, len(slices))
+	var wg sync.WaitGroup
+	for i, sl := range slices {
+		wg.Add(1)
+		go func(i int, sl slice) {
+			defer wg.Done()
+			c.scattered.Add(1)
+			resp, err := c.querySlice(r.Context(), &spec, sl, partial)
+			results[i] = shardResult{idx: i, resp: resp, err: err}
+		}(i, sl)
+	}
+	wg.Wait()
+
+	var simMax float64
+	rowSets := make([][][]any, len(slices))
+	var cols []string
+	for i, res := range results {
+		if res.err != nil {
+			c.failures.Add(1)
+			sh := c.shards[slices[i].shard]
+			flo, fhi := slices[i].lo, slices[i].hi
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{
+				Error: fmt.Sprintf("shard %s serving range [%d,%d] failed: %v",
+					sh.Addr, flo, fhi, res.err),
+				Shard:    sh.Addr,
+				FailedLo: &flo,
+				FailedHi: &fhi,
+			})
+			return
+		}
+		rowSets[i] = res.resp.Rows
+		if res.resp.SimulatedSeconds > simMax {
+			simMax = res.resp.SimulatedSeconds
+		}
+		if cols == nil && len(res.resp.Columns) > 0 {
+			cols = res.resp.Columns
+		}
+	}
+
+	var outCols []string
+	var outRows [][]any
+	var err error
+	if partial && cols != nil {
+		outCols, outRows, err = MergePartials(cols, rowSets)
+	} else {
+		outCols = cols
+		outRows, err = ConcatSorted(rowSets)
+	}
+	if err != nil {
+		c.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, Response{
+		Columns:          outCols,
+		Rows:             outRows,
+		ShardsContacted:  len(slices),
+		SimulatedSeconds: simMax,
+	})
+}
+
+// specAggregates reports whether the spec's query ends in an
+// aggregation (every workload template does; builder specs declare
+// aggs explicitly). Aggregating specs scatter in partial mode.
+func specAggregates(spec *server.QuerySpec) bool {
+	return spec.Template != "" || len(spec.Aggs) > 0
+}
+
+// querySlice sends the spec to one shard, clamped to the slice's range
+// and fenced with the shard's routing epoch.
+func (c *Coordinator) querySlice(ctx context.Context, spec *server.QuerySpec, sl slice, partial bool) (*wireResponse, error) {
+	sub := *spec
+	sub.Partial = partial
+	sub.Epoch = c.shards[sl.shard].Epoch
+	if sub.Template != "" {
+		sub.Lo, sub.Hi = sl.lo, sl.hi
+	} else {
+		// Clamp the first item_sk range predicate (the one ItemRange
+		// found, or we would have 400'd already).
+		sub.Where = append([]server.WhereSpec(nil), spec.Where...)
+		for i := range sub.Where {
+			if strings.HasSuffix(sub.Where[i].Col, "item_sk") {
+				sub.Where[i].Lo, sub.Where[i].Hi = sl.lo, sl.hi
+				break
+			}
+		}
+	}
+	body, err := json.Marshal(&sub)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.shards[sl.shard].Addr+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var wire wireResponse
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := wire.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, msg)
+	}
+	return &wire, nil
+}
+
+// healthzResponse is the coordinator's GET /healthz: the routing table
+// with per-shard reachability. Status is "ok" or "degraded" (some shard
+// unreachable or unhealthy).
+type healthzResponse struct {
+	Status string        `json:"status"`
+	Shards []shardHealth `json:"shards"`
+}
+
+type shardHealth struct {
+	ShardInfo
+	Reachable bool   `json:"reachable"`
+	Health    string `json:"health,omitempty"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards := c.Shards()
+	out := make([]shardHealth, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh ShardInfo) {
+			defer wg.Done()
+			out[i] = shardHealth{ShardInfo: sh}
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.Addr+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var hz struct {
+				Status string `json:"status"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&hz)
+			out[i].Reachable = true
+			out[i].Health = hz.Status
+		}(i, sh)
+	}
+	wg.Wait()
+	resp := healthzResponse{Status: "ok", Shards: out}
+	for _, sh := range out {
+		if !sh.Reachable || (sh.Health != "" && sh.Health != "ok") {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statzResponse is the coordinator's GET /statz: scatter counters, the
+// routing table, and each shard's share of the observed heat.
+type statzResponse struct {
+	Queries    uint64       `json:"queries"`
+	Scattered  uint64       `json:"scattered"`
+	Failures   uint64       `json:"failures"`
+	Rebalances uint64       `json:"rebalances"`
+	Shards     []shardStatz `json:"shards"`
+}
+
+type shardStatz struct {
+	ShardInfo
+	// HeatShare is the fraction of recorded heat inside the shard's
+	// range — the skew signal Rebalance acts on (1/n everywhere when
+	// the workload is uniform).
+	HeatShare float64 `json:"heat_share"`
+}
+
+func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
+	shards := c.Shards()
+	resp := statzResponse{
+		Queries:    c.queries.Load(),
+		Scattered:  c.scattered.Load(),
+		Failures:   c.failures.Load(),
+		Rebalances: c.rebalances.Load(),
+	}
+	c.heatMu.Lock()
+	var total uint64
+	perShard := make([]uint64, len(shards))
+	for i := 0; i < heatBuckets; i++ {
+		lo := c.heat.lo + (c.heat.hi-c.heat.lo+1)*int64(i)/heatBuckets
+		for j, sh := range shards {
+			if lo >= sh.Lo && lo <= sh.Hi {
+				perShard[j] += c.heat.buckets[i]
+				break
+			}
+		}
+		total += c.heat.buckets[i]
+	}
+	c.heatMu.Unlock()
+	for i, sh := range shards {
+		st := shardStatz{ShardInfo: sh}
+		if total > 0 {
+			st.HeatShare = float64(perShard[i]) / float64(total)
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRebalance is POST /admin/rebalance: recompute equi-heat
+// boundaries and move them if they changed.
+func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	moved, err := c.Rebalance()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Moved  bool        `json:"moved"`
+		Shards []ShardInfo `json:"shards"`
+	}{Moved: moved, Shards: c.Shards()})
+}

@@ -4,28 +4,36 @@
 # same check by construction.
 #
 # Stages:
-#   1. go vet + build + full test suite
-#   2. full race-detector run (the concurrency suite's anchor)
-#   3. shuffled double run — flushes ordering-dependent tests
-#   4. lock-order assertions (-tags lockcheck builds the checking
-#      implementation of internal/lockcheck into the manager's locks)
-#   5. chaos smoke — the seeded fault-injection and cancellation suite
-#      under the race detector: every surviving query byte-identical to
-#      the fault-free run, no leaked goroutines, no leaked pins
-#   6. serving smoke — the HTTP frontend's admission, batching and
-#      drain-lifecycle suite under the race detector, then shuffled
-#   7. crash-recovery chaos — the datastore suite, the core recovery
-#      suite, and the kill -9 warm-restart test under the race detector
-#   8. staticcheck, when installed (the workflow installs it; local runs
-#      skip it with a note rather than demanding the tool)
-#   9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
-#      persistspeed + maintspeed at short scale with JSON reports (the
-#      maintspeed run also captures CPU and mutex profiles as
-#      artifacts), then benchcheck gates the host-independent metrics
-#      (determinism, cache hit rate, pool mutations, fault-plumbing
-#      overhead, load-shed/coalescing behavior, journal overhead and
-#      warm-restart fidelity, background-maintenance equivalence and
-#      task accounting)
+#    1. go vet + build + full test suite
+#    2. full race-detector run (the concurrency suite's anchor)
+#    3. shuffled double run — flushes ordering-dependent tests
+#    4. lock-order assertions (-tags lockcheck builds the checking
+#       implementation of internal/lockcheck into the manager's locks)
+#    5. chaos smoke — the seeded fault-injection and cancellation suite
+#       under the race detector: every surviving query byte-identical to
+#       the fault-free run, no leaked goroutines, no leaked pins
+#    6. serving smoke — the HTTP frontend's admission, batching and
+#       drain-lifecycle suite under the race detector, then shuffled
+#    7. crash-recovery chaos — the datastore suite, the core recovery
+#       suite, and the kill -9 warm-restart test under the race detector
+#    8. staticcheck at a pinned version, when installed (the workflow
+#       installs it; local runs skip it with a note — and a workflow
+#       warning annotation — rather than demanding the tool)
+#    9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
+#       persistspeed + maintspeed + shardspeed at short scale with JSON
+#       reports (the maintspeed run also captures CPU and mutex profiles
+#       as artifacts), then a benchcheck preflight (every *speed
+#       experiment must have registered floors) and benchcheck gating
+#       the host-independent metrics (determinism, cache hit rate, pool
+#       mutations, fault-plumbing overhead, load-shed/coalescing
+#       behavior, journal overhead and warm-restart fidelity,
+#       background-maintenance equivalence and task accounting,
+#       cross-shard merge identity and rebalance behavior)
+#   10. sharded-cluster smoke — the full scatter-gather suite plus the
+#       multi-process chaos test under the race detector: a coordinator
+#       over three real shard subprocesses answers byte-identically to
+#       one shard, survives a kill -9 of one shard, and fails queries
+#       for the dead range with a 503 naming it
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -35,6 +43,20 @@ cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
 BENCH_DIR=${BENCH_DIR:-bench-reports}
+# The pinned staticcheck version: the workflow installs exactly this,
+# and local runs with some other version get a loud note instead of a
+# silently different gate.
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
+
+# skipped STAGE REASON — the loud-skip helper: local runs get a note,
+# hosted runs also get a GitHub Actions warning annotation so a skipped
+# stage is visible on the run summary, not buried in the log.
+skipped() {
+    echo "==> $1: skipped ($2)"
+    if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+        echo "::warning title=ci.sh stage skipped::$1: $2"
+    fi
+}
 
 echo "==> vet"
 $GO vet ./...
@@ -68,10 +90,15 @@ $GO test -race -run 'TestRecovery|TestSnapshotNoop' ./internal/core
 $GO test -race -run 'TestCrashRecoveryWarmRestart|TestLimiterAbandonHandoverRace' ./internal/server
 
 if command -v staticcheck >/dev/null 2>&1; then
-    echo "==> staticcheck"
+    echo "==> staticcheck ($(staticcheck -version 2>/dev/null || echo unknown))"
+    installed=$(staticcheck -version 2>/dev/null || true)
+    case "$installed" in
+        *"$STATICCHECK_VERSION"*) ;;
+        *) echo "note: installed staticcheck ($installed) is not the pinned $STATICCHECK_VERSION" ;;
+    esac
     staticcheck ./...
 else
-    echo "==> staticcheck: not installed, skipping (CI installs it)"
+    skipped "staticcheck" "not installed; CI pins $STATICCHECK_VERSION"
 fi
 
 echo "==> bench smoke"
@@ -85,8 +112,14 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment persistspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment maintspeed -params short -json \
     -cpuprofile maintspeed.cpu.pprof -mutexprofile maintspeed.mutex.pprof)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment shardspeed -params short -json)
 
 echo "==> benchcheck"
+"$BENCH_DIR/benchcheck" -preflight
 "$BENCH_DIR/benchcheck" "$BENCH_DIR"/BENCH_*.json
+
+echo "==> sharded-cluster smoke (race)"
+$GO test -race ./internal/shard
+$GO test -race -count=1 -run 'TestShardClusterSmoke' ./internal/shard
 
 echo "==> ci passed"
