@@ -83,6 +83,12 @@ var floors = map[string][]floor{
 		{"scaling_ok", 1},                    // >= 1.6x at 3 shards on a disjoint trace (host-guarded)
 		{"skew_bounded", 1},                  // hotspot p99 within 2x of uniform after one rebalance
 	},
+	"failspeed": {
+		{"identical_with_replica_down", 1}, // replica killed mid-burst, results byte-identical
+		{"zero_client_failures", 1},        // every query answered despite the kill, failover exercised
+		{"hedge_p99_improves", 1},          // hedged p99 beats unhedged under injected straggler latency
+		{"breaker_bounded", 1},             // breaker trips and post-trip p99 sits 10x under the timeout
+	},
 }
 
 func check(path string) (failures []string, err error) {

@@ -2,26 +2,35 @@
 // scatter-gather coordinator. Two modes:
 //
 // Self-contained — boot N in-process shard servers (each a full System
-// over the same deterministic dataset) and coordinate across them:
+// over the same deterministic dataset) and coordinate across them,
+// optionally R replicas per range:
 //
-//	deepsea-shard -shards 3 -addr :8080 -gb 10
+//	deepsea-shard -shards 3 -replicas 2 -addr :8080 -gb 10
 //
-// External — coordinate already-running deepsea-serve instances:
+// External — coordinate already-running deepsea-serve instances.
+// Commas separate replica groups; '|' separates replicas inside a
+// group (quote the argument — '|' is a shell pipe):
 //
-//	deepsea-shard -shard-addrs http://h1:8081,http://h2:8082 -addr :8080
+//	deepsea-shard -shard-addrs 'http://h1:8081|http://h1b:9081,http://h2:8082|http://h2b:9082' -addr :8080
 //
 // The coordinator splits the item_sk domain [-lo, -hi] evenly at boot,
-// pushes each shard its range (a fenced /admin/range handoff), routes
-// single-range queries to the owning shard, scatters spanning queries
-// in partial-aggregate mode and merges the results deterministically.
-// With -rebalance-every it periodically moves hot range boundaries to
-// equalize observed heat.
+// pushes each replica group its range (a fenced /admin/range handoff —
+// the first replica of a group is its primary), routes single-range
+// queries to the owning group, scatters spanning queries in
+// partial-aggregate mode and merges the results deterministically.
+// Replicated groups route around failure: bounded failover with
+// jittered backoff, per-replica circuit breakers, hedged subqueries
+// after -hedge-delay (0 derives the delay from the observed p95;
+// negative disables hedging), and a background health prober
+// (-probe-every) that re-pushes ownership to replicas that missed a
+// handoff. With -rebalance-every it periodically moves hot range
+// boundaries to equalize observed heat.
 //
 // Endpoints:
 //
 //	POST /query           — run one query (same body as deepsea-serve)
-//	GET  /healthz         — routing table + per-shard reachability
-//	GET  /statz           — scatter counters + per-shard heat share
+//	GET  /healthz         — routing table + per-replica reachability and breaker state
+//	GET  /statz           — scatter/failover/hedge/breaker counters + per-shard heat share
 //	POST /admin/rebalance — recompute and apply equi-heat boundaries
 package main
 
@@ -42,8 +51,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "coordinator listen address")
-	shards := flag.Int("shards", 0, "boot this many in-process shard servers (self-contained mode)")
-	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard base URLs (external mode)")
+	shards := flag.Int("shards", 0, "boot this many in-process shard groups (self-contained mode)")
+	replicas := flag.Int("replicas", 1, "replicas per range group (self-contained mode)")
+	shardAddrs := flag.String("shard-addrs", "", "shard base URLs (external mode): ',' between groups, '|' between a group's replicas")
 	basePort := flag.Int("base-port", 8081, "first port for in-process shards (self-contained mode)")
 	lo := flag.Int64("lo", workload.ItemSkLo, "partition-key domain low bound")
 	hi := flag.Int64("hi", workload.ItemSkHi, "partition-key domain high bound")
@@ -51,39 +61,57 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed for in-process shards")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "periodic equi-heat rebalance interval (0 = manual via /admin/rebalance)")
 	reqTimeout := flag.Duration("shard-timeout", 15*time.Second, "per-shard request timeout")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedged-subquery delay (0 = derive from observed p95, negative = disable hedging)")
+	probeEvery := flag.Duration("probe-every", 2*time.Second, "background replica health-probe interval (0 = off)")
 	flag.Parse()
 
-	var addrs []string
+	var groups [][]string
 	var inner []*http.Server
 	switch {
 	case *shardAddrs != "":
-		for _, a := range strings.Split(*shardAddrs, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				addrs = append(addrs, a)
+		for _, g := range strings.Split(*shardAddrs, ",") {
+			var group []string
+			for _, a := range strings.Split(g, "|") {
+				if a = strings.TrimSpace(a); a != "" {
+					group = append(group, a)
+				}
+			}
+			if len(group) > 0 {
+				groups = append(groups, group)
 			}
 		}
 	case *shards > 0:
-		fmt.Printf("booting %d in-process shards (%d GB each, seed %d)...\n", *shards, *gb, *seed)
+		if *replicas < 1 {
+			*replicas = 1
+		}
+		fmt.Printf("booting %d shard groups × %d replicas (%d GB each, seed %d)...\n",
+			*shards, *replicas, *gb, *seed)
 		data := workload.Generate(*gb, *seed, nil)
+		port := *basePort
 		for i := 0; i < *shards; i++ {
-			sys := deepsea.New()
-			if err := workload.Load(sys, data); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			srv := server.New(sys, server.Config{})
-			hs := &http.Server{
-				Addr:    fmt.Sprintf("127.0.0.1:%d", *basePort+i),
-				Handler: srv.Handler(),
-			}
-			go func() {
-				if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			var group []string
+			for j := 0; j < *replicas; j++ {
+				sys := deepsea.New()
+				if err := workload.Load(sys, data); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
-			}()
-			inner = append(inner, hs)
-			addrs = append(addrs, "http://"+hs.Addr)
+				srv := server.New(sys, server.Config{})
+				hs := &http.Server{
+					Addr:    fmt.Sprintf("127.0.0.1:%d", port),
+					Handler: srv.Handler(),
+				}
+				port++
+				go func() {
+					if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+				}()
+				inner = append(inner, hs)
+				group = append(group, "http://"+hs.Addr)
+			}
+			groups = append(groups, group)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "need -shards N or -shard-addrs")
@@ -91,20 +119,30 @@ func main() {
 	}
 
 	coord, err := shard.New(shard.Config{
-		Addrs:          addrs,
+		Groups:         groups,
 		DomainLo:       *lo,
 		DomainHi:       *hi,
 		RequestTimeout: *reqTimeout,
+		HedgeDelay:     *hedgeDelay,
+		ProbeInterval:  *probeEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer coord.Close()
+
+	ctx, stop := server.SignalContext(context.Background())
+	defer stop()
+
 	// The shards must be reachable before the initial range push; retry
 	// briefly so external shards still starting up don't fail the boot.
 	var initErr error
 	for attempt := 0; attempt < 20; attempt++ {
-		if initErr = coord.Init(); initErr == nil {
+		if initErr = coord.Init(ctx); initErr == nil {
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 		time.Sleep(250 * time.Millisecond)
@@ -114,7 +152,8 @@ func main() {
 		os.Exit(1)
 	}
 	for _, sh := range coord.Shards() {
-		fmt.Printf("shard %s owns [%d,%d] (epoch %d)\n", sh.Addr, sh.Lo, sh.Hi, sh.Epoch)
+		fmt.Printf("group %s owns [%d,%d] (epoch %d, replicas %s)\n",
+			sh.Addr, sh.Lo, sh.Hi, sh.Epoch, strings.Join(sh.Replicas, " "))
 	}
 
 	stopRebalance := make(chan struct{})
@@ -125,7 +164,7 @@ func main() {
 			for {
 				select {
 				case <-t.C:
-					if moved, err := coord.Rebalance(); err != nil {
+					if moved, err := coord.Rebalance(ctx); err != nil {
 						fmt.Fprintf(os.Stderr, "rebalance: %v\n", err)
 					} else if moved {
 						for _, sh := range coord.Shards() {
@@ -141,11 +180,9 @@ func main() {
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: coord.Handler()}
-	ctx, stop := server.SignalContext(context.Background())
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("coordinating %d shards on %s\n", len(addrs), *addr)
+	fmt.Printf("coordinating %d shard groups on %s\n", len(groups), *addr)
 
 	select {
 	case err := <-errCh:
@@ -155,6 +192,7 @@ func main() {
 	}
 
 	close(stopRebalance)
+	coord.Close()
 	dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	err = hs.Shutdown(dctx)

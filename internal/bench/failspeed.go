@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/server"
+	"deepsea/internal/shard"
+	"deepsea/internal/workload"
+)
+
+// FailspeedResult characterizes the replicated serving tier's failure
+// behavior: replica death mid-burst is invisible to clients (zero
+// failures, byte-identical results), hedging removes injected straggler
+// latency from the tail, and a tripped circuit breaker bounds the
+// error-path cost of a dead replica far below the request timeout.
+type FailspeedResult struct {
+	// Queries is the phase-1 trace length (phase 2 uses HedgeQueries).
+	Queries int
+	// IdenticalWithReplicaDown reports the burst re-run with one of R
+	// replicas killed mid-burst produced byte-identical results.
+	IdenticalWithReplicaDown bool
+	// ClientFailures counts non-200 responses in the replica-down burst
+	// (the zero_client_failures gate), Failovers the coordinator's
+	// failover retries during it (must be >0, or the kill exercised
+	// nothing).
+	ClientFailures int
+	Failovers      uint64
+
+	// HedgeQueries is the phase-2 trace length per arm.
+	HedgeQueries int
+	// UnhedgedP99Millis / HedgedP99Millis compare p99 under injected
+	// straggler latency on the primary, hedging off vs p95-derived.
+	UnhedgedP99Millis float64
+	HedgedP99Millis   float64
+	// HedgesFired counts hedged subqueries in the hedged arm.
+	HedgesFired uint64
+	// StragglerMillis is the injected latency (the tail both arms fight).
+	StragglerMillis float64
+
+	// BreakerOpens counts breaker trips in phase 3; BreakerTailP99Millis
+	// is the per-query p99 over the post-trip burst — the bounded
+	// error-path cost; TimeoutMillis the request timeout it is held
+	// against.
+	BreakerOpens         uint64
+	BreakerTailP99Millis float64
+	TimeoutMillis        float64
+}
+
+// failCluster is one replicated in-process cluster: k groups × r
+// replica servers behind a coordinator, all on httptest listeners.
+type failCluster struct {
+	coord    *shard.Coordinator
+	front    *httptest.Server
+	servers  [][]*server.Server
+	backends [][]*httptest.Server
+}
+
+// newFailCluster boots k replica groups of r servers each over data.
+// mut, when non-nil, adjusts the coordinator config before New (chaos
+// transport, hedge delay, breaker tuning).
+func newFailCluster(data *workload.Data, k, r int, mut func(*shard.Config)) (*failCluster, error) {
+	cl := &failCluster{}
+	groups := make([][]string, k)
+	for gi := 0; gi < k; gi++ {
+		cl.servers = append(cl.servers, nil)
+		cl.backends = append(cl.backends, nil)
+		for ri := 0; ri < r; ri++ {
+			sys := deepsea.New()
+			if err := workload.Load(sys, data); err != nil {
+				cl.close()
+				return nil, err
+			}
+			srv := server.New(sys, server.Config{MaxInFlight: 4, MaxQueue: 256, QueueTimeout: -1})
+			ts := httptest.NewServer(srv.Handler())
+			cl.servers[gi] = append(cl.servers[gi], srv)
+			cl.backends[gi] = append(cl.backends[gi], ts)
+			groups[gi] = append(groups[gi], ts.URL)
+		}
+	}
+	cfg := shard.Config{
+		Groups:         groups,
+		DomainLo:       workload.ItemSkLo,
+		DomainHi:       workload.ItemSkHi,
+		RequestTimeout: 10 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	coord, err := shard.New(cfg)
+	if err != nil {
+		cl.close()
+		return nil, err
+	}
+	if err := coord.Init(context.Background()); err != nil {
+		coord.Close()
+		cl.close()
+		return nil, err
+	}
+	cl.coord = coord
+	cl.front = httptest.NewServer(coord.Handler())
+	return cl, nil
+}
+
+func (cl *failCluster) close() {
+	if cl.front != nil {
+		cl.front.Close()
+	}
+	if cl.coord != nil {
+		cl.coord.Close()
+	}
+	for gi := range cl.servers {
+		for ri, srv := range cl.servers[gi] {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+			cl.backends[gi][ri].Close()
+		}
+	}
+}
+
+// coordStatz is the slice of the coordinator's /statz the experiment
+// reads.
+type coordStatz struct {
+	Failovers    uint64 `json:"failovers"`
+	Hedges       uint64 `json:"hedges"`
+	HedgeWins    uint64 `json:"hedge_wins"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+func fetchStatz(client *http.Client, frontURL string) (coordStatz, error) {
+	var st coordStatz
+	resp, err := client.Get(frontURL + "/statz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// primaryHostOf extracts the URL host of the first replica of group 0 —
+// the chaos target.
+func primaryHostOf(groups [][]string) (string, error) {
+	u, err := url.Parse(groups[0][0])
+	if err != nil {
+		return "", err
+	}
+	return u.Host, nil
+}
+
+// RunFailspeed drives the replicated tier through three phases:
+// a replica killed mid-burst (results must stay byte-identical with
+// zero client-visible failures), injected straggler latency bracketed
+// by hedging off/on (hedged p99 must win), and a dead primary behind an
+// open breaker (post-trip per-query cost must sit far below the
+// request timeout).
+func RunFailspeed(p Params) (*FailspeedResult, error) {
+	n := p.queries(32)
+	res := &FailspeedResult{
+		Queries:                  n,
+		IdenticalWithReplicaDown: true,
+	}
+	client := &http.Client{}
+	data := workload.Generate(1, p.Seed, nil)
+
+	// Phase 1: replica death mid-burst. Two groups × two replicas; a
+	// healthy pass collects per-query reference bytes, then the same
+	// burst re-runs with group 0's primary killed after the first query.
+	// Spanning ranges so every query needs the failing group.
+	{
+		cl, err := newFailCluster(data, 2, 2, func(cfg *shard.Config) {
+			cfg.HedgeDelay = -1 // isolate failover from hedging
+		})
+		if err != nil {
+			return nil, err
+		}
+		trace := workload.SpanningTrace(n, workload.Q1, 0.02, p.Seed)
+		for i := 1; i < n; i += 3 {
+			trace[i].Template = workload.Q16
+		}
+		want := make([]string, n)
+		for i, tq := range trace {
+			canon, err := shardspeedPost(client, cl.front.URL, tq)
+			if err != nil {
+				cl.close()
+				return nil, fmt.Errorf("failspeed healthy query %d: %w", i, err)
+			}
+			want[i] = canon
+		}
+		for i, tq := range trace {
+			if i == 1 {
+				// kill -9 equivalent for an httptest backend: close it,
+				// severing every connection. No drain, no handoff.
+				cl.backends[0][0].Close()
+			}
+			canon, err := shardspeedPost(client, cl.front.URL, tq)
+			if err != nil {
+				res.ClientFailures++
+				continue
+			}
+			if canon != want[i] {
+				res.IdenticalWithReplicaDown = false
+			}
+		}
+		st, err := fetchStatz(client, cl.front.URL)
+		cl.close()
+		if err != nil {
+			return nil, err
+		}
+		res.Failovers = st.Failovers
+	}
+
+	// Phase 2: straggler latency vs hedging. One group × two replicas;
+	// a chaos transport injects a long delay on the primary only (the
+	// follower stays clean, so a hedge has somewhere fast to go). The
+	// unhedged arm eats the delay; the hedged arm (p95-derived delay,
+	// warmed up with the transport disarmed) must beat its p99.
+	straggler := 400 * time.Millisecond
+	res.StragglerMillis = float64(straggler) / float64(time.Millisecond)
+	nh := n
+	if nh < 24 {
+		nh = 24 // enough draws that the 0.5-probability injection surely lands
+	}
+	res.HedgeQueries = nh
+	hedgeTrace := workload.SpanningTrace(nh, workload.Q1, 0.02, p.Seed+1)
+	for ai, hedge := range []bool{false, true} {
+		var ct *shard.ChaosTransport
+		var hostErr error
+		cl, err := newFailCluster(data, 1, 2, func(cfg *shard.Config) {
+			host, herr := primaryHostOf(cfg.Groups)
+			if herr != nil {
+				hostErr = herr
+				return
+			}
+			ct = &shard.ChaosTransport{
+				Seed:        p.Seed + 42,
+				LatencyProb: 0.5,
+				Latency:     straggler,
+				Hosts:       map[string]bool{host: true},
+			}
+			ct.SetArmed(false) // clean handoffs and warmup
+			cfg.Transport = ct
+			if hedge {
+				cfg.HedgeDelay = 0 // p95-derived
+			} else {
+				cfg.HedgeDelay = -1
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if hostErr != nil || ct == nil {
+			cl.close()
+			return nil, fmt.Errorf("failspeed chaos setup: %v", hostErr)
+		}
+		// Warmup: feeds the latency ring (hedged arm) and first-touch
+		// planning, chaos disarmed so the samples reflect health.
+		for _, tq := range hedgeTrace[:8] {
+			if _, err := shardspeedPost(client, cl.front.URL, tq); err != nil {
+				cl.close()
+				return nil, fmt.Errorf("failspeed hedge warmup: %w", err)
+			}
+		}
+		ct.SetArmed(true)
+		lats := make([]float64, nh)
+		for i, tq := range hedgeTrace {
+			start := time.Now()
+			if _, err := shardspeedPost(client, cl.front.URL, tq); err != nil {
+				cl.close()
+				return nil, fmt.Errorf("failspeed hedge arm %d query %d: %w", ai, i, err)
+			}
+			lats[i] = time.Since(start).Seconds() * 1000
+		}
+		st, err := fetchStatz(client, cl.front.URL)
+		cl.close()
+		if err != nil {
+			return nil, err
+		}
+		if hedge {
+			res.HedgedP99Millis = p99(lats)
+			res.HedgesFired = st.Hedges
+		} else {
+			res.UnhedgedP99Millis = p99(lats)
+		}
+	}
+
+	// Phase 3: breaker-bounded error cost. One group × two replicas,
+	// primary killed, a fast prober feeding the breakers, cooldown far
+	// past the phase so the breaker stays open once tripped. After the
+	// trip, a burst over the dead-primary group must run at healthy
+	// speed — the breaker skips the corpse without a network attempt.
+	{
+		cl, err := newFailCluster(data, 1, 2, func(cfg *shard.Config) {
+			cfg.HedgeDelay = -1
+			cfg.BreakerThreshold = 3
+			cfg.BreakerCooldown = time.Hour
+			cfg.ProbeInterval = 25 * time.Millisecond
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.TimeoutMillis = 10_000
+		cl.backends[0][0].Close()
+		// Wait for the prober to trip the primary's breaker.
+		deadline := time.Now().Add(10 * time.Second)
+		var st coordStatz
+		for time.Now().Before(deadline) {
+			st, err = fetchStatz(client, cl.front.URL)
+			if err == nil && st.BreakerOpens > 0 {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		res.BreakerOpens = st.BreakerOpens
+		tail := workload.SpanningTrace(n, workload.Q1, 0.02, p.Seed+2)
+		lats := make([]float64, n)
+		for i, tq := range tail {
+			start := time.Now()
+			if _, err := shardspeedPost(client, cl.front.URL, tq); err != nil {
+				cl.close()
+				return nil, fmt.Errorf("failspeed breaker query %d: %w", i, err)
+			}
+			lats[i] = time.Since(start).Seconds() * 1000
+		}
+		res.BreakerTailP99Millis = p99(lats)
+		cl.close()
+	}
+	return res, nil
+}
+
+// ZeroClientFailures is the availability gate: the replica-down burst
+// must have shown zero non-200 responses while actually exercising
+// failover (no failovers means the kill tested nothing).
+func (r *FailspeedResult) ZeroClientFailures() bool {
+	return r.ClientFailures == 0 && r.Failovers > 0
+}
+
+// HedgeImproves is the tail-latency gate: hedged p99 strictly under
+// unhedged p99 under the same injected straggler, with hedges actually
+// fired.
+func (r *FailspeedResult) HedgeImproves() bool {
+	return r.HedgesFired > 0 && r.HedgedP99Millis < r.UnhedgedP99Millis
+}
+
+// BreakerBounded is the error-path gate: the breaker tripped, and the
+// post-trip burst's p99 sits far (10x) below the request timeout — a
+// dead replica costs detection once, not a timeout per query.
+func (r *FailspeedResult) BreakerBounded() bool {
+	return r.BreakerOpens > 0 && r.BreakerTailP99Millis < r.TimeoutMillis/10
+}
+
+// Metrics exports the gated numbers for machine-readable output.
+func (r *FailspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"queries":                     float64(r.Queries),
+		"identical_with_replica_down": 0,
+		"zero_client_failures":        0,
+		"client_failures":             float64(r.ClientFailures),
+		"failovers":                   float64(r.Failovers),
+		"unhedged_p99_millis":         r.UnhedgedP99Millis,
+		"hedged_p99_millis":           r.HedgedP99Millis,
+		"hedges_fired":                float64(r.HedgesFired),
+		"hedge_p99_improves":          0,
+		"breaker_opens":               float64(r.BreakerOpens),
+		"breaker_tail_p99_millis":     r.BreakerTailP99Millis,
+		"breaker_bounded":             0,
+	}
+	if r.IdenticalWithReplicaDown {
+		m["identical_with_replica_down"] = 1
+	}
+	if r.ZeroClientFailures() {
+		m["zero_client_failures"] = 1
+	}
+	if r.HedgeImproves() {
+		m["hedge_p99_improves"] = 1
+	}
+	if r.BreakerBounded() {
+		m["breaker_bounded"] = 1
+	}
+	return m
+}
+
+// Print renders the failure-behavior characterization.
+func (r *FailspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "replicated shard groups under failure, %d queries per burst\n", r.Queries)
+	fmt.Fprintf(w, "replica killed mid-burst: identical %v, client failures %d, failovers %d\n",
+		r.IdenticalWithReplicaDown, r.ClientFailures, r.Failovers)
+	fmt.Fprintf(w, "injected %.0fms straggler on primary: p99 unhedged %.1fms vs hedged %.1fms (%d hedges, improves: %v)\n",
+		r.StragglerMillis, r.UnhedgedP99Millis, r.HedgedP99Millis, r.HedgesFired, r.HedgeImproves())
+	fmt.Fprintf(w, "breaker: opens %d, post-trip p99 %.1fms vs %.0fms timeout (bounded: %v)\n",
+		r.BreakerOpens, r.BreakerTailP99Millis, r.TimeoutMillis, r.BreakerBounded())
+}

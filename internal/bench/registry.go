@@ -83,6 +83,9 @@ var Experiments = []Experiment{
 	{"shardspeed", "Range-sharded scatter-gather: merged results identical across shard counts, disjoint traces scale, rebalance tames skew", func(p Params) (Printable, error) {
 		return RunShardspeed(p)
 	}},
+	{"failspeed", "Replicated shard groups under failure: replica kill invisible to clients, hedging beats stragglers, breakers bound dead-replica cost", func(p Params) (Printable, error) {
+		return RunFailspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

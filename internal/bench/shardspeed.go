@@ -90,7 +90,7 @@ func newShardspeedCluster(data *workload.Data, k int) (*shardspeedCluster, error
 		cl.close()
 		return nil, err
 	}
-	if err := coord.Init(); err != nil {
+	if err := coord.Init(context.Background()); err != nil {
 		cl.close()
 		return nil, err
 	}
@@ -296,7 +296,7 @@ func RunShardspeed(p Params) (*ShardspeedResult, error) {
 	}
 	res.HotspotBeforeP99Millis = p99(hotLat)
 
-	res.RebalanceMoved, err = cl.coord.Rebalance()
+	res.RebalanceMoved, err = cl.coord.Rebalance(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("shardspeed rebalance: %w", err)
 	}

@@ -122,6 +122,12 @@ type Server struct {
 	activeQueries atomic.Int64
 	handoffMu     sync.Mutex
 
+	// role is the replica role the last range handoff assigned
+	// ("primary" or "follower"; empty when standalone). Informational:
+	// any replica answers queries for its range — the role only tells
+	// operators which replica the coordinator prefers.
+	role atomic.Value // string
+
 	// snapStop/snapDone bound the periodic-snapshot goroutine (nil
 	// without SnapshotEvery).
 	snapStop chan struct{}
@@ -472,11 +478,14 @@ type healthzResponse struct {
 	// scatter-gather cluster: the owned partition-key range and its
 	// handoff epoch (a coordinator polls these to rebuild its routing
 	// table after restart or failover).
-	RangeOwned bool           `json:"range_owned,omitempty"`
-	OwnedLo    int64          `json:"owned_lo,omitempty"`
-	OwnedHi    int64          `json:"owned_hi,omitempty"`
-	RangeEpoch uint64         `json:"range_epoch,omitempty"`
-	Admission  AdmissionStats `json:"admission"`
+	RangeOwned bool   `json:"range_owned,omitempty"`
+	OwnedLo    int64  `json:"owned_lo,omitempty"`
+	OwnedHi    int64  `json:"owned_hi,omitempty"`
+	RangeEpoch uint64 `json:"range_epoch,omitempty"`
+	// RangeRole is the replica role the last handoff assigned ("primary"
+	// or "follower"; absent when standalone).
+	RangeRole string         `json:"range_role,omitempty"`
+	Admission AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +511,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OwnedLo:             h.OwnedLo,
 		OwnedHi:             h.OwnedHi,
 		RangeEpoch:          h.RangeEpoch,
+		RangeRole:           s.Role(),
 		Admission:           adm,
 	}
 	status := http.StatusOK
@@ -584,6 +594,23 @@ func (s *Server) handlePoolz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Replica roles a range handoff can assign. Base tables are static and
+// fully replicated, so the roles do not gate reads — the primary is
+// simply the coordinator's first-choice replica for the range.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+)
+
+// Role returns the replica role the last handoff assigned ("" when the
+// server is standalone or no handoff carried a role).
+func (s *Server) Role() string {
+	if v, ok := s.role.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
 // rangeErrResponse is the 409 body for ownership and epoch violations.
 // It names the shard's actual ownership so the coordinator can repair
 // its routing table from the response alone.
@@ -631,9 +658,13 @@ func (s *Server) checkOwnership(spec *QuerySpec) (rangeErrResponse, bool) {
 // returns, so when the coordinator sees 200 the shard is serving the
 // new range. DrainTimeoutMS bounds the drain wait (default 10s).
 type rangeRequest struct {
-	Lo             int64  `json:"lo"`
-	Hi             int64  `json:"hi"`
-	Epoch          uint64 `json:"epoch"`
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Epoch uint64 `json:"epoch"`
+	// Role is the replica role this handoff assigns ("primary" or
+	// "follower"; empty keeps the current role). Informational — see
+	// RolePrimary.
+	Role           string `json:"role,omitempty"`
 	DrainTimeoutMS int64  `json:"drain_timeout_ms,omitempty"`
 }
 
@@ -644,6 +675,7 @@ type rangeResponse struct {
 	Lo            int64  `json:"lo"`
 	Hi            int64  `json:"hi"`
 	Epoch         uint64 `json:"epoch"`
+	Role          string `json:"role,omitempty"`
 	Drained       int64  `json:"drained"`
 	SnapshotError string `json:"snapshot_error,omitempty"`
 }
@@ -656,7 +688,7 @@ func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, rangeResponse{Lo: 0, Hi: -1})
 			return
 		}
-		writeJSON(w, http.StatusOK, rangeResponse{Lo: or.Lo, Hi: or.Hi, Epoch: or.Epoch})
+		writeJSON(w, http.StatusOK, rangeResponse{Lo: or.Lo, Hi: or.Hi, Epoch: or.Epoch, Role: s.Role()})
 		return
 	case http.MethodPost:
 	default:
@@ -713,5 +745,9 @@ func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
 		resp.SnapshotError = err.Error()
 	}
 	s.sys.SetOwnedRange(req.Lo, req.Hi, req.Epoch)
+	if req.Role != "" {
+		s.role.Store(req.Role)
+	}
+	resp.Role = s.Role()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the full closed → open → half-open →
+// closed cycle, including the failed-probe re-trip.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	now := time.Unix(1000, 0)
+
+	if ok, probe := b.Allow(now); !ok || probe {
+		t.Fatalf("closed breaker: Allow = (%v,%v), want (true,false)", ok, probe)
+	}
+	// Two failures stay closed; an interleaved success resets the count.
+	b.Failure(now)
+	b.Failure(now)
+	if s := b.State(); s != breakerClosed {
+		t.Fatalf("after 2 failures: state %v, want closed", s)
+	}
+	b.Success()
+	b.Failure(now)
+	b.Failure(now)
+	if s := b.State(); s != breakerClosed {
+		t.Fatalf("success must reset the consecutive-failure count; state %v", s)
+	}
+
+	// The third consecutive failure trips it.
+	b.Failure(now)
+	if s := b.State(); s != breakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", s)
+	}
+	if ok, _ := b.Allow(now.Add(time.Second)); ok {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	later := now.Add(2 * time.Minute)
+	ok, probe := b.Allow(later)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v,%v), want (true,true)", ok, probe)
+	}
+	if s := b.State(); s != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", s)
+	}
+	if ok, _ := b.Allow(later); ok {
+		t.Fatal("half-open breaker admitted a second request while the probe is in flight")
+	}
+
+	// Probe failure re-opens and restarts the cooldown.
+	b.Failure(later)
+	if s := b.State(); s != breakerOpen {
+		t.Fatalf("failed probe: state %v, want open", s)
+	}
+	if ok, _ := b.Allow(later.Add(time.Second)); ok {
+		t.Fatal("re-opened breaker admitted a request inside the restarted cooldown")
+	}
+
+	// Second probe succeeds: closed again, requests flow.
+	ok, probe = b.Allow(later.Add(2 * time.Minute))
+	if !ok || !probe {
+		t.Fatal("second post-cooldown probe refused")
+	}
+	b.Success()
+	if s := b.State(); s != breakerClosed {
+		t.Fatalf("after successful probe: state %v, want closed", s)
+	}
+	if ok, probe := b.Allow(later.Add(3 * time.Minute)); !ok || probe {
+		t.Fatalf("re-closed breaker: Allow = (%v,%v), want (true,false)", ok, probe)
+	}
+
+	opens, shorts, probes := b.Counters()
+	if opens != 2 || probes != 2 || shorts < 2 {
+		t.Fatalf("counters = opens %d, shortCircuits %d, probes %d; want 2, ≥2, 2",
+			opens, shorts, probes)
+	}
+}
+
+// TestBreakerOpenFailureIsInert verifies straggling failures arriving
+// after the trip neither extend the cooldown nor double-count opens.
+func TestBreakerOpenFailureIsInert(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	now := time.Unix(2000, 0)
+	b.Failure(now)
+	b.Failure(now.Add(30 * time.Second)) // straggler while open
+	if ok, probe := b.Allow(now.Add(61 * time.Second)); !ok || !probe {
+		t.Fatal("straggling failure extended the cooldown")
+	}
+	opens, _, _ := b.Counters()
+	if opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -16,29 +17,111 @@ import (
 	"deepsea/internal/server"
 )
 
-// Config tunes a Coordinator. Addrs are the shard servers' base URLs
-// ("http://host:port"); the domain is the partition-key span the
-// cluster covers (the workload's item_sk domain).
+// Config tunes a Coordinator. Either Addrs (one address per range, no
+// replication) or Groups (each range served by a replica group —
+// Groups[i][0] is the primary, the rest followers) names the cluster;
+// the domain is the partition-key span the cluster covers (the
+// workload's item_sk domain).
 type Config struct {
-	Addrs              []string
+	// Addrs are single-replica groups: the PR-8 topology. Mutually
+	// exclusive with Groups.
+	Addrs []string
+	// Groups are replica address groups. Base tables are static and
+	// fully replicated, so any live replica can answer for its group's
+	// range; the exact partial-aggregation mode keeps merged bytes
+	// identical regardless of which replica answered.
+	Groups             [][]string
 	DomainLo, DomainHi int64
-	// RequestTimeout bounds each per-shard HTTP call (default 15s).
+	// RequestTimeout bounds each per-replica HTTP attempt (default 15s).
 	RequestTimeout time.Duration
-	// Client overrides the HTTP client (tests; default &http.Client{}).
+	// Client overrides the whole HTTP client (tests; default: a tuned
+	// transport — see newTransport).
 	Client *http.Client
+	// Transport overrides only the transport (chaos tests wrap the real
+	// one in a ChaosTransport). Ignored when Client is set.
+	Transport http.RoundTripper
+
+	// FailoverRetries bounds how many replicas one range subquery may
+	// try before the failure becomes client-visible (default: every
+	// replica in the group once; capped at the group size).
+	FailoverRetries int
+	// FailoverBackoff is the base of the jittered backoff between
+	// failover retries (default 5ms, doubling per retry, capped at
+	// 100ms, ±50% jitter).
+	FailoverBackoff time.Duration
+
+	// BreakerThreshold is how many consecutive failures trip a
+	// replica's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses requests
+	// before admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+
+	// HedgeDelay controls hedged subqueries: after this long without a
+	// first response, the same range subquery is fired at a second live
+	// replica and the first success wins. 0 (the default) derives the
+	// delay from the observed subquery p95; negative disables hedging.
+	HedgeDelay time.Duration
+
+	// ProbeInterval, when positive, starts a background health prober
+	// that checks every replica, feeds the breakers, and re-pushes
+	// range ownership to replicas that missed a handoff. Stop it with
+	// Close.
+	ProbeInterval time.Duration
+
+	// Seed drives the failover jitter (default 1 — deterministic runs).
+	Seed int64
+}
+
+// failoverBackoffCap bounds the exponential failover backoff.
+const failoverBackoffCap = 100 * time.Millisecond
+
+// newTransport builds the coordinator's default transport: explicit
+// dial and TLS timeouts so a wedged TCP connect cannot stall a subquery
+// past RequestTimeout, and an idle-connection pool sized to the cluster
+// so scatter fan-outs reuse connections instead of re-dialing.
+func newTransport(replicas int) *http.Transport {
+	d := &net.Dialer{Timeout: 2 * time.Second, KeepAlive: 30 * time.Second}
+	perHost := 16
+	return &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           d.DialContext,
+		TLSHandshakeTimeout:   2 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		MaxIdleConnsPerHost:   perHost,
+		MaxIdleConns:          perHost * maxInt(replicas, 1),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Coordinator fronts a range-sharded deepsea cluster: it owns the
-// routing table, scatters queries to the shards owning their selection
-// ranges, merges the partial results, and moves range boundaries
-// between shards with fenced handoffs when the workload's heat skews.
+// routing table, scatters queries to the replica groups owning their
+// selection ranges, merges the partial results, and moves range
+// boundaries between groups with fenced handoffs when the workload's
+// heat skews.
 //
-// Locking: mu is the routing-table lock. Queries scatter under RLock;
-// a handoff takes the write lock, which both blocks new queries and
-// waits out in-flight ones — the coordinator half of the fencing
-// protocol (shards independently fence via /admin/range).
+// Robustness: every range is served by a replica group. A subquery
+// prefers the group's healthy primary, fails over (bounded retries,
+// jittered backoff) on connection errors, timeouts and 5xx, hedges a
+// second replica after a p95-derived delay, and skips replicas whose
+// circuit breaker is open — so a dead replica costs one detection, not
+// one timeout per query, and replica death mid-burst is invisible to
+// clients as long as one replica per group survives.
+//
+// Locking: mu is the routing-table lock. Queries scatter under RLock; a
+// handoff takes the write lock, which both blocks new queries and waits
+// out in-flight ones — the coordinator half of the fencing protocol
+// (shards independently fence via /admin/range).
 type Coordinator struct {
 	cfg    Config
+	groups [][]string // static replica membership, one group per range
 	client *http.Client
 	mux    *http.ServeMux
 
@@ -46,19 +129,46 @@ type Coordinator struct {
 	shards []ShardInfo // sorted by Lo; tiles [DomainLo, DomainHi]
 	epoch  uint64      // last issued handoff epoch
 
+	// replicas maps every replica address to its breaker and probe
+	// state; preferred[gi] is the group's current first-choice replica
+	// index (primary unless failover moved it).
+	replicas  map[string]*replicaState
+	preferred []atomic.Int32
+
 	heatMu sync.Mutex
 	heat   *heatMap
 
+	lat latencyRing
+	rng *lockedRand
+
 	queries    atomic.Uint64
-	scattered  atomic.Uint64 // per-shard subqueries issued
-	failures   atomic.Uint64
+	scattered  atomic.Uint64 // per-range subqueries issued
+	attempts   atomic.Uint64 // per-replica attempts (≥ scattered)
+	failures   atomic.Uint64 // client-visible failures
 	rebalances atomic.Uint64
+	failovers  atomic.Uint64 // retries on a different replica
+	hedges     atomic.Uint64 // hedge subqueries fired
+	hedgeWins  atomic.Uint64 // hedges that beat the first attempt
+	refreshes  atomic.Uint64 // 409-driven routing-table refreshes
+
+	proberStop chan struct{}
+	proberDone chan struct{}
 }
 
-// New builds a Coordinator over the given shard addresses. Call Init to
-// push the initial even range split to the shards before serving.
+// New builds a Coordinator over the given replica groups (or flat
+// addresses). Call Init to push the initial even range split to the
+// shards before serving; call Close to stop the background prober when
+// ProbeInterval is set.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Addrs) == 0 {
+	groups := cfg.Groups
+	if len(groups) == 0 {
+		for _, a := range cfg.Addrs {
+			groups = append(groups, []string{a})
+		}
+	} else if len(cfg.Addrs) > 0 {
+		return nil, fmt.Errorf("shard: Addrs and Groups are mutually exclusive")
+	}
+	if len(groups) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one shard address")
 	}
 	if cfg.DomainLo > cfg.DomainHi {
@@ -67,14 +177,54 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 15 * time.Second
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.FailoverBackoff <= 0 {
+		cfg.FailoverBackoff = 5 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	replicas := make(map[string]*replicaState)
+	var nReplicas int
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("shard: group %d has no replicas", gi)
+		}
+		for _, a := range g {
+			if a == "" {
+				return nil, fmt.Errorf("shard: group %d has an empty replica address", gi)
+			}
+			if _, dup := replicas[a]; dup {
+				return nil, fmt.Errorf("shard: replica %s appears twice", a)
+			}
+			replicas[a] = &replicaState{
+				addr: a,
+				br:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			}
+			nReplicas++
+		}
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		rt := cfg.Transport
+		if rt == nil {
+			rt = newTransport(nReplicas)
+		}
+		client = &http.Client{Transport: rt}
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		client: client,
-		heat:   newHeatMap(cfg.DomainLo, cfg.DomainHi),
+		cfg:       cfg,
+		groups:    groups,
+		client:    client,
+		replicas:  replicas,
+		preferred: make([]atomic.Int32, len(groups)),
+		heat:      newHeatMap(cfg.DomainLo, cfg.DomainHi),
+		rng:       newLockedRand(cfg.Seed),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
@@ -82,48 +232,76 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("/statz", c.handleStatz)
 	mux.HandleFunc("/admin/rebalance", c.handleRebalance)
 	c.mux = mux
+	if cfg.ProbeInterval > 0 {
+		c.proberStop = make(chan struct{})
+		c.proberDone = make(chan struct{})
+		go c.probeLoop(cfg.ProbeInterval)
+	}
 	return c, nil
 }
 
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
+// Close stops the background health prober, if one is running.
+func (c *Coordinator) Close() {
+	if c.proberStop != nil {
+		close(c.proberStop)
+		<-c.proberDone
+		c.proberStop = nil
+	}
+}
+
 // Init assigns the boot-time routing table: an even split of the
-// domain, pushed to every shard. Must succeed before serving.
-func (c *Coordinator) Init() error {
+// domain, pushed to every replica of every group. Must succeed before
+// serving. ctx bounds the whole push sequence.
+func (c *Coordinator) Init(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.applyLocked(evenSplit(c.cfg.DomainLo, c.cfg.DomainHi, len(c.cfg.Addrs)))
+	return c.applyLocked(ctx, evenSplit(c.cfg.DomainLo, c.cfg.DomainHi, len(c.groups)))
 }
 
 // Shards returns a copy of the current routing table.
 func (c *Coordinator) Shards() []ShardInfo {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return append([]ShardInfo(nil), c.shards...)
+	out := make([]ShardInfo, len(c.shards))
+	for i, sh := range c.shards {
+		sh.Replicas = append([]string(nil), sh.Replicas...)
+		out[i] = sh
+	}
+	return out
 }
 
-// applyLocked pushes a new set of range boundaries to the shards
-// (bounds[i] goes to Addrs/shards[i]) and installs the new routing
+// applyLocked pushes a new set of range boundaries to the replica
+// groups (bounds[i] goes to groups[i]) and installs the new routing
 // table. Caller holds mu: no queries are in flight, so the shard-side
-// drains are instant. Shrinking shards are fenced before growing ones —
+// drains are instant. Shrinking groups are fenced before growing ones —
 // a range is always released by its old owner before its new owner
-// starts answering for it, so no two shards ever claim the same keys.
-// On a push failure the already-moved shards are rolled back to their
-// old ranges (best effort) and the old table stays installed.
-func (c *Coordinator) applyLocked(bounds [][2]int64) error {
-	if len(bounds) != len(c.cfg.Addrs) {
-		return fmt.Errorf("shard: %d bounds for %d shards", len(bounds), len(c.cfg.Addrs))
+// starts answering for it, so no two groups ever claim the same keys.
+// Within a group the push must land on at least one replica; replicas
+// that miss it (down at the time) answer with a stale epoch until the
+// prober re-pushes, and failover routes around them meanwhile. On a
+// whole-group push failure the already-moved groups are rolled back to
+// their old ranges (best effort) and the old table stays installed.
+func (c *Coordinator) applyLocked(ctx context.Context, bounds [][2]int64) error {
+	if len(bounds) != len(c.groups) {
+		return fmt.Errorf("shard: %d bounds for %d groups", len(bounds), len(c.groups))
 	}
 	next := make([]ShardInfo, len(bounds))
 	for i, b := range bounds {
-		next[i] = ShardInfo{Addr: c.cfg.Addrs[i], Lo: b[0], Hi: b[1]}
+		next[i] = ShardInfo{
+			Addr:     c.groups[i][0],
+			Replicas: append([]string(nil), c.groups[i]...),
+			Lo:       b[0],
+			Hi:       b[1],
+		}
 	}
 	if err := validate(next, c.cfg.DomainLo, c.cfg.DomainHi); err != nil {
 		return err
 	}
 
-	// Order: shards whose span shrinks (donors) before those that grow.
+	// Order: groups whose span shrinks (donors) before those that grow.
 	order := make([]int, len(next))
 	for i := range order {
 		order[i] = i
@@ -143,20 +321,20 @@ func (c *Coordinator) applyLocked(bounds [][2]int64) error {
 	for _, i := range order {
 		c.epoch++
 		next[i].Epoch = c.epoch
-		if err := c.pushRange(c.cfg.Addrs[i], next[i].Lo, next[i].Hi, c.epoch); err != nil {
-			// Roll the moved shards back to their old ranges under fresh
+		if err := c.pushGroup(ctx, i, next[i].Lo, next[i].Hi, c.epoch); err != nil {
+			// Roll the moved groups back to their old ranges under fresh
 			// epochs so the installed (old) table stays authoritative.
 			for _, j := range applied {
 				if len(c.shards) == len(next) {
 					c.epoch++
 					old := c.shards[j]
-					if rerr := c.pushRange(old.Addr, old.Lo, old.Hi, c.epoch); rerr == nil {
+					if rerr := c.pushGroup(ctx, j, old.Lo, old.Hi, c.epoch); rerr == nil {
 						c.shards[j].Epoch = c.epoch
 					}
 				}
 			}
-			return fmt.Errorf("shard: pushing range [%d,%d] to %s: %w",
-				next[i].Lo, next[i].Hi, c.cfg.Addrs[i], err)
+			return fmt.Errorf("shard: pushing range [%d,%d] to group %d (%s): %w",
+				next[i].Lo, next[i].Hi, i, c.groups[i][0], err)
 		}
 		applied = append(applied, i)
 	}
@@ -164,10 +342,37 @@ func (c *Coordinator) applyLocked(bounds [][2]int64) error {
 	return nil
 }
 
-// pushRange runs one shard-side fenced handoff via POST /admin/range.
-func (c *Coordinator) pushRange(addr string, lo, hi int64, epoch uint64) error {
-	body, _ := json.Marshal(map[string]any{"lo": lo, "hi": hi, "epoch": epoch})
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+// pushGroup runs one group's fenced handoff: the range and epoch are
+// pushed to every replica (the primary as "primary", the rest as
+// "follower"). At least one replica must accept; replicas that fail are
+// left behind on their old epoch, to be healed by the prober.
+func (c *Coordinator) pushGroup(ctx context.Context, gi int, lo, hi int64, epoch uint64) error {
+	var okCount int
+	var errs []string
+	for ri, addr := range c.groups[gi] {
+		role := server.RoleFollower
+		if ri == 0 {
+			role = server.RolePrimary
+		}
+		if err := c.pushRange(ctx, addr, lo, hi, epoch, role); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		okCount++
+	}
+	if okCount == 0 {
+		return fmt.Errorf("no replica accepted the handoff: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// pushRange runs one replica-side fenced handoff via POST /admin/range.
+// The caller's context is threaded through, so a cancelled rebalance or
+// coordinator shutdown abandons the push instead of running it against
+// a dead cluster for the full timeout.
+func (c *Coordinator) pushRange(ctx context.Context, addr string, lo, hi int64, epoch uint64, role string) error {
+	body, _ := json.Marshal(map[string]any{"lo": lo, "hi": hi, "epoch": epoch, "role": role})
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/admin/range", bytes.NewReader(body))
 	if err != nil {
@@ -188,8 +393,10 @@ func (c *Coordinator) pushRange(addr string, lo, hi int64, epoch uint64) error {
 
 // Rebalance recomputes equi-heat boundaries from the observed workload
 // and, when they differ from the current table, moves them with a
-// fenced handoff. Returns whether anything moved.
-func (c *Coordinator) Rebalance() (bool, error) {
+// fenced handoff. Returns whether anything moved. ctx bounds the push
+// sequence (thread the request or signal context through, so shutdown
+// cancels an in-flight rebalance).
+func (c *Coordinator) Rebalance(ctx context.Context) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.heatMu.Lock()
@@ -202,7 +409,7 @@ func (c *Coordinator) Rebalance() (bool, error) {
 	if same {
 		return false, nil
 	}
-	if err := c.applyLocked(bounds); err != nil {
+	if err := c.applyLocked(ctx, bounds); err != nil {
 		return false, err
 	}
 	c.rebalances.Add(1)
@@ -219,21 +426,40 @@ type wireResponse struct {
 	Error            string   `json:"error"`
 }
 
+// conflict409 carries the true ownership a shard reported in a 409: the
+// coordinator adopts it (via a routing refresh) when the shard is ahead
+// of the routing table, and routes around the replica when it is
+// behind.
+type conflict409 struct {
+	OwnedLo, OwnedHi int64
+	Epoch            uint64
+	Msg              string
+}
+
+func (e *conflict409) Error() string {
+	return fmt.Sprintf("409 conflict: %s (replica owns [%d,%d] at epoch %d)",
+		e.Msg, e.OwnedLo, e.OwnedHi, e.Epoch)
+}
+
 // Response is the coordinator's POST /query body: the merged result
 // plus scatter accounting.
 type Response struct {
 	Columns []string `json:"columns,omitempty"`
 	Rows    [][]any  `json:"rows,omitempty"`
-	// ShardsContacted is how many shards the query's range spanned;
-	// SimulatedSeconds is the slowest shard's simulated time (the
+	// ShardsContacted is how many range slices the query spanned;
+	// SimulatedSeconds is the slowest slice's simulated time (the
 	// scatter phase runs them in parallel).
 	ShardsContacted  int     `json:"shards_contacted"`
 	SimulatedSeconds float64 `json:"simulated_seconds"`
+	// Failovers and Hedged report how much routing-around-failure this
+	// query needed (0/0 on the happy path).
+	Failovers int `json:"failovers,omitempty"`
+	Hedged    int `json:"hedged,omitempty"`
 }
 
 // errResponse is the coordinator's error body. FailedLo/FailedHi name
-// the range slice whose shard failed, so operators (and the CI smoke
-// test) see which part of the domain is down.
+// the range slice whose whole replica group failed, so operators (and
+// the CI smoke test) see which part of the domain is down.
 type errResponse struct {
 	Error    string `json:"error"`
 	Shard    string `json:"shard,omitempty"`
@@ -280,51 +506,88 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	c.heat.record(lo, hi)
 	c.heatMu.Unlock()
 
+	// Scatter, and when a shard answers 409 with a NEWER epoch than the
+	// routing table (the cluster moved on without us — e.g. a coordinator
+	// restart raced a handoff), adopt the true ownership by refreshing
+	// the table from the shards and retry once. The client never sees
+	// the stale-table window.
+	for attempt := 0; ; attempt++ {
+		status, body, refresh := c.scatterOnce(r.Context(), &spec, lo, hi)
+		if refresh && attempt == 0 {
+			if err := c.refreshRouting(r.Context()); err == nil {
+				continue
+			}
+		}
+		if status != http.StatusOK {
+			c.failures.Add(1)
+		}
+		writeJSON(w, status, body)
+		return
+	}
+}
+
+// scatterOnce routes [lo, hi] through the current table and runs the
+// per-slice subqueries in parallel, each with failover and hedging.
+// refresh is true when some replica reported a newer epoch than the
+// routing table — the caller should refresh and retry.
+func (c *Coordinator) scatterOnce(ctx context.Context, spec *server.QuerySpec, lo, hi int64) (int, any, bool) {
 	// Scatter under the routing read-lock: a concurrent handoff waits
 	// for us, so the table we route by stays valid for the whole fan-out.
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	slices := route(c.shards, lo, hi)
 	if len(slices) == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "no shard owns the range (cluster not initialized?)"})
-		return
+		return http.StatusServiceUnavailable, errResponse{Error: "no shard owns the range (cluster not initialized?)"}, false
 	}
 
-	partial := specAggregates(&spec)
-	type shardResult struct {
-		idx  int
-		resp *wireResponse
-		err  error
+	partial := specAggregates(spec)
+	type sliceResult struct {
+		resp      *wireResponse
+		conflict  *conflict409
+		err       error
+		failovers int
+		hedged    int
 	}
-	results := make([]shardResult, len(slices))
+	results := make([]sliceResult, len(slices))
 	var wg sync.WaitGroup
 	for i, sl := range slices {
 		wg.Add(1)
 		go func(i int, sl slice) {
 			defer wg.Done()
 			c.scattered.Add(1)
-			resp, err := c.querySlice(r.Context(), &spec, sl, partial)
-			results[i] = shardResult{idx: i, resp: resp, err: err}
+			r := &results[i]
+			r.resp, r.conflict, r.failovers, r.hedged, r.err =
+				c.queryRange(ctx, spec, sl, c.shards[sl.shard], sl.shard, partial)
 		}(i, sl)
 	}
 	wg.Wait()
 
 	var simMax float64
+	var totalFailovers, totalHedged int
 	rowSets := make([][][]any, len(slices))
 	var cols []string
+	refresh := false
 	for i, res := range results {
-		if res.err != nil {
-			c.failures.Add(1)
+		totalFailovers += res.failovers
+		totalHedged += res.hedged
+		if res.conflict != nil && res.conflict.Epoch > c.shards[slices[i].shard].Epoch {
+			refresh = true
+			continue
+		}
+		if res.err != nil || res.conflict != nil {
 			sh := c.shards[slices[i].shard]
 			flo, fhi := slices[i].lo, slices[i].hi
-			writeJSON(w, http.StatusServiceUnavailable, errResponse{
-				Error: fmt.Sprintf("shard %s serving range [%d,%d] failed: %v",
-					sh.Addr, flo, fhi, res.err),
+			cause := res.err
+			if cause == nil {
+				cause = res.conflict
+			}
+			return http.StatusServiceUnavailable, errResponse{
+				Error: fmt.Sprintf("replica group %s serving range [%d,%d] failed: %v",
+					sh.Addr, flo, fhi, cause),
 				Shard:    sh.Addr,
 				FailedLo: &flo,
 				FailedHi: &fhi,
-			})
-			return
+			}, false
 		}
 		rowSets[i] = res.resp.Rows
 		if res.resp.SimulatedSeconds > simMax {
@@ -333,6 +596,9 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if cols == nil && len(res.resp.Columns) > 0 {
 			cols = res.resp.Columns
 		}
+	}
+	if refresh {
+		return 0, nil, true
 	}
 
 	var outCols []string
@@ -345,16 +611,16 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		outRows, err = ConcatSorted(rowSets)
 	}
 	if err != nil {
-		c.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
-		return
+		return http.StatusInternalServerError, errResponse{Error: err.Error()}, false
 	}
-	writeJSON(w, http.StatusOK, Response{
+	return http.StatusOK, Response{
 		Columns:          outCols,
 		Rows:             outRows,
 		ShardsContacted:  len(slices),
 		SimulatedSeconds: simMax,
-	})
+		Failovers:        totalFailovers,
+		Hedged:           totalHedged,
+	}, false
 }
 
 // specAggregates reports whether the spec's query ends in an
@@ -364,12 +630,57 @@ func specAggregates(spec *server.QuerySpec) bool {
 	return spec.Template != "" || len(spec.Aggs) > 0
 }
 
-// querySlice sends the spec to one shard, clamped to the slice's range
-// and fenced with the shard's routing epoch.
-func (c *Coordinator) querySlice(ctx context.Context, spec *server.QuerySpec, sl slice, partial bool) (*wireResponse, error) {
+// hedgeDelay resolves the current hedge delay: the configured fixed
+// value, or the observed subquery p95 (floored at 1ms). Before enough
+// samples accumulate the delay falls back to RequestTimeout/4 — wide
+// enough that a cold coordinator does not double its own warmup load.
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
+	if c.cfg.HedgeDelay < 0 {
+		return 0, false
+	}
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay, true
+	}
+	p, n := c.lat.p95()
+	if n < 8 {
+		return c.cfg.RequestTimeout / 4, true
+	}
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	return p, true
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	resp     *wireResponse
+	status   int
+	conflict *conflict409
+	err      error
+	addr     string
+	hedge    bool
+	probe    bool
+	took     time.Duration
+}
+
+// retryableStatus reports whether an HTTP status should fail over to
+// another replica: 5xx (replica broken or overloaded behind a proxy)
+// and 429 (replica shedding — a sibling may have capacity).
+func retryableStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// queryRange answers one range slice using the owning replica group:
+// preferred replica first, bounded failover across the rest on
+// connection errors/timeouts/5xx (jittered backoff between retries),
+// one hedged attempt after the hedge delay, circuit breakers
+// short-circuiting known-dead replicas. Returns the response, or the
+// 409 conflict carrying the replicas' claimed ownership, or the last
+// error once the retry budget or the replica set is exhausted.
+func (c *Coordinator) queryRange(ctx context.Context, spec *server.QuerySpec, sl slice, group ShardInfo, gi int, partial bool) (*wireResponse, *conflict409, int, int, error) {
 	sub := *spec
 	sub.Partial = partial
-	sub.Epoch = c.shards[sl.shard].Epoch
+	sub.Epoch = group.Epoch
 	if sub.Template != "" {
 		sub.Lo, sub.Hi = sl.lo, sl.hi
 	} else {
@@ -385,40 +696,395 @@ func (c *Coordinator) querySlice(ctx context.Context, spec *server.QuerySpec, sl
 	}
 	body, err := json.Marshal(&sub)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
+
+	// Candidate replicas in preference order: the group's current
+	// preferred replica first, then the rest in declared order.
+	addrs := append([]string(nil), group.Replicas...)
+	if p := int(c.preferred[gi].Load()); p > 0 && p < len(addrs) {
+		addrs[0], addrs[p] = addrs[p], addrs[0]
+	}
+	maxAttempts := c.cfg.FailoverRetries
+	if maxAttempts <= 0 || maxAttempts > len(addrs) {
+		maxAttempts = len(addrs)
+	}
+
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	results := make(chan attemptResult, len(addrs)+1)
+	tried := make(map[string]bool, len(addrs))
+
+	// pick returns the next untried replica whose breaker admits a
+	// request (marking it tried), or ok=false when none is available.
+	pick := func() (addr string, probe, ok bool) {
+		now := time.Now()
+		for _, a := range addrs {
+			if tried[a] {
+				continue
+			}
+			allow, prb := c.replicas[a].br.Allow(now)
+			if !allow {
+				continue
+			}
+			tried[a] = true
+			return a, prb, true
+		}
+		return "", false, false
+	}
+
+	launch := func(addr string, hedge, probe bool) {
+		c.attempts.Add(1)
+		go func() {
+			start := time.Now()
+			resp, status, conflict, err := c.doAttempt(attemptCtx, addr, body)
+			results <- attemptResult{
+				resp: resp, status: status, conflict: conflict, err: err,
+				addr: addr, hedge: hedge, probe: probe, took: time.Since(start),
+			}
+		}()
+	}
+
+	firstAddr, firstProbe, ok := pick()
+	if !ok {
+		return nil, nil, 0, 0, fmt.Errorf("no live replica for range [%d,%d]: all %d breakers open",
+			sl.lo, sl.hi, len(addrs))
+	}
+	launch(firstAddr, false, firstProbe)
+	inflight := 1
+	attempts := 1
+	failovers, hedged := 0, 0
+
+	var hedgeC <-chan time.Time
+	if delay, hedgeOn := c.hedgeDelay(); hedgeOn && len(addrs) > 1 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastErr error
+	var lastConflict *conflict409
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, nil, failovers, hedged, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if addr, probe, ok := pick(); ok {
+				c.hedges.Add(1)
+				hedged++
+				launch(addr, true, probe)
+				inflight++
+			}
+		case res := <-results:
+			inflight--
+			switch {
+			case res.err == nil && res.status == http.StatusOK:
+				c.replicas[res.addr].br.Success()
+				c.lat.record(res.took)
+				c.notePreferred(gi, group.Replicas, res.addr)
+				if res.hedge {
+					c.hedgeWins.Add(1)
+				}
+				cancelAll()
+				return res.resp, nil, failovers, hedged, nil
+			case res.conflict != nil:
+				// Ownership disagreement, not ill health: no breaker
+				// penalty. A replica AHEAD of our table means the table is
+				// stale — surface it so the caller refreshes. A replica
+				// BEHIND missed a handoff — route around it (the prober
+				// will re-push) by falling through to failover.
+				lastConflict = res.conflict
+				lastErr = res.conflict
+				if res.conflict.Epoch > group.Epoch {
+					cancelAll()
+					return nil, res.conflict, failovers, hedged, nil
+				}
+			case res.err == nil && !retryableStatus(res.status):
+				// A non-retryable client error (400, 405...): every replica
+				// would refuse it identically, so fail now.
+				cancelAll()
+				return nil, nil, failovers, hedged,
+					fmt.Errorf("%s: HTTP %d", res.addr, res.status)
+			default:
+				// Connection error, timeout, 5xx or shed: the replica is
+				// unhealthy — feed its breaker and fail over.
+				c.replicas[res.addr].br.Failure(time.Now())
+				if res.err != nil {
+					lastErr = fmt.Errorf("%s: %w", res.addr, res.err)
+				} else {
+					lastErr = fmt.Errorf("%s: HTTP %d", res.addr, res.status)
+				}
+			}
+			if inflight > 0 {
+				// A hedge (or the first attempt) is still running and may
+				// yet win; wait for it before burning a retry.
+				continue
+			}
+			if attempts >= maxAttempts {
+				if lastConflict != nil && lastErr == lastConflict {
+					return nil, lastConflict, failovers, hedged, nil
+				}
+				return nil, nil, failovers, hedged,
+					fmt.Errorf("range [%d,%d]: %d replica attempts failed, last: %w",
+						sl.lo, sl.hi, attempts, lastErr)
+			}
+			addr, probe, ok := pick()
+			if !ok {
+				return nil, nil, failovers, hedged,
+					fmt.Errorf("range [%d,%d]: no further live replica, last: %w", sl.lo, sl.hi, lastErr)
+			}
+			// Jittered backoff before the retry so a burst of failing
+			// queries does not re-stampede the next replica in lockstep.
+			wait := failoverBackoff(c.rng, c.cfg.FailoverBackoff, failoverBackoffCap, attempts-1)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, nil, failovers, hedged, ctx.Err()
+			}
+			c.failovers.Add(1)
+			failovers++
+			attempts++
+			launch(addr, false, probe)
+			inflight++
+		}
+	}
+}
+
+// notePreferred records the replica that answered, so subsequent
+// queries for the group go straight to a known-healthy replica instead
+// of re-discovering the dead primary through its (cheap but nonzero)
+// breaker check.
+func (c *Coordinator) notePreferred(gi int, replicas []string, addr string) {
+	for i, a := range replicas {
+		if a == addr {
+			c.preferred[gi].Store(int32(i))
+			return
+		}
+	}
+}
+
+// doAttempt runs one HTTP attempt against one replica. 409 bodies are
+// decoded into a conflict409; other bodies into wireResponse.
+func (c *Coordinator) doAttempt(ctx context.Context, addr string, body []byte) (*wireResponse, int, *conflict409, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.shards[sl.shard].Addr+"/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/query", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		var re struct {
+			Error      string `json:"error"`
+			OwnedLo    int64  `json:"owned_lo"`
+			OwnedHi    int64  `json:"owned_hi"`
+			RangeEpoch uint64 `json:"range_epoch"`
+		}
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&re); derr != nil {
+			return nil, resp.StatusCode, nil, fmt.Errorf("decoding 409 body: %w", derr)
+		}
+		return nil, resp.StatusCode, &conflict409{
+			OwnedLo: re.OwnedLo, OwnedHi: re.OwnedHi, Epoch: re.RangeEpoch, Msg: re.Error,
+		}, nil
+	}
 	dec := json.NewDecoder(resp.Body)
 	dec.UseNumber()
 	var wire wireResponse
-	if err := dec.Decode(&wire); err != nil {
-		return nil, fmt.Errorf("decoding response: %w", err)
+	if derr := dec.Decode(&wire); derr != nil {
+		if resp.StatusCode == http.StatusOK {
+			return nil, resp.StatusCode, nil, fmt.Errorf("decoding response: %w", derr)
+		}
+		wire.Error = resp.Status
 	}
 	if resp.StatusCode != http.StatusOK {
-		msg := wire.Error
-		if msg == "" {
-			msg = resp.Status
+		if retryableStatus(resp.StatusCode) {
+			msg := wire.Error
+			if msg == "" {
+				msg = resp.Status
+			}
+			return nil, resp.StatusCode, nil, fmt.Errorf("%s: %s", resp.Status, msg)
 		}
-		return nil, fmt.Errorf("%s: %s", resp.Status, msg)
+		return nil, resp.StatusCode, nil, nil
 	}
-	return &wire, nil
+	return &wire, resp.StatusCode, nil, nil
+}
+
+// refreshRouting rebuilds the routing table from the shards' own
+// claimed ownership (GET /admin/range on each replica, keeping the
+// newest epoch per group) — the recovery path when a 409 proves the
+// table stale. The refreshed table must still tile the domain, or it is
+// rejected and the old one kept.
+func (c *Coordinator) refreshRouting(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshes.Add(1)
+	if len(c.shards) == 0 {
+		return fmt.Errorf("shard: no routing table to refresh")
+	}
+	next := make([]ShardInfo, len(c.shards))
+	copy(next, c.shards)
+	for gi := range next {
+		next[gi].Replicas = append([]string(nil), c.shards[gi].Replicas...)
+		for _, addr := range c.groups[gi] {
+			lo, hi, epoch, err := c.fetchOwnership(ctx, addr)
+			if err != nil || epoch == 0 {
+				continue
+			}
+			if epoch > next[gi].Epoch {
+				next[gi].Lo, next[gi].Hi, next[gi].Epoch = lo, hi, epoch
+			}
+		}
+		if next[gi].Epoch > c.epoch {
+			c.epoch = next[gi].Epoch
+		}
+	}
+	if err := validate(next, c.cfg.DomainLo, c.cfg.DomainHi); err != nil {
+		return fmt.Errorf("shard: refreshed table invalid, keeping old: %w", err)
+	}
+	c.shards = next
+	return nil
+}
+
+// fetchOwnership asks one replica what range and epoch it serves.
+func (c *Coordinator) fetchOwnership(ctx context.Context, addr string) (lo, hi int64, epoch uint64, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/admin/range", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		Lo    int64  `json:"lo"`
+		Hi    int64  `json:"hi"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&rr); err != nil {
+		return 0, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("%s", resp.Status)
+	}
+	return rr.Lo, rr.Hi, rr.Epoch, nil
+}
+
+// probeLoop is the background health prober: every interval it checks
+// each replica's /healthz, feeding the circuit breakers (so a dead
+// replica is discovered before a query pays its timeout, and a revived
+// one is readmitted), and re-pushes current ownership to replicas whose
+// epoch fell behind (they were down during a handoff).
+func (c *Coordinator) probeLoop(interval time.Duration) {
+	defer close(c.proberDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.proberStop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll runs one probe sweep over every replica.
+func (c *Coordinator) probeAll() {
+	type target struct {
+		addr  string
+		gi    int
+		role  string
+		lo    int64
+		hi    int64
+		epoch uint64
+	}
+	var targets []target
+	c.mu.RLock()
+	for gi, sh := range c.shards {
+		for ri, addr := range c.groups[gi] {
+			role := server.RoleFollower
+			if ri == 0 {
+				role = server.RolePrimary
+			}
+			targets = append(targets, target{addr: addr, gi: gi, role: role, lo: sh.Lo, hi: sh.Hi, epoch: sh.Epoch})
+		}
+	}
+	c.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, tg := range targets {
+		wg.Add(1)
+		go func(tg target) {
+			defer wg.Done()
+			c.probeOne(tg.addr, tg.gi, tg.role, tg.lo, tg.hi, tg.epoch)
+		}(tg)
+	}
+	wg.Wait()
+}
+
+// probeTimeout bounds one probe request: short, so a sweep over a dead
+// replica costs the prober (not queries) a bounded wait.
+func (c *Coordinator) probeTimeout() time.Duration {
+	if c.cfg.RequestTimeout < 2*time.Second {
+		return c.cfg.RequestTimeout
+	}
+	return 2 * time.Second
+}
+
+// probeOne checks one replica: /healthz for liveness (feeding its
+// breaker both ways), then /admin/range for epoch lag (re-pushing the
+// current ownership when the replica missed a handoff).
+func (c *Coordinator) probeOne(addr string, gi int, role string, lo, hi int64, epoch uint64) {
+	rs := c.replicas[addr]
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	now := time.Now()
+	if err != nil {
+		rs.br.Failure(now)
+		rs.noteProbe(false, 0, err.Error(), now)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	rs.br.Success()
+
+	ownLo, ownHi, ownEpoch, err := c.fetchOwnership(ctx, addr)
+	if err != nil {
+		rs.noteProbe(true, 0, "", now)
+		return
+	}
+	rs.noteProbe(true, ownEpoch, "", now)
+	if ownEpoch < epoch || ownLo != lo || ownHi != hi {
+		// The replica missed a handoff while it was down: re-push the
+		// current ownership so it stops 409ing its share of the traffic.
+		if perr := c.pushRange(ctx, addr, lo, hi, epoch, role); perr == nil {
+			rs.mu.Lock()
+			rs.repushes++
+			rs.mu.Unlock()
+		}
+	}
+	// If the group's declared primary is healthy again, prefer it.
+	if role == server.RolePrimary && rs.br.State() == breakerClosed {
+		c.preferred[gi].Store(0)
+	}
 }
 
 // healthzResponse is the coordinator's GET /healthz: the routing table
-// with per-shard reachability. Status is "ok" or "degraded" (some shard
-// unreachable or unhealthy).
+// with per-replica reachability and breaker state. Status is "ok" or
+// "degraded" (some replica unreachable, unhealthy, or breaker-open).
 type healthzResponse struct {
 	Status string        `json:"status"`
 	Shards []shardHealth `json:"shards"`
@@ -426,8 +1092,20 @@ type healthzResponse struct {
 
 type shardHealth struct {
 	ShardInfo
+	ReplicaHealth []replicaHealth `json:"replica_health"`
+}
+
+type replicaHealth struct {
+	Addr      string `json:"addr"`
+	Role      string `json:"role"`
+	Breaker   string `json:"breaker"`
 	Reachable bool   `json:"reachable"`
 	Health    string `json:"health,omitempty"`
+	// ProbeEpoch is the ownership epoch the replica last reported to the
+	// prober (0 = never probed); Repushes counts prober-driven handoff
+	// repairs after the replica missed one.
+	ProbeEpoch uint64 `json:"probe_epoch,omitempty"`
+	Repushes   uint64 `json:"repushes,omitempty"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -435,55 +1113,90 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	out := make([]shardHealth, len(shards))
 	var wg sync.WaitGroup
 	for i, sh := range shards {
-		wg.Add(1)
-		go func(i int, sh ShardInfo) {
-			defer wg.Done()
-			out[i] = shardHealth{ShardInfo: sh}
-			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.Addr+"/healthz", nil)
-			if err != nil {
-				return
-			}
-			resp, err := c.client.Do(req)
-			if err != nil {
-				return
-			}
-			defer resp.Body.Close()
-			var hz struct {
-				Status string `json:"status"`
-			}
-			_ = json.NewDecoder(resp.Body).Decode(&hz)
-			out[i].Reachable = true
-			out[i].Health = hz.Status
-		}(i, sh)
+		out[i] = shardHealth{ShardInfo: sh, ReplicaHealth: make([]replicaHealth, len(sh.Replicas))}
+		for j, addr := range sh.Replicas {
+			wg.Add(1)
+			go func(i, j int, addr string, primary bool) {
+				defer wg.Done()
+				rh := replicaHealth{Addr: addr, Role: server.RoleFollower}
+				if primary {
+					rh.Role = server.RolePrimary
+				}
+				if rs := c.replicas[addr]; rs != nil {
+					rh.Breaker = rs.br.State().String()
+					_, _, rh.ProbeEpoch, _, rh.Repushes = rs.probeSnapshot()
+				}
+				ctx, cancel := context.WithTimeout(r.Context(), c.probeTimeout())
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+				if err != nil {
+					out[i].ReplicaHealth[j] = rh
+					return
+				}
+				resp, err := c.client.Do(req)
+				if err != nil {
+					out[i].ReplicaHealth[j] = rh
+					return
+				}
+				defer resp.Body.Close()
+				var hz struct {
+					Status string `json:"status"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&hz)
+				rh.Reachable = true
+				rh.Health = hz.Status
+				out[i].ReplicaHealth[j] = rh
+			}(i, j, addr, j == 0)
+		}
 	}
 	wg.Wait()
 	resp := healthzResponse{Status: "ok", Shards: out}
 	for _, sh := range out {
-		if !sh.Reachable || (sh.Health != "" && sh.Health != "ok") {
-			resp.Status = "degraded"
+		for _, rh := range sh.ReplicaHealth {
+			if !rh.Reachable || rh.Breaker == breakerOpen.String() ||
+				(rh.Health != "" && rh.Health != "ok") {
+				resp.Status = "degraded"
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statzResponse is the coordinator's GET /statz: scatter counters, the
-// routing table, and each shard's share of the observed heat.
+// statzResponse is the coordinator's GET /statz: scatter, failover,
+// hedging and breaker counters, the routing table, and each group's
+// share of the observed heat.
 type statzResponse struct {
-	Queries    uint64       `json:"queries"`
-	Scattered  uint64       `json:"scattered"`
-	Failures   uint64       `json:"failures"`
-	Rebalances uint64       `json:"rebalances"`
-	Shards     []shardStatz `json:"shards"`
+	Queries    uint64 `json:"queries"`
+	Scattered  uint64 `json:"scattered"`
+	Attempts   uint64 `json:"attempts"`
+	Failures   uint64 `json:"failures"`
+	Rebalances uint64 `json:"rebalances"`
+	// Failovers counts retries that moved to a different replica;
+	// Hedges/HedgeWins count hedged subqueries fired and hedges that
+	// beat the first attempt; Refreshes counts 409-driven routing-table
+	// rebuilds.
+	Failovers uint64 `json:"failovers"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	Refreshes uint64 `json:"refreshes"`
+	// Breaker aggregates across every replica.
+	BreakerOpens         uint64 `json:"breaker_opens"`
+	BreakerShortCircuits uint64 `json:"breaker_short_circuits"`
+	BreakerProbes        uint64 `json:"breaker_probes"`
+	// HedgeDelayMillis is the delay a hedge fired right now would use
+	// (0 when hedging is disabled).
+	HedgeDelayMillis float64      `json:"hedge_delay_millis"`
+	Shards           []shardStatz `json:"shards"`
 }
 
 type shardStatz struct {
 	ShardInfo
-	// HeatShare is the fraction of recorded heat inside the shard's
+	// HeatShare is the fraction of recorded heat inside the group's
 	// range — the skew signal Rebalance acts on (1/n everywhere when
 	// the workload is uniform).
 	HeatShare float64 `json:"heat_share"`
+	// Breakers maps each replica to its current breaker state.
+	Breakers map[string]string `json:"breakers,omitempty"`
 }
 
 func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -491,8 +1204,22 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
 	resp := statzResponse{
 		Queries:    c.queries.Load(),
 		Scattered:  c.scattered.Load(),
+		Attempts:   c.attempts.Load(),
 		Failures:   c.failures.Load(),
 		Rebalances: c.rebalances.Load(),
+		Failovers:  c.failovers.Load(),
+		Hedges:     c.hedges.Load(),
+		HedgeWins:  c.hedgeWins.Load(),
+		Refreshes:  c.refreshes.Load(),
+	}
+	for _, rs := range c.replicas {
+		opens, shorts, probes := rs.br.Counters()
+		resp.BreakerOpens += opens
+		resp.BreakerShortCircuits += shorts
+		resp.BreakerProbes += probes
+	}
+	if d, on := c.hedgeDelay(); on {
+		resp.HedgeDelayMillis = float64(d) / float64(time.Millisecond)
 	}
 	c.heatMu.Lock()
 	var total uint64
@@ -509,9 +1236,14 @@ func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	c.heatMu.Unlock()
 	for i, sh := range shards {
-		st := shardStatz{ShardInfo: sh}
+		st := shardStatz{ShardInfo: sh, Breakers: make(map[string]string, len(sh.Replicas))}
 		if total > 0 {
 			st.HeatShare = float64(perShard[i]) / float64(total)
+		}
+		for _, addr := range sh.Replicas {
+			if rs := c.replicas[addr]; rs != nil {
+				st.Breakers[addr] = rs.br.State().String()
+			}
 		}
 		resp.Shards = append(resp.Shards, st)
 	}
@@ -525,7 +1257,7 @@ func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
 		return
 	}
-	moved, err := c.Rebalance()
+	moved, err := c.Rebalance(r.Context())
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
 		return

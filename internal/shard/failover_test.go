@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/leakcheck"
+	"deepsea/internal/server"
+	"deepsea/internal/workload"
+)
+
+// newReplicatedCluster boots k replica groups of r shard servers each
+// (every server a full System over the same dataset) behind a
+// coordinator. mut, when non-nil, tweaks the coordinator config before
+// New. Returns the coordinator and the backends as groups[gi][ri].
+func newReplicatedCluster(t *testing.T, k, r int, mut func(*Config)) (*Coordinator, [][]*httptest.Server) {
+	t.Helper()
+	clusterDataOnce.Do(func() { clusterData = workload.Generate(1, 1, nil) })
+	groups := make([][]*httptest.Server, k)
+	addrGroups := make([][]string, k)
+	for gi := 0; gi < k; gi++ {
+		for ri := 0; ri < r; ri++ {
+			sys := deepsea.New()
+			if err := workload.Load(sys, clusterData); err != nil {
+				t.Fatal(err)
+			}
+			srv := server.New(sys, server.Config{MaxInFlight: 4})
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			groups[gi] = append(groups[gi], ts)
+			addrGroups[gi] = append(addrGroups[gi], ts.URL)
+		}
+	}
+	cfg := Config{
+		Groups:         addrGroups,
+		DomainLo:       workload.ItemSkLo,
+		DomainHi:       workload.ItemSkHi,
+		RequestTimeout: 30 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return c, groups
+}
+
+func spanningSpec() string {
+	return fmt.Sprintf(`{"template":"Q1","lo":%d,"hi":%d}`, workload.ItemSkLo, workload.ItemSkHi)
+}
+
+// TestReplicatedInitPushesRoles verifies a handoff reaches every
+// replica of a group, assigning primary/follower roles.
+func TestReplicatedInitPushesRoles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 2, nil)
+	for gi, sh := range c.Shards() {
+		if len(sh.Replicas) != 2 {
+			t.Fatalf("group %d routing entry has %d replicas, want 2", gi, len(sh.Replicas))
+		}
+		for ri, ts := range groups[gi] {
+			resp, err := http.Get(ts.URL + "/admin/range")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rr struct {
+				Lo    int64  `json:"lo"`
+				Hi    int64  `json:"hi"`
+				Epoch uint64 `json:"epoch"`
+				Role  string `json:"role"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if rr.Lo != sh.Lo || rr.Hi != sh.Hi || rr.Epoch != sh.Epoch {
+				t.Fatalf("group %d replica %d owns [%d,%d]@%d, want [%d,%d]@%d",
+					gi, ri, rr.Lo, rr.Hi, rr.Epoch, sh.Lo, sh.Hi, sh.Epoch)
+			}
+			want := server.RoleFollower
+			if ri == 0 {
+				want = server.RolePrimary
+			}
+			if rr.Role != want {
+				t.Fatalf("group %d replica %d role %q, want %q", gi, ri, rr.Role, want)
+			}
+		}
+	}
+}
+
+// TestFailoverToFollower is the tentpole availability claim in process:
+// with the primary of one group dead, a spanning query still succeeds —
+// answered by the follower — and the merged bytes are identical to the
+// healthy run's.
+func TestFailoverToFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 2, func(cfg *Config) {
+		cfg.HedgeDelay = -1 // isolate failover from hedging
+	})
+
+	resp, healthy, eresp := coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy query: status %d: %s", resp.StatusCode, eresp.Error)
+	}
+	want := fingerprint(t, healthy.Columns, healthy.Rows)
+
+	groups[0][0].Close() // kill group 0's primary
+
+	resp, out, eresp := coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query with dead primary: status %d: %s", resp.StatusCode, eresp.Error)
+	}
+	if out.Failovers < 1 {
+		t.Fatalf("response reports %d failovers, want ≥1", out.Failovers)
+	}
+	if got := fingerprint(t, out.Columns, out.Rows); got != want {
+		t.Fatalf("failover result diverges from healthy run:\n got %s\nwant %s", got, want)
+	}
+	if c.failovers.Load() == 0 {
+		t.Fatal("coordinator failover counter did not move")
+	}
+
+	// Preference learning: the follower answered, so the next query goes
+	// straight to it — no failover, no error-path cost.
+	resp, out, eresp = coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: status %d: %s", resp.StatusCode, eresp.Error)
+	}
+	if out.Failovers != 0 {
+		t.Fatalf("second query still paid %d failovers; preferred replica not updated", out.Failovers)
+	}
+}
+
+// TestAllReplicasDeadFailsNamingRange kills a whole group and checks the
+// coordinator still fails fast with a 503 naming the dead range.
+func TestAllReplicasDeadFailsNamingRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 2, func(cfg *Config) {
+		cfg.HedgeDelay = -1
+	})
+	dead := c.Shards()[1]
+	groups[1][0].Close()
+	groups[1][1].Close()
+
+	start := time.Now()
+	resp, _, eresp := coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if eresp.FailedLo == nil || eresp.FailedHi == nil ||
+		*eresp.FailedLo != dead.Lo || *eresp.FailedHi != dead.Hi {
+		t.Fatalf("503 does not name the dead range [%d,%d]: %+v", dead.Lo, dead.Hi, eresp)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("dead-group failure took %v; want prompt connection-refused failover", took)
+	}
+}
+
+// TestHedgedRequestWinsOverStraggler injects a long straggler latency on
+// the primary only and checks the hedge fires, the follower's answer
+// wins well before the straggler would have finished, and the losing
+// attempt is cancelled (leakcheck).
+func TestHedgedRequestWinsOverStraggler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	var ct *ChaosTransport
+	c, _ := newReplicatedCluster(t, 1, 2, func(cfg *Config) {
+		u, err := url.Parse(cfg.Groups[0][0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct = &ChaosTransport{
+			Seed:        3,
+			LatencyProb: 1,
+			Latency:     20 * time.Second,
+			Hosts:       map[string]bool{u.Host: true},
+		}
+		ct.SetArmed(false) // keep Init's handoff pushes clean
+		cfg.HedgeDelay = 50 * time.Millisecond
+		cfg.Transport = ct
+	})
+	ct.SetArmed(true)
+
+	start := time.Now()
+	resp, out, eresp := coordQuery(t, c, spanningSpec())
+	took := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, eresp.Error)
+	}
+	if out.Hedged < 1 {
+		t.Fatalf("response reports %d hedges, want ≥1", out.Hedged)
+	}
+	if took > 10*time.Second {
+		t.Fatalf("hedged query took %v; the straggler latency leaked into the critical path", took)
+	}
+	if c.hedgeWins.Load() == 0 {
+		t.Fatal("hedge win counter did not move")
+	}
+	// Init's pushes also traverse the chaos transport, but the handoff
+	// POSTs are admin traffic; only the query path should have hedged.
+	if c.hedges.Load() != uint64(out.Hedged) {
+		t.Fatalf("coordinator hedges %d != response hedges %d", c.hedges.Load(), out.Hedged)
+	}
+}
+
+// TestBreakerBoundsDeadReplicaCost pins the breaker's purpose: after it
+// opens on a dead primary, queries forced back onto that group stop
+// paying per-query detection — the dead replica is skipped outright
+// (short-circuits move, failovers stop).
+func TestBreakerBoundsDeadReplicaCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 1, 2, func(cfg *Config) {
+		cfg.HedgeDelay = -1
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = time.Hour // no half-open probe mid-test
+	})
+	groups[0][0].Close()
+	primary := c.Shards()[0].Replicas[0]
+
+	runOne := func() Response {
+		t.Helper()
+		// Pin preference back onto the dead primary so every query pays —
+		// or is saved from — the detection cost, isolating the breaker
+		// from preference learning.
+		c.preferred[0].Store(0)
+		resp, out, eresp := coordQuery(t, c, spanningSpec())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, eresp.Error)
+		}
+		return out
+	}
+
+	for i := 0; i < 3; i++ {
+		if out := runOne(); out.Failovers < 1 {
+			t.Fatalf("pre-trip query %d reported %d failovers, want ≥1", i, out.Failovers)
+		}
+	}
+	if st := c.replicas[primary].br.State(); st != breakerOpen {
+		t.Fatalf("breaker state %v after %d consecutive failures, want open", st, 3)
+	}
+	// With the breaker open, the dead primary is skipped without a
+	// network attempt: no failover retries, no connection errors.
+	for i := 0; i < 3; i++ {
+		if out := runOne(); out.Failovers != 0 {
+			t.Fatalf("post-trip query %d still paid %d failovers", i, out.Failovers)
+		}
+	}
+	opens, shorts, _ := c.replicas[primary].br.Counters()
+	if opens < 1 || shorts < 3 {
+		t.Fatalf("breaker counters opens=%d shortCircuits=%d, want ≥1, ≥3", opens, shorts)
+	}
+}
+
+// TestProberRevivesReplica checks the background prober readmits a
+// healthy replica: successful probes close its breaker even when the
+// query path never touches it (breaker cooldown set far past the test).
+func TestProberRevivesReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, _ := newReplicatedCluster(t, 1, 2, func(cfg *Config) {
+		cfg.ProbeInterval = 25 * time.Millisecond
+		cfg.BreakerCooldown = time.Hour // only the prober may close it
+	})
+	follower := c.Shards()[0].Replicas[1]
+
+	// Trip the live follower's breaker by hand (as if it had flapped),
+	// then verify the prober's successful /healthz probes close it.
+	for i := 0; i < 10; i++ {
+		c.replicas[follower].br.Failure(time.Now())
+	}
+	if st := c.replicas[follower].br.State(); st != breakerOpen {
+		t.Fatalf("setup: breaker %v, want open", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.replicas[follower].br.State() == breakerClosed {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := c.replicas[follower].br.State(); st != breakerClosed {
+		t.Fatalf("prober did not close the healthy replica's breaker (state %v)", st)
+	}
+	// And the probe observation reached the replica's bookkeeping.
+	probed, ok, epoch, _, _ := c.replicas[follower].probeSnapshot()
+	if !probed || !ok || epoch != c.Shards()[0].Epoch {
+		t.Fatalf("probe snapshot = (probed %v, ok %v, epoch %d), want (true, true, %d)",
+			probed, ok, epoch, c.Shards()[0].Epoch)
+	}
+}
+
+// TestCoordinatorAdoptsTrueOwnershipOn409 is the stale-epoch recovery
+// path (satellite): the cluster moves on without the coordinator (a
+// handoff it never saw), a scattered subquery draws a 409 carrying the
+// true ownership, and the coordinator refreshes its routing table from
+// the shards and retries — the client sees one clean 200, never the
+// stale window.
+func TestCoordinatorAdoptsTrueOwnershipOn409(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 1, func(cfg *Config) {
+		cfg.HedgeDelay = -1
+	})
+	old := c.Shards()
+	if len(old) != 2 {
+		t.Fatalf("%d groups, want 2", len(old))
+	}
+
+	// Move the boundary behind the coordinator's back: push both shards
+	// new ranges at epochs far beyond the routing table's.
+	mid := old[0].Hi - (old[0].Hi-old[0].Lo)/3
+	push := func(url string, lo, hi int64, epoch uint64) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{"lo": lo, "hi": hi, "epoch": epoch})
+		resp, err := http.Post(url+"/admin/range", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("direct push to %s: HTTP %d", url, resp.StatusCode)
+		}
+	}
+	push(groups[0][0].URL, old[0].Lo, mid, old[0].Epoch+10)
+	push(groups[1][0].URL, mid+1, old[1].Hi, old[1].Epoch+10)
+
+	// The very next spanning query must succeed without a client-visible
+	// error: 409 → refresh → retry happens inside the coordinator.
+	resp, out, eresp := coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query across stale table: status %d: %s", resp.StatusCode, eresp.Error)
+	}
+	if len(out.Rows) == 0 {
+		t.Fatal("query across stale table returned no rows")
+	}
+	if c.refreshes.Load() == 0 {
+		t.Fatal("routing refresh counter did not move")
+	}
+
+	// The adopted table reflects the true ownership.
+	fresh := c.Shards()
+	if fresh[0].Hi != mid || fresh[1].Lo != mid+1 {
+		t.Fatalf("routing table not adopted: group0 [%d,%d], group1 [%d,%d]; want split at %d",
+			fresh[0].Lo, fresh[0].Hi, fresh[1].Lo, fresh[1].Hi, mid)
+	}
+	if fresh[0].Epoch != old[0].Epoch+10 || fresh[1].Epoch != old[1].Epoch+10 {
+		t.Fatalf("epochs not adopted: %d, %d", fresh[0].Epoch, fresh[1].Epoch)
+	}
+
+	// And the result matches a clean run over the adopted table.
+	resp2, out2, _ := coordQuery(t, c, spanningSpec())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-adoption query: status %d", resp2.StatusCode)
+	}
+	if fingerprint(t, out.Columns, out.Rows) != fingerprint(t, out2.Columns, out2.Rows) {
+		t.Fatal("result answered during adoption differs from post-adoption result")
+	}
+}
+
+// TestHealthzReportsBreakerState checks the operational surface: a dead
+// replica shows up on /healthz as unreachable with its breaker state,
+// and the coordinator degrades instead of lying.
+func TestHealthzReportsBreakerState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 2, func(cfg *Config) {
+		cfg.HedgeDelay = -1
+	})
+	groups[0][0].Close()
+	// A couple of queries to trip detection.
+	for i := 0; i < 3; i++ {
+		c.preferred[0].Store(0)
+		coordQuery(t, c, spanningSpec())
+	}
+
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "degraded" {
+		t.Fatalf("healthz status %q with a dead replica, want degraded", hz.Status)
+	}
+	var sawDead bool
+	for _, sh := range hz.Shards {
+		for _, rh := range sh.ReplicaHealth {
+			if !rh.Reachable {
+				sawDead = true
+			}
+		}
+	}
+	if !sawDead {
+		t.Fatal("healthz does not mark the dead replica unreachable")
+	}
+
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sz statzResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.Failovers == 0 {
+		t.Fatal("statz failovers counter is zero after routing around a dead replica")
+	}
+	if sz.BreakerOpens == 0 {
+		t.Fatal("statz breaker_opens is zero after a replica died")
+	}
+}

@@ -10,10 +10,17 @@ import (
 // that assigned it. Shards jointly cover the domain with no gaps or
 // overlaps.
 type ShardInfo struct {
-	Addr  string `json:"addr"`
-	Lo    int64  `json:"lo"`
-	Hi    int64  `json:"hi"`
-	Epoch uint64 `json:"epoch"`
+	// Addr is the group's primary replica — the label used in routing
+	// errors and the first-choice target for the group's subqueries.
+	Addr string `json:"addr"`
+	// Replicas is the full replica group (Addr first). Any live replica
+	// can answer for the range: base tables are static and fully
+	// replicated, and partial aggregation keeps merged bytes identical
+	// regardless of which replica answered. Empty means {Addr}.
+	Replicas []string `json:"replicas,omitempty"`
+	Lo       int64    `json:"lo"`
+	Hi       int64    `json:"hi"`
+	Epoch    uint64   `json:"epoch"`
 }
 
 // slice is one shard's portion of a routed query: the owning shard's

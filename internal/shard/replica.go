@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// replicaState is the coordinator's per-replica bookkeeping: the
+// circuit breaker plus the last probe observation. Replica membership
+// is static for the life of a coordinator (ranges move between groups;
+// replicas do not move between groups), so the map of replicaStates is
+// built once at New and read without locking.
+type replicaState struct {
+	addr string
+	br   *breaker
+
+	mu          sync.Mutex
+	probed      bool      // a probe has run at least once
+	probeOK     bool      // last probe outcome
+	probeAt     time.Time // when
+	probeEpoch  uint64    // epoch the replica reported owning (0 = none)
+	repushes    uint64    // stale-epoch re-pushes the prober performed
+	probeErrStr string    // last probe failure, for healthz
+}
+
+func (r *replicaState) noteProbe(ok bool, epoch uint64, errStr string, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probed = true
+	r.probeOK = ok
+	r.probeAt = now
+	r.probeEpoch = epoch
+	r.probeErrStr = errStr
+}
+
+func (r *replicaState) probeSnapshot() (probed, ok bool, epoch uint64, errStr string, repushes uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.probed, r.probeOK, r.probeEpoch, r.probeErrStr, r.repushes
+}
+
+// latencyRing keeps the most recent successful subquery latencies so
+// the hedge delay can track the cluster's p95. Bounded and cheap: 128
+// samples, sorted on demand (the hedge decision is per range subquery,
+// not per row).
+const latencySamples = 128
+
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	n       int // total recorded (ring position = n % latencySamples)
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.n%latencySamples] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile recorded latency and how many samples
+// back it. With fewer than minSamples the caller should fall back to a
+// configured default — early traffic is too thin to derive a delay from.
+func (l *latencyRing) p95() (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	if n > latencySamples {
+		n = latencySamples
+	}
+	s := make([]time.Duration, n)
+	copy(s, l.samples[:n])
+	total := l.n
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(n*95)/100], total
+}
+
+// backoff returns the jittered failover backoff for the given retry
+// attempt (0-based): base·2^attempt, capped, with ±50% jitter — enough
+// spread that a burst of queries failing over together does not
+// re-stampede the next replica in lockstep.
+func failoverBackoff(rng *lockedRand, base, cap time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
+}
+
+// lockedRand is a mutex-guarded rand.Rand: jitter draws come from every
+// scatter goroutine.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -296,7 +297,7 @@ func newCluster(t *testing.T, k int) (*Coordinator, []*httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Init(); err != nil {
+	if err := c.Init(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return c, servers
@@ -437,7 +438,7 @@ func TestRebalanceMovesHotBoundary(t *testing.T) {
 		c.heatMu.Unlock()
 	}
 	oldShards := c.Shards()
-	moved, err := c.Rebalance()
+	moved, err := c.Rebalance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -149,7 +150,7 @@ func TestShardClusterSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := coord.Init(); err != nil {
+	if err := coord.Init(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	front := httptest.NewServer(coord.Handler())
@@ -234,5 +235,112 @@ func TestShardClusterSmoke(t *testing.T) {
 		if got == "" {
 			t.Errorf("surviving shard %s returned an empty result", sh.Addr)
 		}
+	}
+}
+
+// TestReplicatedClusterSmoke is the replicated CI acceptance test: two
+// replica groups of two real shard subprocesses each, a healthy burst
+// collecting per-query reference bytes, then kill -9 of one group's
+// primary MID-burst — and the rest of the burst must see zero
+// client-visible failures with byte-identical results, the coordinator
+// failing over to the surviving follower.
+func TestReplicatedClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+
+	// Four real OS processes: groups[g][r].
+	cmds := make([]*exec.Cmd, 4)
+	addrs := make([]string, 4)
+	for i := range cmds {
+		cmds[i], addrs[i] = startShardProcess(t, dir, i)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.ProcessState == nil {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}
+		}
+	})
+
+	coord, err := New(Config{
+		Groups:         [][]string{{addrs[0], addrs[1]}, {addrs[2], addrs[3]}},
+		DomainLo:       workload.ItemSkLo,
+		DomainHi:       workload.ItemSkHi,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+
+	// The burst: single-group ranges, spanning ranges and the full
+	// domain, across two templates.
+	var specs []string
+	trace := workload.MixedTrace(12, 2, workload.Q1, 0.1, 11)
+	for i, tq := range trace {
+		tpl := tq.Template
+		if i%3 == 1 {
+			tpl = workload.Q16
+		}
+		specs = append(specs, fmt.Sprintf(`{"template":%q,"lo":%d,"hi":%d}`, tpl, tq.Lo, tq.Hi))
+	}
+	specs = append(specs, fmt.Sprintf(`{"template":"Q1","lo":%d,"hi":%d}`,
+		workload.ItemSkLo, workload.ItemSkHi))
+
+	// Healthy pass: collect the per-query reference bytes.
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		status, got, e := smokePost(t, front.URL, spec)
+		if status != http.StatusOK {
+			t.Fatalf("healthy query %d (%s): HTTP %d: %s", i, spec, status, e.Error)
+		}
+		want[i] = got
+	}
+
+	// Failure pass: kill -9 group 0's primary after the first query, then
+	// keep going. Every query must still succeed, byte-identically.
+	killed := false
+	for i, spec := range specs {
+		if i == 1 && !killed {
+			if err := cmds[0].Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL replica 0: %v", err)
+			}
+			_ = cmds[0].Wait()
+			cmds[0] = nil
+			killed = true
+		}
+		status, got, e := smokePost(t, front.URL, spec)
+		if status != http.StatusOK {
+			t.Fatalf("mid-burst query %d (%s) after primary kill: HTTP %d: %s — client-visible failure",
+				i, spec, status, e.Error)
+		}
+		if got != want[i] {
+			t.Errorf("query %d (%s): result with dead primary diverges from healthy reference:\n got %s\nwant %s",
+				i, spec, got, want[i])
+		}
+	}
+	if coord.failovers.Load() == 0 {
+		t.Error("no failover recorded despite a dead primary — the kill did not exercise the path")
+	}
+
+	// The coordinator's health surface reflects the loss.
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "degraded" {
+		t.Errorf("healthz status %q with a dead replica, want degraded", hz.Status)
 	}
 }

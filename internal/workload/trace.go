@@ -68,6 +68,29 @@ func HotspotTrace(n int, t Template, selectivity float64, center float64, seed i
 	return out
 }
 
+// SpanningTrace generates n queries that each cover (nearly) the whole
+// domain: every query scatters to every shard of any cluster. The
+// worst-case fan-out workload — exactly what failover and hedging
+// experiments need, since every query touches the failing replica
+// group. Selectivity trims a random sliver off each end so queries are
+// not all literally identical (they still span all even boundaries for
+// any k up to ~1/selectivity).
+func SpanningTrace(n int, t Template, selectivity float64, seed int64) []TraceQuery {
+	rng := rand.New(rand.NewSource(seed))
+	dom := ItemSkDomain()
+	trim := int64(selectivity * float64(dom.Len()))
+	if trim < 1 {
+		trim = 1
+	}
+	out := make([]TraceQuery, n)
+	for i := 0; i < n; i++ {
+		lo := dom.Lo + rng.Int63n(trim)
+		hi := dom.Hi - rng.Int63n(trim)
+		out[i] = TraceQuery{Template: t, Lo: lo, Hi: hi}
+	}
+	return out
+}
+
 // MixedTrace interleaves single-shard and spanning work: a DisjointTrace
 // backbone with every fourth query replaced by a uniform (potentially
 // boundary-crossing) range — the CI smoke workload, exercising both the

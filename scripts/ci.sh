@@ -20,20 +20,26 @@
 #       installs it; local runs skip it with a note — and a workflow
 #       warning annotation — rather than demanding the tool)
 #    9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
-#       persistspeed + maintspeed + shardspeed at short scale with JSON
-#       reports (the maintspeed run also captures CPU and mutex profiles
-#       as artifacts), then a benchcheck preflight (every *speed
-#       experiment must have registered floors) and benchcheck gating
-#       the host-independent metrics (determinism, cache hit rate, pool
-#       mutations, fault-plumbing overhead, load-shed/coalescing
-#       behavior, journal overhead and warm-restart fidelity,
-#       background-maintenance equivalence and task accounting,
-#       cross-shard merge identity and rebalance behavior)
+#       persistspeed + maintspeed + shardspeed + failspeed at short
+#       scale with JSON reports (the maintspeed run also captures CPU
+#       and mutex profiles as artifacts), then a benchcheck preflight
+#       (every *speed experiment must have registered floors) and
+#       benchcheck gating the host-independent metrics (determinism,
+#       cache hit rate, pool mutations, fault-plumbing overhead,
+#       load-shed/coalescing behavior, journal overhead and
+#       warm-restart fidelity, background-maintenance equivalence and
+#       task accounting, cross-shard merge identity and rebalance
+#       behavior, replica-failure invisibility, hedging and breaker
+#       bounds)
 #   10. sharded-cluster smoke — the full scatter-gather suite plus the
-#       multi-process chaos test under the race detector: a coordinator
+#       multi-process chaos tests under the race detector: a coordinator
 #       over three real shard subprocesses answers byte-identically to
 #       one shard, survives a kill -9 of one shard, and fails queries
-#       for the dead range with a 503 naming it
+#       for the dead range with a 503 naming it; a replicated cluster
+#       (two groups x two replicas as subprocesses) absorbs a kill -9 of
+#       a primary mid-burst with zero client-visible failures and
+#       byte-identical results; and the failover/hedging/breaker suite
+#       (with its goroutine-leak checks) re-runs fresh
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -113,6 +119,7 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment maintspeed -params short -json \
     -cpuprofile maintspeed.cpu.pprof -mutexprofile maintspeed.mutex.pprof)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment shardspeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment failspeed -params short -json)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" -preflight
@@ -120,6 +127,7 @@ echo "==> benchcheck"
 
 echo "==> sharded-cluster smoke (race)"
 $GO test -race ./internal/shard
-$GO test -race -count=1 -run 'TestShardClusterSmoke' ./internal/shard
+$GO test -race -count=1 -run 'TestShardClusterSmoke|TestReplicatedClusterSmoke' ./internal/shard
+$GO test -race -count=1 -run 'TestFailover|TestHedged|TestBreaker|TestProber|TestCoordinatorAdoptsTrueOwnershipOn409' ./internal/shard
 
 echo "==> ci passed"
