@@ -42,14 +42,22 @@ func (s breakerState) String() string {
 //	open --(cooldown elapsed, next Allow)--> half-open (that caller probes)
 //	half-open --(probe succeeds)--> closed
 //	half-open --(probe fails)--> open (cooldown restarts)
+//	half-open --(probe abandoned, or outcome lost for a cooldown)--> re-probe
+//
+// The last transition is the liveness guarantee: a probe whose outcome
+// never arrives (the attempt carrying it was discarded — a hedge winner
+// cancelled it, the caller's context died) must not exclude the replica
+// forever, so Abandon releases it explicitly and Allow treats a probe
+// older than the cooldown as lost and admits a fresh one.
 type breaker struct {
-	mu        sync.Mutex
-	state     breakerState
-	fails     int       // consecutive failures while closed
-	openedAt  time.Time // when the breaker last tripped
-	probing   bool      // half-open: a probe request is in flight
-	threshold int
-	cooldown  time.Duration
+	mu         sync.Mutex
+	state      breakerState
+	fails      int       // consecutive failures while closed
+	openedAt   time.Time // when the breaker last tripped
+	probing    bool      // half-open: a probe request is in flight
+	probeStart time.Time // when the in-flight probe was admitted
+	threshold  int
+	cooldown   time.Duration
 
 	// Counters, read by the coordinator's statz.
 	opens         uint64 // closed/half-open -> open transitions
@@ -63,8 +71,9 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 
 // Allow reports whether a request may be sent to the replica now.
 // probe is true when the request is the half-open trial: the caller
-// MUST report its outcome via Success or Failure, or the breaker stays
-// half-open until another Allow re-probes after the cooldown.
+// should report its outcome via Success, Failure or Abandon, or the
+// breaker stays half-open until another Allow re-probes after the
+// cooldown.
 func (b *breaker) Allow(now time.Time) (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -77,19 +86,41 @@ func (b *breaker) Allow(now time.Time) (ok, probe bool) {
 			return false, false
 		}
 		b.state = breakerHalfOpen
-		b.probing = true
-		b.probes++
+		b.startProbe(now)
 		return true, true
 	case breakerHalfOpen:
-		if b.probing {
+		if b.probing && now.Sub(b.probeStart) < b.cooldown {
 			b.shortCircuits++
 			return false, false
 		}
-		b.probing = true
-		b.probes++
+		// No probe in flight, or the in-flight probe is older than the
+		// cooldown — its outcome was evidently lost. Treat it as
+		// abandoned and admit a fresh probe rather than excluding the
+		// replica forever.
+		b.startProbe(now)
 		return true, true
 	}
 	return false, false
+}
+
+// startProbe admits a half-open trial request. Caller holds mu.
+func (b *breaker) startProbe(now time.Time) {
+	b.probing = true
+	b.probeStart = now
+	b.probes++
+}
+
+// Abandon releases a half-open probe without judging the replica: the
+// attempt carrying it was cancelled before producing evidence (e.g. a
+// sibling hedge already won the range). The breaker stays half-open
+// and the next Allow re-probes immediately instead of waiting out the
+// lost-probe cooldown.
+func (b *breaker) Abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
 }
 
 // Success records a successful request: it closes a half-open breaker

@@ -78,6 +78,54 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerLostProbeReprobes pins the liveness guarantee: a probe
+// whose outcome never arrives (the attempt carrying it was discarded
+// without reporting) must not exclude the replica forever — after a
+// further cooldown the breaker treats it as lost and re-probes.
+func TestBreakerLostProbeReprobes(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	now := time.Unix(3000, 0)
+	b.Failure(now) // trip
+
+	probeAt := now.Add(2 * time.Minute)
+	if ok, probe := b.Allow(probeAt); !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v,%v), want (true,true)", ok, probe)
+	}
+	// The probe's outcome is lost. While it is fresh: short-circuit.
+	if ok, _ := b.Allow(probeAt.Add(30 * time.Second)); ok {
+		t.Fatal("half-open breaker admitted a request while the probe is fresh")
+	}
+	// A cooldown later the lost probe is abandoned and a new one admitted.
+	ok, probe := b.Allow(probeAt.Add(2 * time.Minute))
+	if !ok || !probe {
+		t.Fatalf("lost probe permanently excluded the replica: Allow = (%v,%v)", ok, probe)
+	}
+	b.Success()
+	if s := b.State(); s != breakerClosed {
+		t.Fatalf("after successful re-probe: state %v, want closed", s)
+	}
+}
+
+// TestBreakerAbandonReleasesProbe: Abandon clears the in-flight probe
+// without judging the replica, so the next Allow re-probes immediately
+// instead of waiting out the lost-probe cooldown.
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	now := time.Unix(4000, 0)
+	b.Failure(now)
+	later := now.Add(2 * time.Minute)
+	if ok, probe := b.Allow(later); !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v,%v), want (true,true)", ok, probe)
+	}
+	b.Abandon()
+	if s := b.State(); s != breakerHalfOpen {
+		t.Fatalf("Abandon changed state to %v, want half-open", s)
+	}
+	if ok, probe := b.Allow(later.Add(time.Second)); !ok || !probe {
+		t.Fatalf("abandoned probe did not release the half-open slot: Allow = (%v,%v)", ok, probe)
+	}
+}
+
 // TestBreakerOpenFailureIsInert verifies straggling failures arriving
 // after the trip neither extend the cooldown nor double-count opens.
 func TestBreakerOpenFailureIsInert(t *testing.T) {

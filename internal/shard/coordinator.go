@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -510,12 +511,17 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// routing table (the cluster moved on without us — e.g. a coordinator
 	// restart raced a handoff), adopt the true ownership by refreshing
 	// the table from the shards and retry once. The client never sees
-	// the stale-table window.
+	// the stale-table window. When the refresh fails or the retry draws
+	// another stale 409, the 503 body scatterOnce built rides through —
+	// the client gets a real error response, never an aborted connection.
 	for attempt := 0; ; attempt++ {
 		status, body, refresh := c.scatterOnce(r.Context(), &spec, lo, hi)
 		if refresh && attempt == 0 {
 			if err := c.refreshRouting(r.Context()); err == nil {
 				continue
+			} else if er, ok := body.(errResponse); ok {
+				er.Error += "; routing refresh failed: " + err.Error()
+				body = er
 			}
 		}
 		if status != http.StatusOK {
@@ -529,7 +535,9 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 // scatterOnce routes [lo, hi] through the current table and runs the
 // per-slice subqueries in parallel, each with failover and hedging.
 // refresh is true when some replica reported a newer epoch than the
-// routing table — the caller should refresh and retry.
+// routing table — the caller should refresh and retry, and the
+// returned status/body are a ready-to-write 503 naming the conflict in
+// case the caller's refresh-retry budget is spent.
 func (c *Coordinator) scatterOnce(ctx context.Context, spec *server.QuerySpec, lo, hi int64) (int, any, bool) {
 	// Scatter under the routing read-lock: a concurrent handoff waits
 	// for us, so the table we route by stays valid for the whole fan-out.
@@ -567,11 +575,14 @@ func (c *Coordinator) scatterOnce(ctx context.Context, spec *server.QuerySpec, l
 	rowSets := make([][][]any, len(slices))
 	var cols []string
 	refresh := false
+	var staleAt int // slice whose replica reported the newer epoch
+	var staleConflict *conflict409
 	for i, res := range results {
 		totalFailovers += res.failovers
 		totalHedged += res.hedged
 		if res.conflict != nil && res.conflict.Epoch > c.shards[slices[i].shard].Epoch {
 			refresh = true
+			staleAt, staleConflict = i, res.conflict
 			continue
 		}
 		if res.err != nil || res.conflict != nil {
@@ -598,7 +609,15 @@ func (c *Coordinator) scatterOnce(ctx context.Context, spec *server.QuerySpec, l
 		}
 	}
 	if refresh {
-		return 0, nil, true
+		sh := c.shards[slices[staleAt].shard]
+		flo, fhi := slices[staleAt].lo, slices[staleAt].hi
+		return http.StatusServiceUnavailable, errResponse{
+			Error: fmt.Sprintf("routing table stale for range [%d,%d]: replica group %s reports epoch %d > table epoch %d (%s)",
+				flo, fhi, sh.Addr, staleConflict.Epoch, sh.Epoch, staleConflict.Msg),
+			Shard:    sh.Addr,
+			FailedLo: &flo,
+			FailedHi: &fhi,
+		}, true
 	}
 
 	var outCols []string
@@ -755,6 +774,22 @@ func (c *Coordinator) queryRange(ctx context.Context, spec *server.QuerySpec, sl
 	attempts := 1
 	failovers, hedged := 0, 0
 
+	// Whatever path returns, results still in flight (hedge losers,
+	// attempts outrun by a conflict return or the caller's context) are
+	// drained in the background and settled against their breakers —
+	// otherwise a half-open probe riding a discarded attempt would pin
+	// the breaker's probing flag until the lost-probe cooldown.
+	defer func() {
+		if inflight > 0 {
+			remaining := inflight
+			go func() {
+				for i := 0; i < remaining; i++ {
+					c.settleLate(<-results)
+				}
+			}()
+		}
+	}()
+
 	var hedgeC <-chan time.Time
 	if delay, hedgeOn := c.hedgeDelay(); hedgeOn && len(addrs) > 1 {
 		t := time.NewTimer(delay)
@@ -790,10 +825,15 @@ func (c *Coordinator) queryRange(ctx context.Context, spec *server.QuerySpec, sl
 				return res.resp, nil, failovers, hedged, nil
 			case res.conflict != nil:
 				// Ownership disagreement, not ill health: no breaker
-				// penalty. A replica AHEAD of our table means the table is
-				// stale — surface it so the caller refreshes. A replica
-				// BEHIND missed a handoff — route around it (the prober
-				// will re-push) by falling through to failover.
+				// penalty — but a half-open probe must still resolve, and
+				// a 409 proves the replica alive and serving, so a probe
+				// closes the breaker. A replica AHEAD of our table means
+				// the table is stale — surface it so the caller refreshes.
+				// A replica BEHIND missed a handoff — route around it (the
+				// prober will re-push) by falling through to failover.
+				if res.probe {
+					c.replicas[res.addr].br.Success()
+				}
 				lastConflict = res.conflict
 				lastErr = res.conflict
 				if res.conflict.Epoch > group.Epoch {
@@ -802,7 +842,11 @@ func (c *Coordinator) queryRange(ctx context.Context, spec *server.QuerySpec, sl
 				}
 			case res.err == nil && !retryableStatus(res.status):
 				// A non-retryable client error (400, 405...): every replica
-				// would refuse it identically, so fail now.
+				// would refuse it identically, so fail now. The replica
+				// answered, so a half-open probe resolves as success.
+				if res.probe {
+					c.replicas[res.addr].br.Success()
+				}
 				cancelAll()
 				return nil, nil, failovers, hedged,
 					fmt.Errorf("%s: HTTP %d", res.addr, res.status)
@@ -861,6 +905,30 @@ func (c *Coordinator) notePreferred(gi int, replicas []string, addr string) {
 			c.preferred[gi].Store(int32(i))
 			return
 		}
+	}
+}
+
+// settleLate reports a discarded attempt's outcome to its breaker after
+// queryRange has already returned. Genuine outcomes feed Success and
+// Failure as usual; attempts the coordinator cancelled itself (hedge
+// losers, post-return stragglers) prove nothing about the replica, so
+// they only release a half-open probe for immediate re-probing.
+func (c *Coordinator) settleLate(res attemptResult) {
+	rs := c.replicas[res.addr]
+	switch {
+	case res.err == nil && res.status == http.StatusOK:
+		rs.br.Success()
+	case res.conflict != nil || (res.err == nil && !retryableStatus(res.status)):
+		// The replica answered — alive, just conflicted or refusing.
+		if res.probe {
+			rs.br.Success()
+		}
+	case errors.Is(res.err, context.Canceled):
+		if res.probe {
+			rs.br.Abandon()
+		}
+	default:
+		rs.br.Failure(time.Now())
 	}
 }
 
@@ -1059,6 +1127,15 @@ func (c *Coordinator) probeOne(addr string, gi int, role string, lo, hi int64, e
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Reachable but unhealthy (draining, dependency down): for
+		// routing purposes that is a failure — closing the breaker and
+		// restoring preference here would flap against the query path
+		// re-tripping it on the next request.
+		rs.br.Failure(now)
+		rs.noteProbe(false, 0, "healthz: "+resp.Status, now)
+		return
+	}
 	rs.br.Success()
 
 	ownLo, ownHi, ownEpoch, err := c.fetchOwnership(ctx, addr)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -386,6 +387,91 @@ func TestCoordinatorAdoptsTrueOwnershipOn409(t *testing.T) {
 	}
 	if fingerprint(t, out.Columns, out.Rows) != fingerprint(t, out2.Columns, out2.Rows) {
 		t.Fatal("result answered during adoption differs from post-adoption result")
+	}
+}
+
+// TestStaleRoutingRefreshFailureIs503 pins the unhappy half of the
+// stale-epoch recovery: a replica claims a newer epoch, but the
+// shards' claimed ownership no longer tiles the domain, so the routing
+// refresh is rejected and keeps the old table. The client must get a
+// real 503 naming the conflict — not an aborted connection (the
+// pre-fix behavior wrote WriteHeader(0), which panics).
+func TestStaleRoutingRefreshFailureIs503(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	leakcheck.Check(t)
+	c, groups := newReplicatedCluster(t, 2, 1, func(cfg *Config) {
+		cfg.HedgeDelay = -1
+	})
+	old := c.Shards()
+
+	// Shrink group 0's claim at a far-future epoch without moving group
+	// 1, leaving a gap the refreshed table cannot tile.
+	mid := old[0].Lo + (old[0].Hi-old[0].Lo)/2
+	body, _ := json.Marshal(map[string]any{"lo": old[0].Lo, "hi": mid, "epoch": old[0].Epoch + 10})
+	presp, err := http.Post(groups[0][0].URL+"/admin/range", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("direct push: HTTP %d", presp.StatusCode)
+	}
+
+	resp, _, eresp := coordQuery(t, c, spanningSpec())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(eresp.Error, "stale") || !strings.Contains(eresp.Error, "refresh failed") {
+		t.Fatalf("503 body does not name the stale conflict and failed refresh: %q", eresp.Error)
+	}
+	if eresp.FailedLo == nil || eresp.FailedHi == nil {
+		t.Fatalf("503 body does not name the conflicted range: %+v", eresp)
+	}
+	// The invalid refresh was rejected: the old table is intact.
+	if got := c.Shards(); got[0].Hi != old[0].Hi || got[0].Epoch != old[0].Epoch {
+		t.Fatalf("rejected refresh mutated the table: group0 [%d,%d]@%d", got[0].Lo, got[0].Hi, got[0].Epoch)
+	}
+}
+
+// TestProberTreatsUnhealthyHealthzAsFailure: a replica that is
+// reachable but reports itself unhealthy (non-2xx /healthz, e.g.
+// draining) must not have its breaker closed or its primary preference
+// restored by the prober — that would flap against the query path
+// re-tripping it.
+func TestProberTreatsUnhealthyHealthzAsFailure(t *testing.T) {
+	leakcheck.Check(t)
+	unhealthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer unhealthy.Close()
+	c, err := New(Config{
+		Groups:   [][]string{{unhealthy.URL, "http://127.0.0.1:0"}},
+		DomainLo: 0, DomainHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs := c.replicas[unhealthy.URL]
+	for i := 0; i < 3; i++ {
+		rs.br.Failure(time.Now()) // breaker open (default threshold 3)
+	}
+	c.preferred[0].Store(1) // failover moved preference to the follower
+
+	c.probeOne(unhealthy.URL, 0, server.RolePrimary, 0, 10, 1)
+
+	if st := rs.br.State(); st == breakerClosed {
+		t.Fatal("unhealthy /healthz closed the breaker")
+	}
+	if p := c.preferred[0].Load(); p != 1 {
+		t.Fatalf("unhealthy primary restored as preferred (preferred=%d)", p)
+	}
+	probed, ok, _, errStr, _ := rs.probeSnapshot()
+	if !probed || ok || !strings.Contains(errStr, "healthz") {
+		t.Fatalf("probe snapshot = (probed %v, ok %v, err %q), want failed probe with healthz error",
+			probed, ok, errStr)
 	}
 }
 
