@@ -89,6 +89,14 @@ var floors = map[string][]floor{
 		{"hedge_p99_improves", 1},          // hedged p99 beats unhedged under injected straggler latency
 		{"breaker_bounded", 1},             // breaker trips and post-trip p99 sits 10x under the timeout
 	},
+	"ingestspeed": {
+		{"identical_vs_remat", 1},            // incremental refresh byte-identical to remat-on-append, all templates
+		{"identical_across_shard_counts", 1}, // same appends through 1- and 2-group clusters, identical bytes
+		{"no_drops", 1},                      // every delta applied incrementally (refreshes > 0, drops == 0)
+		{"sublinear_ok", 1},                  // steady-state refresh cost <= 2x on a ~4x base
+		{"read_p99_bounded", 1},              // mixed-trace read p99 within max(1s, 8x read-only p99)
+		{"zero_append_failures", 1},          // every append during the mixed run returned 200
+	},
 }
 
 func check(path string) (failures []string, err error) {

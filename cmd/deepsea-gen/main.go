@@ -9,6 +9,11 @@
 //	deepsea-gen -what histogram -bins 42
 //	deepsea-gen -what ranges -n 50 -selectivity 0.05 -skew L
 //	deepsea-gen -what dataset -gb 100
+//	deepsea-gen -what appendstream -table store_sales -n 20 -batch 64
+//
+// appendstream emits JSONL (one ingest batch per line) of held-out rows
+// for one fact table — pipe each line to POST /append on a serving or
+// coordinator tier to replay an ingest workload.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"deepsea/internal/ingest"
 	"deepsea/internal/sdss"
 	"deepsea/internal/workload"
 )
@@ -29,10 +35,12 @@ type rangeJSON struct {
 }
 
 func main() {
-	what := flag.String("what", "trace", "trace | histogram | ranges | dataset")
-	n := flag.Int("n", 1000, "number of queries/ranges")
+	what := flag.String("what", "trace", "trace | histogram | ranges | dataset | appendstream")
+	n := flag.Int("n", 1000, "number of queries/ranges/append batches")
 	bins := flag.Int("bins", 42, "histogram bins")
 	gb := flag.Int64("gb", 100, "dataset size in GB")
+	table := flag.String("table", "store_sales", "fact table for -what appendstream")
+	batch := flag.Int("batch", 64, "rows per append batch for -what appendstream")
 	selectivity := flag.Float64("selectivity", 0.01, "range width as a domain fraction")
 	skewFlag := flag.String("skew", "H", "U | L | H")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -106,6 +114,15 @@ func main() {
 			})
 		}
 		check(enc.Encode(out))
+
+	case "appendstream":
+		data := workload.Generate(*gb, *seed, nil)
+		batches := workload.AppendTrace(data, *table, *n, *batch, *seed)
+		specs := make([]*ingest.Spec, len(batches))
+		for i, b := range batches {
+			specs[i] = &ingest.Spec{Table: b.Table, Rows: b.Rows}
+		}
+		check(ingest.WriteStream(os.Stdout, specs))
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)

@@ -29,6 +29,9 @@
 // Endpoints:
 //
 //	POST /query           — run one query (same body as deepsea-serve)
+//	POST /append          — append rows to a base table: keyed tables
+//	                        split per owning range group (every replica
+//	                        must accept), keyless tables broadcast
 //	GET  /healthz         — routing table + per-replica reachability and breaker state
 //	GET  /statz           — scatter/failover/hedge/breaker counters + per-shard heat share
 //	POST /admin/rebalance — recompute and apply equi-heat boundaries
@@ -67,6 +70,7 @@ func main() {
 
 	var groups [][]string
 	var inner []*http.Server
+	var keyIdx map[string]int
 	switch {
 	case *shardAddrs != "":
 		for _, g := range strings.Split(*shardAddrs, ",") {
@@ -80,6 +84,9 @@ func main() {
 				groups = append(groups, group)
 			}
 		}
+		// The key map is schema-derived and identical at any instance
+		// size, so a minimal dataset supplies it for external shards.
+		keyIdx = workload.Generate(1, *seed, nil).KeyIndexes()
 	case *shards > 0:
 		if *replicas < 1 {
 			*replicas = 1
@@ -87,6 +94,7 @@ func main() {
 		fmt.Printf("booting %d shard groups × %d replicas (%d GB each, seed %d)...\n",
 			*shards, *replicas, *gb, *seed)
 		data := workload.Generate(*gb, *seed, nil)
+		keyIdx = data.KeyIndexes()
 		port := *basePort
 		for i := 0; i < *shards; i++ {
 			var group []string
@@ -125,6 +133,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		HedgeDelay:     *hedgeDelay,
 		ProbeInterval:  *probeEvery,
+		KeyIndex:       keyIdx,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

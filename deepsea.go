@@ -32,6 +32,7 @@ package deepsea
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"deepsea/internal/core"
 	"deepsea/internal/datastore"
@@ -259,6 +260,14 @@ func WithConfig(cfg Strategy) Option {
 	return func(c *core.Config) { *c = cfg }
 }
 
+// WithRematOnAppend disables incremental view refresh on Append: every
+// dependent view is dropped and re-earned by future queries
+// (invalidate-and-recompute). Baseline arm of the ingestspeed
+// experiment.
+func WithRematOnAppend() Option {
+	return func(c *core.Config) { c.RematOnAppend = true }
+}
+
 // System is a DeepSea instance: a simulated analytics engine plus the
 // adaptive materialized-view pool.
 type System struct {
@@ -334,6 +343,21 @@ func (s *System) Insert(table string, values []any) error {
 		return fmt.Errorf("deepsea: table %q wants %d values, got %d",
 			table, len(schema.Cols), len(values))
 	}
+	row, err := convertRow(schema, values)
+	if err != nil {
+		return err
+	}
+	s.ds.Eng.BaseTable(table).Append(row)
+	return nil
+}
+
+// convertRow converts one []any value tuple to a relation.Row per the
+// schema's column kinds.
+func convertRow(schema relation.Schema, values []any) (relation.Row, error) {
+	if len(values) != len(schema.Cols) {
+		return nil, fmt.Errorf("deepsea: table %q wants %d values, got %d",
+			schema.Name, len(schema.Cols), len(values))
+	}
 	row := make(relation.Row, len(values))
 	for i, v := range values {
 		col := schema.Cols[i]
@@ -346,25 +370,117 @@ func (s *System) Insert(table string, values []any) error {
 				}
 			}
 			if !ok {
-				return fmt.Errorf("deepsea: column %q wants int64, got %T", col.Name, v)
+				return nil, fmt.Errorf("deepsea: column %q wants int64, got %T", col.Name, v)
 			}
 			row[i] = relation.IntVal(x)
 		case relation.Float:
 			x, ok := v.(float64)
 			if !ok {
-				return fmt.Errorf("deepsea: column %q wants float64, got %T", col.Name, v)
+				// JSON decoding normalizes integral numbers to int64; an
+				// integral value in a float column is still a float.
+				if xi, oki := v.(int64); oki {
+					x, ok = float64(xi), true
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("deepsea: column %q wants float64, got %T", col.Name, v)
 			}
 			row[i] = relation.FloatVal(x)
 		default:
 			x, ok := v.(string)
 			if !ok {
-				return fmt.Errorf("deepsea: column %q wants string, got %T", col.Name, v)
+				return nil, fmt.Errorf("deepsea: column %q wants string, got %T", col.Name, v)
 			}
 			row[i] = relation.StringVal(x)
 		}
 	}
-	s.ds.Eng.BaseTable(table).Append(row)
+	return row, nil
+}
+
+// AppendReport summarises one Append call: the table's new row count,
+// the dependent views marked stale, and what the synchronous refresh
+// did (see core.AppendReport).
+type AppendReport = core.AppendReport
+
+// IngestStats is the ingest surface of Health (see core.IngestStats).
+type IngestStats = core.IngestStats
+
+// RecoveredIngest reports what ApplyRecoveredAppends replayed and
+// reconciled (see core.RecoveredIngest).
+type RecoveredIngest = core.RecoveredIngest
+
+// Append journals a batch of new rows for a base table, marks dependent
+// materialized views stale, and brings them fresh again by incremental
+// delta propagation (inline, or via the background maintenance pool's
+// refresh band when one is configured). Unlike Insert — a load-time
+// primitive that bypasses the view manager — Append is the online
+// ingest path: safe under concurrent queries, durable when a datastore
+// is attached, and never serves a query stale view content.
+func (s *System) Append(table string, rows [][]any) (AppendReport, error) {
+	schema, ok := s.schemas[table]
+	if !ok {
+		return AppendReport{}, fmt.Errorf("deepsea: unknown table %q", table)
+	}
+	converted := make([]relation.Row, len(rows))
+	for i, values := range rows {
+		row, err := convertRow(schema, values)
+		if err != nil {
+			return AppendReport{}, err
+		}
+		converted[i] = row
+	}
+	return s.ds.Append(table, converted)
+}
+
+// AppendRows is Append for callers that already hold relation.Rows
+// (serving tier, benchmarks).
+func (s *System) AppendRows(table string, rows []relation.Row) (AppendReport, error) {
+	return s.ds.Append(table, rows)
+}
+
+// ValidateRows type-checks an append batch against the table's schema
+// without applying it, so a serving tier can reject one caller's bad
+// batch with a 400 before it joins a coalesced group commit (where the
+// whole batch would share the failure).
+func (s *System) ValidateRows(table string, rows [][]any) error {
+	schema, ok := s.schemas[table]
+	if !ok {
+		return fmt.Errorf("deepsea: unknown table %q", table)
+	}
+	for _, values := range rows {
+		if _, err := convertRow(schema, values); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// RoutingKeyIndex returns the column index of the table's shard-routing
+// key — its ordered item_sk column — or -1 when the table has none
+// (dimension tables are fully replicated, so any shard may append to
+// them).
+func (s *System) RoutingKeyIndex(table string) int {
+	schema, ok := s.schemas[table]
+	if !ok {
+		return -1
+	}
+	for i, c := range schema.Cols {
+		if c.Ordered && c.Type == relation.Int && strings.HasSuffix(c.Name, "item_sk") {
+			return i
+		}
+	}
+	return -1
+}
+
+// IngestStats returns the ingest counters.
+func (s *System) IngestStats() IngestStats { return s.ds.IngestStats() }
+
+// ApplyRecoveredAppends replays base-table appends recovered from the
+// datastore onto the re-created base catalog and reconciles the view
+// pool against the result. Call after CreateTable/Insert re-load the
+// original tables and before serving traffic.
+func (s *System) ApplyRecoveredAppends() (RecoveredIngest, error) {
+	return s.ds.ApplyRecoveredAppends()
 }
 
 // MustInsert is Insert that panics on error.

@@ -1,0 +1,440 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/ingest"
+	"deepsea/internal/server"
+	"deepsea/internal/shard"
+	"deepsea/internal/workload"
+)
+
+// IngestspeedResult characterizes the batched append path: incremental
+// delta propagation leaves every template's result byte-identical to
+// the invalidate-and-recompute baseline (single node and across shard
+// counts), steady-state refresh cost for a small delta does not scale
+// with base-table size, and read p99 under concurrent ingest stays
+// bounded against a read-only run of the same trace.
+type IngestspeedResult struct {
+	// Templates is how many query templates the identity phase checked;
+	// AppendedRows the rows ingested per arm during it.
+	Templates    int
+	AppendedRows uint64
+	// IdenticalVsRemat: every post-append result of the incremental arm
+	// byte-identical to the remat-on-append baseline.
+	IdenticalVsRemat bool
+	// IdenticalAcrossShardCounts: the same appends routed through 1- and
+	// 2-group clusters leave full-domain results byte-identical.
+	IdenticalAcrossShardCounts bool
+	// Refreshes/Drops are the incremental arm's counters: refreshes must
+	// be exercised, drops (incremental fallback to invalidation) zero.
+	Refreshes uint64
+	Drops     uint64
+
+	// Sublinearity: steady-state simulated refresh cost of the same
+	// append stream on a base BaseRatio times larger. SmallRefreshSec /
+	// BigRefreshSec are the summed simulated refresh seconds; the gate
+	// demands big <= 2x small while the base is ~4x.
+	BaseRatio       float64
+	SmallRefreshSec float64
+	BigRefreshSec   float64
+	SmallReadBytes  int64
+	BigReadBytes    int64
+
+	// Mixed read/write tail: read latencies at fixed client concurrency,
+	// read-only vs racing a continuous append stream. AppendFailures
+	// counts non-200 appends in the mixed run (must be 0).
+	ReadQueries    int
+	ReadOnlyP50    float64 // milliseconds
+	ReadOnlyP99    float64
+	MixedP50       float64
+	MixedP99       float64
+	MixedAppends   int
+	AppendFailures int
+}
+
+// ingestCanon renders a report's rows order-insensitively, through the
+// same JSON wire format the serving tier uses.
+func ingestCanon(rep deepsea.Report) (string, error) {
+	lines := make([]string, 0, len(rep.Rows())+1)
+	for _, row := range rep.Rows() {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return strings.Join(rep.Columns(), ",") + "\n" + strings.Join(lines, "\n"), nil
+}
+
+// ingestWarm runs every probe query twice so the adaptive pool both
+// admits and serves the views the append phase must keep fresh.
+func ingestWarm(sys *deepsea.System, probes []*deepsea.Query) error {
+	for round := 0; round < 2; round++ {
+		for _, q := range probes {
+			if _, err := sys.Run(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ingestPostAppend posts one batch to a serving or coordinator tier.
+func ingestPostAppend(client *http.Client, url, table string, rows [][]any) error {
+	body, err := json.Marshal(&ingest.Spec{Table: table, Rows: rows})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("append HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// RunIngestspeed drives the append path through four phases: an
+// all-template identity check of incremental refresh against the
+// remat-on-append baseline, the same identity across 1- and 2-group
+// clusters, a sublinearity measurement of steady-state refresh cost
+// against a 4x base, and a mixed read/write tail-latency comparison.
+func RunIngestspeed(p Params) (*IngestspeedResult, error) {
+	res := &IngestspeedResult{
+		Templates:                  len(workload.AllTemplates),
+		IdenticalVsRemat:           true,
+		IdenticalAcrossShardCounts: true,
+	}
+	data := workload.Generate(1, p.Seed, nil)
+	client := &http.Client{}
+
+	// Per-template probes: the full domain plus an interior range, so
+	// both whole-view and fragment-backed plans see deltas.
+	var probes []*deepsea.Query
+	for _, t := range workload.AllTemplates {
+		probes = append(probes,
+			workload.BuildQuery(t, workload.ItemSkLo, workload.ItemSkHi),
+			workload.BuildQuery(t, 100000, 300000))
+	}
+
+	// Phase 1: incremental vs invalidate-and-recompute, single node.
+	{
+		inc := deepsea.New(deepsea.WithPoolLimit(1 << 30))
+		rem := deepsea.New(deepsea.WithPoolLimit(1<<30), deepsea.WithRematOnAppend())
+		for _, sys := range []*deepsea.System{inc, rem} {
+			if err := workload.Load(sys, data); err != nil {
+				return nil, err
+			}
+			if err := ingestWarm(sys, probes); err != nil {
+				return nil, err
+			}
+		}
+		for _, table := range []string{"store_sales", "web_clickstream", "product_reviews"} {
+			for _, b := range workload.AppendTrace(data, table, 3, 60, p.Seed) {
+				for _, sys := range []*deepsea.System{inc, rem} {
+					if _, err := sys.Append(b.Table, b.Rows); err != nil {
+						return nil, fmt.Errorf("ingestspeed append %s: %w", table, err)
+					}
+				}
+			}
+		}
+		for i, q := range probes {
+			incRep, err := inc.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("ingestspeed incremental probe %d: %w", i, err)
+			}
+			remRep, err := rem.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("ingestspeed remat probe %d: %w", i, err)
+			}
+			a, err := ingestCanon(incRep)
+			if err != nil {
+				return nil, err
+			}
+			b, err := ingestCanon(remRep)
+			if err != nil {
+				return nil, err
+			}
+			if a != b {
+				res.IdenticalVsRemat = false
+			}
+		}
+		st := inc.IngestStats()
+		res.AppendedRows = st.AppendedRows
+		res.Refreshes = st.Refreshes
+		res.Drops = st.Drops
+	}
+
+	// Phase 2: the same appends routed through 1- and 2-group clusters.
+	// Full-domain probes over the three join shapes; the 1-group result
+	// is the reference bytes for the 2-group run.
+	{
+		shardProbes := []workload.TraceQuery{
+			{Template: workload.Q1, Lo: workload.ItemSkLo, Hi: workload.ItemSkHi},
+			{Template: workload.Q7, Lo: workload.ItemSkLo, Hi: workload.ItemSkHi},
+			{Template: workload.Q29, Lo: workload.ItemSkLo, Hi: workload.ItemSkHi},
+		}
+		var want []string
+		for _, k := range []int{1, 2} {
+			cl, err := newFailCluster(data, k, 1, func(cfg *shard.Config) {
+				cfg.HedgeDelay = -1
+				cfg.KeyIndex = map[string]int{
+					"store_sales": 0, "web_clickstream": 0, "product_reviews": 0,
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, table := range []string{"store_sales", "product_reviews"} {
+				for _, b := range workload.AppendTrace(data, table, 2, 50, p.Seed+7) {
+					if err := ingestPostAppend(client, cl.front.URL, b.Table, b.Rows); err != nil {
+						cl.close()
+						return nil, fmt.Errorf("ingestspeed k=%d: %w", k, err)
+					}
+				}
+			}
+			for i, tq := range shardProbes {
+				canon, err := shardspeedPost(client, cl.front.URL, tq)
+				if err != nil {
+					cl.close()
+					return nil, fmt.Errorf("ingestspeed k=%d probe %d: %w", k, i, err)
+				}
+				if k == 1 {
+					want = append(want, canon)
+				} else if canon != want[i] {
+					res.IdenticalAcrossShardCounts = false
+				}
+			}
+			cl.close()
+		}
+	}
+
+	// Phase 3: sublinearity. The same warmed views and the same append
+	// stream against a base ~4x larger; steady-state refresh cost is
+	// measured after a priming append so the one-time linear
+	// refresh-state build is excluded from both arms.
+	{
+		steady := func(grow bool) (float64, int64, float64, error) {
+			sys := deepsea.New(deepsea.WithPoolLimit(1 << 30))
+			if err := workload.Load(sys, data); err != nil {
+				return 0, 0, 0, err
+			}
+			baseRows := float64(data.Tables["store_sales"].NumRows())
+			if grow {
+				bulk := data.AppendRows("store_sales", 3*int(baseRows), p.Seed+99, nil)
+				if _, err := sys.Append("store_sales", bulk); err != nil {
+					return 0, 0, 0, err
+				}
+				baseRows *= 4
+			}
+			var salesProbes []*deepsea.Query
+			for _, t := range []workload.Template{workload.Q1, workload.Q16, workload.Q30} {
+				salesProbes = append(salesProbes,
+					workload.BuildQuery(t, workload.ItemSkLo, workload.ItemSkHi))
+			}
+			if err := ingestWarm(sys, salesProbes); err != nil {
+				return 0, 0, 0, err
+			}
+			prime := data.AppendRows("store_sales", 50, p.Seed+100, nil)
+			if _, err := sys.Append("store_sales", prime); err != nil {
+				return 0, 0, 0, err
+			}
+			before := sys.IngestStats()
+			for i := 0; i < 5; i++ {
+				batch := data.AppendRows("store_sales", 50, p.Seed+101+int64(i), nil)
+				if _, err := sys.Append("store_sales", batch); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			after := sys.IngestStats()
+			if after.Primes != before.Primes {
+				return 0, 0, 0, fmt.Errorf("ingestspeed sublinear: measured appends primed refresh state (%d -> %d)",
+					before.Primes, after.Primes)
+			}
+			return after.RefreshSeconds - before.RefreshSeconds,
+				after.RefreshReadBytes - before.RefreshReadBytes, baseRows, nil
+		}
+		smallSec, smallBytes, smallBase, err := steady(false)
+		if err != nil {
+			return nil, err
+		}
+		bigSec, bigBytes, bigBase, err := steady(true)
+		if err != nil {
+			return nil, err
+		}
+		res.SmallRefreshSec, res.SmallReadBytes = smallSec, smallBytes
+		res.BigRefreshSec, res.BigReadBytes = bigSec, bigBytes
+		res.BaseRatio = bigBase / smallBase
+	}
+
+	// Phase 4: mixed read/write tail. The same read trace at the same
+	// client concurrency, read-only vs racing a continuous append
+	// stream; appends and reads share the admission limiter, so the
+	// comparison is of the whole serving path.
+	{
+		n := p.queries(48)
+		res.ReadQueries = n
+		trace := workload.UniformTrace(n, workload.Q1, 0.1, p.Seed)
+		for i := 1; i < n; i += 3 {
+			trace[i].Template = workload.Q16
+		}
+		run := func(withIngest bool) (p50, p99 float64, appends, failures int, err error) {
+			sys := deepsea.New(deepsea.WithPoolLimit(1<<30), deepsea.WithResultCache(64<<20))
+			if err := workload.Load(sys, data); err != nil {
+				return 0, 0, 0, 0, err
+			}
+			srv := server.New(sys, server.Config{MaxInFlight: 8, MaxQueue: 256, QueueTimeout: -1})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			stop := make(chan struct{})
+			var ingWG sync.WaitGroup
+			if withIngest {
+				ingWG.Add(1)
+				go func() {
+					defer ingWG.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						batch := data.AppendRows("store_sales", 40, p.Seed+500+int64(i), nil)
+						if err := ingestPostAppend(client, ts.URL, "store_sales", batch); err != nil {
+							failures++
+						}
+						appends++
+					}
+				}()
+			}
+			lat := make([]float64, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, 4)
+			for i, tq := range trace {
+				wg.Add(1)
+				go func(i int, tq workload.TraceQuery) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					start := time.Now()
+					status, _, err := servespeedPost(client, ts.URL, server.QuerySpec{
+						Template: tq.Template.String(), Lo: tq.Lo, Hi: tq.Hi,
+					})
+					lat[i] = time.Since(start).Seconds() * 1000
+					if err == nil && status != http.StatusOK {
+						err = fmt.Errorf("HTTP %d", status)
+					}
+					errs[i] = err
+				}(i, tq)
+			}
+			wg.Wait()
+			close(stop)
+			ingWG.Wait()
+			for i, err := range errs {
+				if err != nil {
+					return 0, 0, 0, 0, fmt.Errorf("read %d: %w", i, err)
+				}
+			}
+			sort.Float64s(lat)
+			return lat[n/2], lat[(n*99)/100], appends, failures, nil
+		}
+		var err error
+		res.ReadOnlyP50, res.ReadOnlyP99, _, _, err = run(false)
+		if err != nil {
+			return nil, fmt.Errorf("ingestspeed read-only arm: %w", err)
+		}
+		res.MixedP50, res.MixedP99, res.MixedAppends, res.AppendFailures, err = run(true)
+		if err != nil {
+			return nil, fmt.Errorf("ingestspeed mixed arm: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// SublinearOK reports the steady-state refresh-cost gate: the same
+// append stream on a ~4x base must cost at most 2x in simulated refresh
+// seconds (and must have done real work on the small base).
+func (r *IngestspeedResult) SublinearOK() bool {
+	return r.SmallRefreshSec > 0 && r.BigRefreshSec <= 2*r.SmallRefreshSec
+}
+
+// MixedP99OK is the host-tolerant tail gate: mixed-trace read p99
+// within max(1s, 8x the read-only p99).
+func (r *IngestspeedResult) MixedP99OK() bool {
+	slack := 8 * r.ReadOnlyP99
+	if slack < 1000 {
+		slack = 1000
+	}
+	return r.MixedP99 <= slack
+}
+
+// Metrics exports the gated properties and headline numbers.
+func (r *IngestspeedResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"identical_vs_remat":            0,
+		"identical_across_shard_counts": 0,
+		"no_drops":                      0,
+		"sublinear_ok":                  0,
+		"read_p99_bounded":              0,
+		"zero_append_failures":          0,
+		"refreshes":                     float64(r.Refreshes),
+		"appended_rows":                 float64(r.AppendedRows),
+		"base_ratio":                    r.BaseRatio,
+		"small_refresh_seconds":         r.SmallRefreshSec,
+		"big_refresh_seconds":           r.BigRefreshSec,
+		"read_only_p50_millis":          r.ReadOnlyP50,
+		"read_only_p99_millis":          r.ReadOnlyP99,
+		"mixed_p50_millis":              r.MixedP50,
+		"mixed_p99_millis":              r.MixedP99,
+		"mixed_appends":                 float64(r.MixedAppends),
+	}
+	if r.IdenticalVsRemat {
+		m["identical_vs_remat"] = 1
+	}
+	if r.IdenticalAcrossShardCounts {
+		m["identical_across_shard_counts"] = 1
+	}
+	if r.Drops == 0 && r.Refreshes > 0 {
+		m["no_drops"] = 1
+	}
+	if r.SublinearOK() {
+		m["sublinear_ok"] = 1
+	}
+	if r.MixedP99OK() {
+		m["read_p99_bounded"] = 1
+	}
+	if r.AppendFailures == 0 && r.MixedAppends > 0 {
+		m["zero_append_failures"] = 1
+	}
+	return m
+}
+
+// Print renders the append-path characterization.
+func (r *IngestspeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Batched append path, %d templates x 2 probes, %d rows ingested per arm\n",
+		r.Templates, r.AppendedRows)
+	fmt.Fprintf(w, "incremental refresh byte-identical to remat-on-append: %v (refreshes %d, drops %d)\n",
+		r.IdenticalVsRemat, r.Refreshes, r.Drops)
+	fmt.Fprintf(w, "identical across 1- and 2-group clusters: %v\n", r.IdenticalAcrossShardCounts)
+	fmt.Fprintf(w, "steady-state refresh cost: %.4fs on 1x base vs %.4fs on %.1fx base (sublinear: %v)\n",
+		r.SmallRefreshSec, r.BigRefreshSec, r.BaseRatio, r.SublinearOK())
+	fmt.Fprintf(w, "read latency over %d queries: read-only p50 %.1fms p99 %.1fms; with ingest p50 %.1fms p99 %.1fms (bounded: %v)\n",
+		r.ReadQueries, r.ReadOnlyP50, r.ReadOnlyP99, r.MixedP50, r.MixedP99, r.MixedP99OK())
+	fmt.Fprintf(w, "appends during mixed run: %d (%d failures)\n", r.MixedAppends, r.AppendFailures)
+}

@@ -86,6 +86,9 @@ var Experiments = []Experiment{
 	{"failspeed", "Replicated shard groups under failure: replica kill invisible to clients, hedging beats stragglers, breakers bound dead-replica cost", func(p Params) (Printable, error) {
 		return RunFailspeed(p)
 	}},
+	{"ingestspeed", "Batched append path: incremental refresh byte-identical to remat across templates and shard counts, refresh cost sublinear in base size, read p99 bounded under concurrent ingest", func(p Params) (Printable, error) {
+		return RunIngestspeed(p)
+	}},
 }
 
 // Lookup returns the experiment with the given id.

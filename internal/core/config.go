@@ -137,6 +137,11 @@ type Config struct {
 	// small fragments that are repeatedly co-accessed by the same
 	// queries are merged into one, reducing per-file read overheads.
 	MergeFragments bool
+	// RematOnAppend disables incremental view refresh on base-table
+	// appends: every dependent view is dropped instead and re-earned by
+	// future queries (invalidate-and-recompute). Baseline arm of the
+	// ingestspeed experiment.
+	RematOnAppend bool
 	// CostModel configures the simulated cluster; zero value selects
 	// engine.DefaultCostModel.
 	CostModel *engine.CostModel

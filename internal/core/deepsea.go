@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -146,6 +147,18 @@ type DeepSea struct {
 	// read it without a lock; the epoch fences stale coordinator routing
 	// across handoffs.
 	ownedRange atomic.Pointer[OwnedRange]
+
+	// ingest is the append-path registry: which views depend on which
+	// base tables, each view's refresh consistency point, and the
+	// accumulated append log for snapshots (see ingest.go).
+	ingest *ingestState
+
+	// recoveredAppends buffers appends found during recovery (snapshot
+	// payload + append_rows journal tail) until the host re-adds the
+	// base catalog and calls ApplyRecoveredAppends; the order slice
+	// keeps replay deterministic.
+	recoveredAppends     map[string]*relation.Table
+	recoveredAppendOrder []string
 }
 
 // OwnedRange is the contiguous partition-key range a sharded instance
@@ -228,7 +241,10 @@ func build(cfg Config) *DeepSea {
 			Tree:         tree,
 			PhysicalOnly: cfg.PhysicalMatch,
 		},
+		ingest:           newIngestState(),
+		recoveredAppends: make(map[string]*relation.Table),
 	}
+	d.rewriter.Stale = d.staleView
 	if cfg.background() {
 		d.maint = maintain.NewPool(cfg.MaintWorkers, cfg.maintQueue(), maintBatchMax, d.applyMaintBatch)
 	}
@@ -242,10 +258,27 @@ func (d *DeepSea) AddBaseTable(t *relation.Table) { d.Eng.AddBaseTable(t) }
 func (d *DeepSea) Now() float64 { return d.Eng.Now() }
 
 // cacheKey builds the result-cache key for a user query: the canonical
-// plan fingerprint qualified by the base-catalog version, so a catalog
-// change orphans every earlier entry.
+// plan fingerprint qualified by the base-catalog version and by the row
+// count of every base table the plan reads. A catalog change orphans
+// every earlier entry; an append moves the counts (they are monotone),
+// so a result cached before the append is unreachable by any lookup
+// planned after it — the cache needs no explicit invalidation on
+// ingest.
 func (d *DeepSea) cacheKey(q query.Node) string {
-	return query.Fingerprint(q) + "@" + strconv.FormatUint(d.Eng.BaseVersion(), 10)
+	var b strings.Builder
+	b.WriteString(query.Fingerprint(q))
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(d.Eng.BaseVersion(), 10))
+	tables := append([]string(nil), query.BaseTables(q)...)
+	sort.Strings(tables)
+	counts := d.Eng.BaseCounts(tables)
+	for _, t := range tables {
+		b.WriteByte('|')
+		b.WriteString(t)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(counts[t], 10))
+	}
+	return b.String()
 }
 
 // viewDeps lists the materialized views a plan reads, each pinned to
@@ -453,6 +486,13 @@ type plannedQuery struct {
 	capture  map[query.Node]bool
 	lockIDs  []string
 	pins     []string
+	// baseCounts is the per-table row count of every base table the
+	// query reads, captured at planning time. Materialization uses it as
+	// the proposed view's ingest consistency point: if the counts still
+	// match when the captured rows register, no append raced the
+	// execution (counts are monotone), so the content is exact at these
+	// counts.
+	baseCounts map[string]int64
 }
 
 // planLocked runs Algorithm 1 steps 1–7 for one query and pins the
@@ -513,17 +553,20 @@ func (d *DeepSea) planLocked(q query.Node, key string) (*plannedQuery, error) {
 	// execute while this one runs, but cannot evict what it reads.
 	pins := planPins(qbest)
 	d.pin(pins)
+	tables := append([]string(nil), query.BaseTables(q)...)
+	sort.Strings(tables)
 	return &plannedQuery{
-		key:      key,
-		qbest:    qbest,
-		bestRW:   bestRW,
-		vcands:   vcands,
-		selViews: selViews,
-		selFrags: selFrags,
-		evict:    evict,
-		capture:  capture,
-		lockIDs:  lockIDs,
-		pins:     pins,
+		key:        key,
+		qbest:      qbest,
+		bestRW:     bestRW,
+		vcands:     vcands,
+		selViews:   selViews,
+		selFrags:   selFrags,
+		evict:      evict,
+		capture:    capture,
+		lockIDs:    lockIDs,
+		pins:       pins,
+		baseCounts: d.Eng.BaseCounts(tables),
 	}, nil
 }
 
@@ -638,7 +681,7 @@ func (d *DeepSea) finishPlanned(ctx context.Context, pq *plannedQuery) (QueryRep
 			continue
 		}
 		usedByQuery := bestRW != nil && bestRW.ViewID == sv.vc.id
-		c, created, err := d.materializeView(sv, res.Captured[sv.vc.node], usedByQuery)
+		c, created, err := d.materializeView(sv, res.Captured[sv.vc.node], usedByQuery, pq.baseCounts)
 		matCost.Add(c)
 		if err != nil {
 			if noteMatFault(sv.vc.id, err) {
@@ -656,7 +699,7 @@ func (d *DeepSea) finishPlanned(ctx context.Context, pq *plannedQuery) (QueryRep
 		if !d.backoff.allowed(fc.viewID) {
 			continue
 		}
-		c, created, err := d.materializeFrag(fc, res.Captured)
+		c, created, err := d.materializeFrag(fc, res.Captured, pq.baseCounts)
 		matCost.Add(c)
 		if err != nil {
 			if noteMatFault(fc.viewID, err) {

@@ -80,6 +80,19 @@ type Health struct {
 	// queue-wait and apply latencies (wall-clock seconds).
 	MaintKinds []MaintKindHealth
 
+	// Ingest path: batched appends and the incremental refresh of
+	// dependent views. IngestStaleViews is the degraded signal — views
+	// currently unreadable while their refresh is pending.
+	IngestAppends        uint64
+	IngestAppendedRows   uint64
+	IngestTrackedViews   int
+	IngestStaleViews     int
+	IngestRefreshes      uint64
+	IngestEmptyRefreshes uint64
+	IngestPrimes         uint64
+	IngestDrops          uint64
+	IngestRefreshSeconds float64
+
 	// FaultsInjected is the cumulative injected-fault count (zero when
 	// fault injection is off).
 	FaultsInjected uint64
@@ -196,6 +209,17 @@ func (d *DeepSea) Health() Health {
 			h.MaintKinds = append(h.MaintKinds, k)
 		}
 	}
+
+	is := d.IngestStats()
+	h.IngestAppends = is.Appends
+	h.IngestAppendedRows = is.AppendedRows
+	h.IngestTrackedViews = is.TrackedViews
+	h.IngestStaleViews = is.StaleViews
+	h.IngestRefreshes = is.Refreshes
+	h.IngestEmptyRefreshes = is.EmptyRefreshes
+	h.IngestPrimes = is.Primes
+	h.IngestDrops = is.Drops
+	h.IngestRefreshSeconds = is.RefreshSeconds
 
 	if d.faults != nil {
 		h.FaultsInjected = d.faults.TotalInjected()

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"deepsea/internal/relation"
+)
+
+// appendRows builds a deterministic batch of new sales rows, disjoint
+// from the seed batches for other calls (seed selects the stream).
+func appendRows(seed int64, n int) []relation.Row {
+	rng := rand.New(rand.NewSource(1000 + seed))
+	rows := make([]relation.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, relation.Row{
+			relation.IntVal(rng.Int63n(testDomHi + 1)),
+			relation.IntVal(rng.Int63n(50) + 1),
+			relation.StringVal(""),
+		})
+	}
+	return rows
+}
+
+// freshWithAppends builds a baseline instance whose sales table contains
+// the seed rows plus all the given append batches from the start — the
+// rematerialize-from-scratch ground truth.
+func freshWithAppends(t *testing.T, batches ...[]relation.Row) *DeepSea {
+	t.Helper()
+	d := New(testConfig())
+	addTestTables(d)
+	for _, b := range batches {
+		tbl := d.Eng.BaseTable("sales")
+		tbl.Rows = append(tbl.Rows, b...)
+	}
+	return d
+}
+
+// resultJSON is the repo's result-identity oracle: the order-independent
+// fingerprint (rewritten plans are row-set identical to the original
+// plan; row order follows the chosen fragment cover). View CONTENT
+// byte-identity of incremental refresh vs remat is asserted at the
+// engine layer (delta_test.go) and in the ingestspeed experiment.
+func resultJSON(t *testing.T, rep QueryReport) string {
+	t.Helper()
+	if rep.Result == nil {
+		t.Fatal("query returned no rows")
+	}
+	return rep.Result.Fingerprint()
+}
+
+// TestAppendRefreshMatchesFresh is the tentpole identity: interleaved
+// appends and queries produce byte-identical results to a fresh
+// instance whose base tables held the appended rows from the start.
+func TestAppendRefreshMatchesFresh(t *testing.T) {
+	d := newTestSystem(t, nil)
+	persistWorkload(t, d) // warm: views materialize
+	b1, b2 := appendRows(1, 300), appendRows(2, 500)
+
+	if _, err := d.Append("sales", b1); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	run(t, d, q30(0, 4999))
+	rep, err := d.Append("sales", b2)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if rep.NewCount != 20000+300+500 {
+		t.Fatalf("NewCount = %d, want %d", rep.NewCount, 20000+800)
+	}
+
+	base := freshWithAppends(t, b1, b2)
+	for _, q := range []struct{ lo, hi int64 }{{0, 4999}, {1000, 2999}, {500, 1499}, {0, 9999}} {
+		got := resultJSON(t, run(t, d, q30(q.lo, q.hi)))
+		want := resultJSON(t, run(t, base, q30(q.lo, q.hi)))
+		if got != want {
+			t.Errorf("q30(%d,%d) after appends diverges from fresh baseline:\n got %s\nwant %s", q.lo, q.hi, got, want)
+		}
+	}
+
+	is := d.IngestStats()
+	if is.Appends != 2 || is.AppendedRows != 800 {
+		t.Errorf("IngestStats appends = %d/%d rows, want 2/800", is.Appends, is.AppendedRows)
+	}
+	if is.StaleViews != 0 {
+		t.Errorf("IngestStats.StaleViews = %d after inline refresh, want 0", is.StaleViews)
+	}
+	if is.Refreshes == 0 && is.Drops == 0 {
+		t.Error("append over a warmed pool neither refreshed nor dropped any view")
+	}
+}
+
+// TestEmptyAppendIsNoop: appending zero rows changes nothing and marks
+// nothing stale.
+func TestEmptyAppendIsNoop(t *testing.T) {
+	d := newTestSystem(t, nil)
+	persistWorkload(t, d)
+	before := resultJSON(t, run(t, d, q30(0, 4999)))
+	rep, err := d.Append("sales", nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if rep.NewCount != 20000 || len(rep.StaleViews) != 0 {
+		t.Fatalf("empty append report = %+v", rep)
+	}
+	if is := d.IngestStats(); is.Appends != 0 {
+		t.Errorf("empty append counted: %+v", is)
+	}
+	if after := resultJSON(t, run(t, d, q30(0, 4999))); after != before {
+		t.Error("empty append changed query result")
+	}
+}
+
+// TestCacheInvalidationOnAppend: a cached result must miss after the
+// base grows (the appended rows change the answer), and re-hit once the
+// new result is cached — never serving pre-append bytes.
+func TestCacheInvalidationOnAppend(t *testing.T) {
+	d := newTestSystem(t, func(c *Config) { c.CacheBytes = 1 << 40 })
+	q := q30(0, 4999)
+	first := resultJSON(t, run(t, d, q))
+
+	h0 := d.Health()
+	second := resultJSON(t, run(t, d, q))
+	h1 := d.Health()
+	if h1.CacheHits != h0.CacheHits+1 {
+		t.Fatalf("repeat query did not hit the cache: hits %d -> %d", h0.CacheHits, h1.CacheHits)
+	}
+	if second != first {
+		t.Fatal("cache hit returned different bytes")
+	}
+
+	b := appendRows(3, 400)
+	if _, err := d.Append("sales", b); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	third := resultJSON(t, run(t, d, q))
+	h2 := d.Health()
+	if h2.CacheHits != h1.CacheHits {
+		t.Error("post-append query hit the cache: stale bytes served")
+	}
+	want := resultJSON(t, run(t, freshWithAppends(t, b), q))
+	if third != want {
+		t.Errorf("post-append result:\n got %s\nwant %s", third, want)
+	}
+	fourth := resultJSON(t, run(t, d, q))
+	h3 := d.Health()
+	if h3.CacheHits != h2.CacheHits+1 {
+		t.Errorf("post-append repeat did not re-hit: hits %d -> %d", h2.CacheHits, h3.CacheHits)
+	}
+	if fourth != third {
+		t.Error("re-hit returned different bytes")
+	}
+}
+
+// TestRematOnAppendDropsViews: the invalidate-and-recompute baseline
+// drops every dependent view instead of refreshing, and still answers
+// correctly.
+func TestRematOnAppendDropsViews(t *testing.T) {
+	d := newTestSystem(t, func(c *Config) { c.RematOnAppend = true })
+	persistWorkload(t, d)
+	b := appendRows(4, 300)
+	rep, err := d.Append("sales", b)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if len(rep.StaleViews) == 0 {
+		t.Fatal("warmed pool had no sales-dependent views to invalidate")
+	}
+	is := d.IngestStats()
+	if is.Refreshes != 0 {
+		t.Errorf("RematOnAppend refreshed %d views, want 0", is.Refreshes)
+	}
+	if is.Drops == 0 {
+		t.Error("RematOnAppend dropped no views")
+	}
+	got := resultJSON(t, run(t, d, q30(0, 4999)))
+	want := resultJSON(t, run(t, freshWithAppends(t, b), q30(0, 4999)))
+	if got != want {
+		t.Errorf("post-drop result:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestBackgroundRefresh: with maintenance workers, Append defers the
+// refresh to the KindRefresh band; queries issued before the drain are
+// still correct (the stale view is skipped), and after the drain no
+// view is stale.
+func TestBackgroundRefresh(t *testing.T) {
+	d := newTestSystem(t, func(c *Config) { c.MaintWorkers = 2 })
+	defer d.CloseMaintenance()
+	persistWorkload(t, d)
+	if err := d.DrainMaintenance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := appendRows(5, 300)
+	rep, err := d.Append("sales", b)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if len(rep.StaleViews) > 0 && !rep.Deferred {
+		t.Error("background mode applied refresh inline")
+	}
+	base := freshWithAppends(t, b)
+	// Before the drain: the refresh may or may not have run, but the
+	// result must already reflect the append.
+	got := resultJSON(t, run(t, d, q30(0, 4999)))
+	want := resultJSON(t, run(t, base, q30(0, 4999)))
+	if got != want {
+		t.Errorf("pre-drain result:\n got %s\nwant %s", got, want)
+	}
+	if err := d.DrainMaintenance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if is := d.IngestStats(); is.StaleViews != 0 {
+		t.Errorf("stale views after drain: %+v", is)
+	}
+	got = resultJSON(t, run(t, d, q30(1000, 2999)))
+	want = resultJSON(t, run(t, base, q30(1000, 2999)))
+	if got != want {
+		t.Errorf("post-drain result:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAppendRecoveryWarmRestart: appends journal through the datastore;
+// a warm restart re-adds the base catalog, replays the appends, and
+// serves byte-identical results. Views whose marks match survive; the
+// rest are dropped, never served stale.
+func TestAppendRecoveryWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, dir)
+	d1 := newTestSystem(t, func(c *Config) { c.Datastore = s1 })
+	persistWorkload(t, d1)
+	b := appendRows(6, 300)
+	if _, err := d1.Append("sales", b); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	want := resultJSON(t, run(t, d1, q30(0, 4999)))
+	// No Snapshot: the appends must recover from the journal tail alone.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	d2 := newTestSystem(t, func(c *Config) { c.Datastore = s2 })
+	if rec := d2.Recovery(); !rec.Ran || rec.Err != "" {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	info, err := d2.ApplyRecoveredAppends()
+	if err != nil {
+		t.Fatalf("ApplyRecoveredAppends: %v", err)
+	}
+	if info.Rows != 300 {
+		t.Errorf("recovered %d appended rows, want 300", info.Rows)
+	}
+	if n := d2.Eng.BaseCounts([]string{"sales"})["sales"]; n != 20300 {
+		t.Errorf("recovered sales count = %d, want 20300", n)
+	}
+	if got := resultJSON(t, run(t, d2, q30(0, 4999))); got != want {
+		t.Errorf("recovered result diverges:\n got %s\nwant %s", got, want)
+	}
+
+	// And again with a snapshot covering the appends.
+	if err := d2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openStore(t, dir)
+	defer s3.Close()
+	d3 := newTestSystem(t, func(c *Config) { c.Datastore = s3 })
+	if _, err := d3.ApplyRecoveredAppends(); err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, run(t, d3, q30(0, 4999))); got != want {
+		t.Errorf("snapshot-recovered result diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAppendUnknownTable: appending to a table the engine does not know
+// fails cleanly.
+func TestAppendUnknownTable(t *testing.T) {
+	d := newTestSystem(t, nil)
+	if _, err := d.Append("nope", appendRows(7, 1)); err == nil {
+		t.Fatal("append to unknown table succeeded")
+	}
+}

@@ -45,14 +45,19 @@ const maintBatchMax = 64
 type matViewTask struct {
 	sv       selectedView
 	captured *relation.Table
+	// baseCounts is the proposing query's planning-time base-table row
+	// counts — the ingest consistency point the captured rows register
+	// under (see registerIngestView).
+	baseCounts map[string]int64
 }
 
 // matFragTask materializes one selected fragment candidate: a gap
 // recovery (fromGap, rows captured from the remainder execution) or a
 // refinement split over existing fragments.
 type matFragTask struct {
-	fc       fragCandidate
-	captured *relation.Table
+	fc         fragCandidate
+	captured   *relation.Table
+	baseCounts map[string]int64
 }
 
 // mergeTask merges co-accessed adjacent fragments of the rewriting the
@@ -116,6 +121,8 @@ func maintTaskViews(t *maintain.Task) []string {
 		return ids
 	case *rematTask:
 		return []string{p.viewID}
+	case *refreshTask:
+		return []string{p.viewID}
 	}
 	return nil
 }
@@ -142,7 +149,7 @@ func (d *DeepSea) enqueueMaintenance(pq *plannedQuery, captured map[query.Node]*
 			Key:      fmt.Sprintf("mat:%s:%s@%d", sv.vc.id, sv.attr, gen(sv.vc.id)),
 			Kind:     maintain.KindMaterialize,
 			Priority: sv.value,
-			Payload:  &matViewTask{sv: sv, captured: captured[sv.vc.node]},
+			Payload:  &matViewTask{sv: sv, captured: captured[sv.vc.node], baseCounts: pq.baseCounts},
 		})
 	}
 	for _, fc := range pq.selFrags {
@@ -162,7 +169,7 @@ func (d *DeepSea) enqueueMaintenance(pq *plannedQuery, captured map[query.Node]*
 			Key:      fmt.Sprintf("%s:%s:%s:%s@%d", prefix, fc.viewID, fc.attr, fc.iv, gen(fc.viewID)),
 			Kind:     kind,
 			Priority: fc.value,
-			Payload:  &matFragTask{fc: fc, captured: rows},
+			Payload:  &matFragTask{fc: fc, captured: rows, baseCounts: pq.baseCounts},
 		})
 	}
 	if d.Cfg.MergeFragments && pq.bestRW != nil && pq.bestRW.PartAttr != "" {
@@ -285,6 +292,12 @@ func (d *DeepSea) applyMaintTask(t *maintain.Task) (engine.Cost, error) {
 		return engine.Cost{}, nil
 	case *rematTask:
 		return d.applyRemat(p)
+	case *refreshTask:
+		// The drain cycle already holds the view's stripe (maintTaskViews
+		// listed it); a still-stale outcome re-enqueued a retry inside
+		// applyRefreshLocked.
+		cost, _ := d.applyRefreshLocked(p.viewID)
+		return cost, nil
 	}
 	return engine.Cost{}, fmt.Errorf("core: unknown maintenance payload %T", t.Payload)
 }
@@ -294,7 +307,7 @@ func (d *DeepSea) applyMatView(p *matViewTask) (engine.Cost, error) {
 	if !d.backoff.allowed(id) {
 		return engine.Cost{}, nil
 	}
-	cost, created, err := d.materializeView(p.sv, p.captured, false)
+	cost, created, err := d.materializeView(p.sv, p.captured, false, p.baseCounts)
 	if err != nil {
 		if f, ok := faults.AsFault(err); ok {
 			d.backoff.noteFailure(id, f.Permanent)
@@ -323,7 +336,7 @@ func (d *DeepSea) applyMatFrag(p *matFragTask) (engine.Cost, error) {
 	if fc.fromGap && p.captured != nil {
 		captured = map[query.Node]*relation.Table{fc.gapNode: p.captured}
 	}
-	cost, created, err := d.materializeFrag(fc, captured)
+	cost, created, err := d.materializeFrag(fc, captured, p.baseCounts)
 	if err != nil {
 		if f, ok := faults.AsFault(err); ok {
 			d.backoff.noteFailure(fc.viewID, f.Permanent)
@@ -342,6 +355,13 @@ func (d *DeepSea) applyMatFrag(p *matFragTask) (engine.Cost, error) {
 func (d *DeepSea) applyRemat(p *rematTask) (engine.Cost, error) {
 	id := p.viewID
 	if !d.backoff.allowed(id) {
+		return engine.Cost{}, nil
+	}
+	// Ingest guard: the quarantined rows predate any append that dropped
+	// the view; healing them back would resurrect pre-append content
+	// with no refresh metadata. Stale views skip too — the pending
+	// refresh (or drop) supersedes the heal.
+	if d.ingestDropped(id) || d.staleView(id) {
 		return engine.Cost{}, nil
 	}
 	// Stale guard: skip if the lost range was re-covered meanwhile (a

@@ -24,7 +24,7 @@ import (
 // partition on a second attribute: re-partitioning the fragments the
 // rewriting just read (usedByQuery charges the reads only when the
 // executed plan did not already pay for them).
-func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, usedByQuery bool) (engine.Cost, bool, error) {
+func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, usedByQuery bool, planCounts map[string]int64) (engine.Cost, bool, error) {
 	vc := sv.vc
 	// One Materialize-site injection decision per view materialization
 	// attempt; a fault here fails the attempt before anything is written.
@@ -33,12 +33,14 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 	}
 	vs := d.Stats.View(vc.id)
 	var reconstructCost engine.Cost
+	fromFiles := false
 	if captured == nil && d.Cfg.ExecuteRows {
 		var ok bool
 		captured, reconstructCost, ok = d.reconstructView(vc.id, usedByQuery)
 		if !ok {
 			return engine.Cost{}, false, nil // no row source this round
 		}
+		fromFiles = true
 	}
 	viewBytes := vs.Size
 	if captured != nil {
@@ -117,6 +119,11 @@ func (d *DeepSea) materializeView(sv selectedView, captured *relation.Table, use
 	// the charged materialization overhead is returned to the caller.
 	vs.Measured = captured != nil
 	d.journalVStat(vs)
+	// Register the view's ingest consistency point: captured content is
+	// exact at the proposing query's planning-time base counts (or
+	// registers stale if an append raced the execution); reconstructed
+	// content keeps the existing metadata's consistency point.
+	d.registerIngestView(vc.id, vc.node, planCounts, fromFiles)
 	return cost, true, nil
 }
 
@@ -378,7 +385,7 @@ func coalesceMin(ivs []interval.Interval, sizeOf func(interval.Interval) int64, 
 // from a captured remainder (gap recovery) or by a refinement plan over
 // the existing fragments (split or overlapping creation). It returns the
 // charged cost and the intervals actually written.
-func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*relation.Table) (engine.Cost, []interval.Interval, error) {
+func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*relation.Table, planCounts map[string]int64) (engine.Cost, []interval.Interval, error) {
 	// One Materialize-site decision per fragment-materialization attempt,
 	// keyed by the view so a view's backoff covers its fragments too.
 	if err := d.faults.Check(faults.Materialize, fc.viewID); err != nil {
@@ -396,6 +403,13 @@ func (d *DeepSea) materializeFrag(fc fragCandidate, captured map[query.Node]*rel
 
 	var cost engine.Cost
 	if fc.fromGap {
+		// The captured gap rows were computed by a query planned at
+		// planCounts; storing them is only consistent if the view's
+		// marks certify exactly that point. Refinements below need no
+		// guard — they rearrange file content already at the marks.
+		if !d.ingestFragGuard(fc.viewID, planCounts) {
+			return cost, nil, nil
+		}
 		// The remainder execution already computed the gap's rows;
 		// only the write is charged.
 		var tbl *relation.Table

@@ -41,6 +41,12 @@ type coreSnapshot struct {
 	// Entries is the signature index — without it a recovered pool holds
 	// views no query could ever match.
 	Entries []*matching.Entry `json:"entries,omitempty"`
+	// Appends is the accumulated ingest suffix of each base table (base
+	// originals are workload input the host re-adds; the appends are
+	// learned state only this snapshot holds). Ingest is the per-view
+	// refresh metadata — tables read, consistency marks, staleness.
+	Appends []appendSnap `json:"appends,omitempty"`
+	Ingest  []ingestSnap `json:"ingest,omitempty"`
 }
 
 type fileSnap struct {
@@ -179,6 +185,7 @@ func (d *DeepSea) buildSnapshot() *coreSnapshot {
 		}
 		snap.Views = append(snap.Views, vs)
 	}
+	snap.Appends, snap.Ingest = d.ingestSnapshot()
 	return snap
 }
 
@@ -255,6 +262,12 @@ func (d *DeepSea) applySnapshot(snap *coreSnapshot) {
 		e.Sig.SetSchema(e.Schema)
 		d.Tree.Add(e)
 	}
+	for _, a := range snap.Appends {
+		d.bufferRecoveredAppend(a.Table, a.Rows)
+	}
+	for _, m := range snap.Ingest {
+		d.restoreIngestMeta(m.View, m.Tables, m.Marks, m.Stale)
+	}
 }
 
 // applyRecord replays one journal record through the live mutation
@@ -290,6 +303,33 @@ func (d *DeepSea) applyRecord(rec *datastore.Record) (err error) {
 		d.Eng.RestoreFile(rec.Path, rec.Size, rec.Rows)
 	case "del_file":
 		d.Eng.DeleteMaterialized(rec.Path)
+	case "append_file":
+		// Rows carries the appended suffix; combine with whatever the file
+		// held when the record was written (snapshot state or an earlier
+		// put_file/append_file replay) and restore at the new total size.
+		var combined *relation.Table
+		if rec.Rows != nil {
+			if prev := d.Eng.Materialized(rec.Path); prev != nil {
+				combined = &relation.Table{Schema: prev.Schema}
+				combined.Rows = append(append([]relation.Row(nil), prev.Rows...), rec.Rows.Rows...)
+			} else {
+				combined = rec.Rows
+			}
+		}
+		d.Eng.RestoreFile(rec.Path, rec.Size, combined)
+	case "inval_view":
+		d.Pool.Invalidate(rec.View)
+	case "append_rows":
+		// Base-table appends replay after the host re-adds the originals:
+		// buffer until ApplyRecoveredAppends.
+		if rec.Rows == nil {
+			return fmt.Errorf("core: replay append_rows: missing rows")
+		}
+		d.bufferRecoveredAppend(rec.Rows.Schema.Name, rec.Rows)
+	case "ingest_marks":
+		d.restoreIngestMeta(rec.View, rec.Tables, rec.Marks, false)
+	case "ingest_stale":
+		d.markIngestStale(rec.View)
 	case "clock":
 		d.Eng.SetClock(rec.T)
 	case "track_view":

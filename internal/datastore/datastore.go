@@ -28,10 +28,17 @@ import (
 // mutation APIs they are emitted from:
 //
 //	pool:    ensure_view, remove_view, set_view_file, drop_view_file,
-//	         ensure_part, add_frag, remove_frag
-//	engine:  put_file (Rows nil in estimate-only mode), del_file, clock
+//	         ensure_part, add_frag, remove_frag, inval_view
+//	engine:  put_file (Rows nil in estimate-only mode), del_file,
+//	         append_file (Rows carries the appended suffix; Size is the
+//	         new total), clock
 //	stats:   part, use, hit, refine, frag_drop, vstat, fstat
 //	index:   track_view (signature-index entry for view matching)
+//	ingest:  append_rows (Rows carries appended base rows, the table
+//	         named by their schema; Size is the table's new count),
+//	         ingest_marks (View's content is consistent with Tables at
+//	         the row counts in Marks), ingest_stale (View's content
+//	         lags its base tables)
 type Record struct {
 	Seq uint64 `json:"seq"`
 	Op  string `json:"op"`
@@ -54,6 +61,13 @@ type Record struct {
 	// Sig carries track_view's view signature, so recovery can rebuild
 	// the matching index without re-deriving signatures from queries.
 	Sig *signature.Signature `json:"sig,omitempty"`
+
+	// Tables and Marks carry ingest_marks' consistency point: the base
+	// tables a view reads and the row count of each at which the view's
+	// stored content is exact. A warm restart keeps a view only if its
+	// marks match the recovered base counts.
+	Tables []string         `json:"tbls,omitempty"`
+	Marks  map[string]int64 `json:"marks,omitempty"`
 
 	// T is a simulated timestamp (clock, use, hit); Saving and Cost are
 	// benefit/cost figures (use, vstat); Measured mirrors the statistics

@@ -172,6 +172,67 @@ func (e *Engine) BaseTable(name string) *relation.Table {
 	return e.base[name]
 }
 
+// AppendBase appends rows to a base table by publishing a fresh table
+// value whose row slice has its own backing array: plan executions that
+// already resolved the old *Table keep reading a consistent prefix
+// snapshot, and earlier snapshots remain exact prefixes of later ones —
+// the invariant incremental view maintenance depends on. The
+// base-catalog version is deliberately not bumped: an append is a
+// precise-invalidation event (per-table row counts in cache keys,
+// per-view staleness), not a catalog change. Returns the new row count.
+func (e *Engine) AppendBase(name string, rows []relation.Row) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.base[name]
+	if old == nil {
+		return 0, fmt.Errorf("engine: unknown base table %q", name)
+	}
+	for _, r := range rows {
+		if len(r) != len(old.Schema.Cols) {
+			return 0, fmt.Errorf("engine: append row width %d != schema width %d for %s",
+				len(r), len(old.Schema.Cols), name)
+		}
+	}
+	nt := &relation.Table{Schema: old.Schema}
+	nt.Rows = append(old.Rows[:len(old.Rows):len(old.Rows)], rows...)
+	e.base[name] = nt
+	return int64(len(nt.Rows)), nil
+}
+
+// BaseSnapshots returns the current snapshot of each named base table
+// under one catalog-lock acquisition, so the per-table row counts are
+// mutually consistent even while appends land concurrently. Unknown
+// tables surface as an error.
+func (e *Engine) BaseSnapshots(names []string) (map[string]*relation.Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]*relation.Table, len(names))
+	for _, n := range names {
+		t := e.base[n]
+		if t == nil {
+			return nil, fmt.Errorf("engine: unknown base table %q", n)
+		}
+		out[n] = t
+	}
+	return out, nil
+}
+
+// BaseCounts returns the current row count of each named base table
+// under one catalog-lock acquisition (0 for unknown tables). Result
+// cache keys embed these counts so an append precisely unreaches every
+// cached result over the grown tables.
+func (e *Engine) BaseCounts(names []string) map[string]int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]int64, len(names))
+	for _, n := range names {
+		if t := e.base[n]; t != nil {
+			out[n] = int64(len(t.Rows))
+		}
+	}
+	return out
+}
+
 // BaseBytes returns the total modelled size of all base tables.
 func (e *Engine) BaseBytes() int64 {
 	e.mu.RLock()
@@ -210,6 +271,33 @@ func (e *Engine) WriteMaterializedSize(path string, bytes int64) (Cost, error) {
 	e.emit(datastore.Record{Op: "put_file", Path: path, Size: bytes})
 	e.mu.Unlock()
 	return Cost{Seconds: e.cm.WriteCost(bytes, 1), WriteBytes: bytes}, nil
+}
+
+// AppendMaterialized extends a stored materialized file with delta
+// rows, charging only the delta's write cost — the storage primitive of
+// incremental view refresh. The combined table is published as a fresh
+// value with its own backing array, so a concurrent reader holding the
+// old table keeps a consistent earlier version of the view.
+func (e *Engine) AppendMaterialized(path string, delta []relation.Row) (Cost, error) {
+	e.mu.RLock()
+	old := e.mat[path]
+	e.mu.RUnlock()
+	if old == nil {
+		return Cost{}, fmt.Errorf("engine: materialized file %s has no stored rows to append to", path)
+	}
+	nt := &relation.Table{Schema: old.Schema}
+	nt.Rows = append(old.Rows[:len(old.Rows):len(old.Rows)], delta...)
+	bytes := nt.Bytes()
+	if err := e.fs.Write(path, bytes); err != nil {
+		return Cost{}, err
+	}
+	deltaTbl := &relation.Table{Schema: old.Schema, Rows: delta}
+	deltaBytes := deltaTbl.Bytes()
+	e.mu.Lock()
+	e.mat[path] = nt
+	e.emit(datastore.Record{Op: "append_file", Path: path, Size: bytes, Rows: deltaTbl})
+	e.mu.Unlock()
+	return Cost{Seconds: e.cm.WriteCost(deltaBytes, 1), WriteBytes: deltaBytes}, nil
 }
 
 // ReadMaterialized returns the stored rows for path (nil in estimate-only

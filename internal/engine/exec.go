@@ -572,14 +572,14 @@ func concatRows(l, r relation.Row) relation.Row {
 	return out
 }
 
-// aggState accumulates one aggregate function over one group. In
-// partial mode (Aggregate.Partial) sums additionally accumulate into
-// acc, the exact accumulator whose lossless encoding is what a partial
-// row carries — the float fold in sum is not associative, so only acc
-// can cross a merge boundary without breaking byte-identity.
+// aggState accumulates one aggregate function over one group. Sums and
+// averages accumulate into acc, the exact accumulator: a plain float
+// fold is not associative, so only acc can cross a merge boundary — a
+// chunk merge, a shard merge, or an incremental view refresh — without
+// breaking byte-identity. Full mode rounds acc once at render time;
+// partial mode emits its lossless encoding.
 type aggState struct {
 	count int64
-	sum   float64
 	acc   *exactAcc
 	minI  int64
 	maxI  int64
@@ -691,9 +691,9 @@ func aggregate(t *relation.Table, a *query.Aggregate, bud *budget) *relation.Tab
 			case query.Count:
 				row = append(row, relation.IntVal(st.count))
 			case query.Sum:
-				row = append(row, relation.FloatVal(st.sum))
+				row = append(row, relation.FloatVal(st.exactSum()))
 			case query.Avg:
-				row = append(row, relation.FloatVal(st.sum/float64(st.count)))
+				row = append(row, relation.FloatVal(st.exactSum()/float64(st.count)))
 			case query.Min:
 				row = append(row, pickValue(typ, st.minI, st.minF, st.minS))
 			case query.Max:
@@ -733,10 +733,21 @@ func (st *aggState) partialSum() string {
 	return st.acc.encode()
 }
 
+// exactSum rounds the exact accumulator to float64 — the single
+// rounding step of a full-mode sum (0 for a group that never reached a
+// summable value, matching an empty accumulator).
+func (st *aggState) exactSum() float64 {
+	if st.acc == nil {
+		return 0
+	}
+	return st.acc.float64()
+}
+
 // accumulateRow folds one input row into a group's aggregate states.
-// In partial mode sums also fold into the exact accumulator: the same
-// addends, but in an associative domain, so the state survives a merge
-// boundary byte-identically.
+// Sums fold into the exact accumulator in both modes: the same addends,
+// but in an associative domain, so the state survives a merge boundary
+// byte-identically and a full-mode render agrees with any partition of
+// the rows into partials.
 func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int, inSchema *relation.Schema) {
 	for i, sp := range a.Aggs {
 		st := &g.states[i]
@@ -746,7 +757,7 @@ func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int
 		}
 		v := row[aIdx[i]]
 		typ := inSchema.Cols[aIdx[i]].Type
-		if a.Partial && (sp.Func == query.Sum || sp.Func == query.Avg) && typ != relation.String {
+		if (sp.Func == query.Sum || sp.Func == query.Avg) && typ != relation.String {
 			if st.acc == nil {
 				st.acc = &exactAcc{}
 			}
@@ -758,7 +769,6 @@ func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int
 		}
 		switch typ {
 		case relation.Int:
-			st.sum += float64(v.I)
 			if !st.seen || v.I < st.minI {
 				st.minI = v.I
 			}
@@ -766,7 +776,6 @@ func accumulateRow(g *aggGroup, row relation.Row, a *query.Aggregate, aIdx []int
 				st.maxI = v.I
 			}
 		case relation.Float:
-			st.sum += v.F
 			if !st.seen || v.F < st.minF {
 				st.minF = v.F
 			}
@@ -795,7 +804,6 @@ func mergeStates(dst, src []aggState, a *query.Aggregate) {
 		if a.Aggs[i].Func == query.Count || !s.seen {
 			continue
 		}
-		d.sum += s.sum
 		if s.acc != nil {
 			if d.acc == nil {
 				d.acc = &exactAcc{}

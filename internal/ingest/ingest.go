@@ -1,0 +1,289 @@
+// Package ingest is the wire layer of the batched append path: the
+// JSON spec of POST /append on the serving and shard tiers, the value
+// normalization that turns decoded JSON rows into the typed values the
+// engine accepts, a group-commit coalescer that merges concurrent small
+// appends into one journal write, and the JSONL append-stream format
+// the generator emits and the benchmarks replay.
+//
+// The package is deliberately engine-agnostic — it knows nothing about
+// views, journals or refresh. The serving tier supplies the flush
+// function; everything here is batching and encoding.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec is the JSON body of POST /append: a batch of new rows for one
+// base table.
+//
+//	{"table": "store_sales", "rows": [[17, 3, 12.5, "pad"], ...]}
+//
+// Row values align with the table's columns in order. Epoch, when
+// nonzero, is the coordinator's routing-epoch fencing token, checked
+// like a query's: a shard whose ownership epoch differs rejects with
+// 409 so stale routing fails fast instead of appending rows to a shard
+// that no longer owns their range.
+type Spec struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+	Epoch uint64  `json:"epoch,omitempty"`
+}
+
+// Validate checks the structural invariants a handler should 400 on.
+func (sp *Spec) Validate() error {
+	if sp.Table == "" {
+		return fmt.Errorf("ingest: append needs a table")
+	}
+	if len(sp.Rows) == 0 {
+		return fmt.Errorf("ingest: append needs rows")
+	}
+	width := len(sp.Rows[0])
+	for i, r := range sp.Rows {
+		if len(r) != width {
+			return fmt.Errorf("ingest: row %d has %d values, row 0 has %d", i, len(r), width)
+		}
+	}
+	return nil
+}
+
+// Normalize converts decoded-JSON row values in place into the typed
+// values the append path accepts: json.Number becomes int64 when
+// integral and float64 otherwise, float64 stays, and integral float64
+// (a plain json.Unmarshal without UseNumber) converts to int64 so int
+// columns round-trip. Strings pass through; anything else errors.
+func Normalize(rows [][]any) error {
+	for i, row := range rows {
+		for j, v := range row {
+			switch x := v.(type) {
+			case json.Number:
+				if n, err := x.Int64(); err == nil {
+					rows[i][j] = n
+					continue
+				}
+				f, err := x.Float64()
+				if err != nil {
+					return fmt.Errorf("ingest: row %d col %d: bad number %q", i, j, x.String())
+				}
+				rows[i][j] = f
+			case float64:
+				if x == float64(int64(x)) {
+					rows[i][j] = int64(x)
+				}
+			case int64, int, string:
+				// already typed
+			default:
+				return fmt.Errorf("ingest: row %d col %d: unsupported value type %T", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeSpec decodes one append spec, preserving number fidelity
+// (UseNumber) and normalizing the rows.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("ingest: decode append spec: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := Normalize(sp.Rows); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// ItemRange returns the [min, max] range of the routing-key column
+// among the batch's rows, for shard scatter. ki is the column index of
+// the partition key; ok is false if any row's key is not an integer.
+func (sp *Spec) ItemRange(ki int) (lo, hi int64, ok bool) {
+	if ki < 0 || len(sp.Rows) == 0 {
+		return 0, 0, false
+	}
+	for i, row := range sp.Rows {
+		if ki >= len(row) {
+			return 0, 0, false
+		}
+		k, kok := row[ki].(int64)
+		if !kok {
+			return 0, 0, false
+		}
+		if i == 0 || k < lo {
+			lo = k
+		}
+		if i == 0 || k > hi {
+			hi = k
+		}
+	}
+	return lo, hi, true
+}
+
+// ReadStream decodes a JSONL append stream: one Spec per line, numbers
+// preserved, rows normalized. The format deepsea-gen emits with
+// -what appendstream.
+func ReadStream(r io.Reader) ([]*Spec, error) {
+	var out []*Spec
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		sp, err := DecodeSpec(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: stream line %d: %w", line, err)
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: read stream: %w", err)
+	}
+	return out, nil
+}
+
+// WriteStream encodes specs as JSONL, one per line.
+func WriteStream(w io.Writer, specs []*Spec) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range specs {
+		if err := enc.Encode(sp); err != nil {
+			return fmt.Errorf("ingest: write stream: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Flush lands one coalesced batch for a table and returns the result
+// every contributor observes.
+type Flush[R any] func(table string, rows [][]any) (R, error)
+
+// Coalescer implements group commit for the append path: concurrent
+// Add calls for the same table merge into one batch, which flushes when
+// it reaches MaxRows or when the oldest contribution has waited
+// MaxDelay. Every contributor blocks until its batch lands and receives
+// the batch's shared result — so N concurrent small appends cost one
+// journal write and one view-refresh round instead of N.
+type Coalescer[R any] struct {
+	flush    Flush[R]
+	maxRows  int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending map[string]*batch[R]
+	closed  bool
+
+	// Batches and Appends feed the ingest counters: Appends counts Add
+	// calls, Batches counts flushes — Appends/Batches is the group-commit
+	// amortization factor.
+	appends uint64
+	batches uint64
+}
+
+type batch[R any] struct {
+	rows  [][]any
+	done  chan struct{}
+	rep   R
+	err   error
+	timer *time.Timer
+}
+
+// NewCoalescer builds a coalescer over the given flush function.
+// maxRows <= 0 defaults to 4096; maxDelay <= 0 defaults to 2ms.
+func NewCoalescer[R any](maxRows int, maxDelay time.Duration, flush Flush[R]) *Coalescer[R] {
+	if maxRows <= 0 {
+		maxRows = 4096
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	return &Coalescer[R]{
+		flush:    flush,
+		maxRows:  maxRows,
+		maxDelay: maxDelay,
+		pending:  make(map[string]*batch[R]),
+	}
+}
+
+// Add contributes rows to the table's open batch and blocks until that
+// batch lands, returning the batch's shared result.
+func (c *Coalescer[R]) Add(table string, rows [][]any) (R, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		var zero R
+		return zero, fmt.Errorf("ingest: coalescer closed")
+	}
+	c.appends++
+	b := c.pending[table]
+	if b == nil {
+		b = &batch[R]{done: make(chan struct{})}
+		c.pending[table] = b
+		bb := b
+		b.timer = time.AfterFunc(c.maxDelay, func() { c.flushBatch(table, bb) })
+	}
+	b.rows = append(b.rows, rows...)
+	full := len(b.rows) >= c.maxRows
+	c.mu.Unlock()
+	if full {
+		c.flushBatch(table, b)
+	}
+	<-b.done
+	return b.rep, b.err
+}
+
+// flushBatch detaches the batch (if still pending) and lands it. Safe
+// to race: the first caller detaches, later callers find the batch
+// already replaced and return.
+func (c *Coalescer[R]) flushBatch(table string, b *batch[R]) {
+	c.mu.Lock()
+	if c.pending[table] != b {
+		c.mu.Unlock()
+		return // someone else flushed it
+	}
+	delete(c.pending, table)
+	b.timer.Stop()
+	c.batches++
+	c.mu.Unlock()
+	b.rep, b.err = c.flush(table, b.rows)
+	close(b.done)
+}
+
+// Close flushes every open batch and rejects further Adds.
+func (c *Coalescer[R]) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	open := make(map[string]*batch[R], len(c.pending))
+	for t, b := range c.pending {
+		open[t] = b
+	}
+	c.mu.Unlock()
+	for t, b := range open {
+		c.flushBatch(t, b)
+	}
+}
+
+// Stats returns (adds, flushed batches) — the group-commit ratio.
+func (c *Coalescer[R]) Stats() (appends, batches uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.appends, c.batches
+}

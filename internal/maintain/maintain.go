@@ -49,6 +49,12 @@ const (
 	// KindRematerialize speculatively re-materializes a quarantined
 	// fragment from its still-resident rows.
 	KindRematerialize
+	// KindRefresh brings a stale view fresh after a base-table append
+	// (incremental delta propagation, or a drop when the delta cannot
+	// be applied incrementally). Highest band: a stale view is skipped
+	// by the planner, so refreshing it restores rewrite opportunities
+	// every other band exists to exploit.
+	KindRefresh
 
 	numKinds
 )
@@ -66,6 +72,8 @@ func (k Kind) String() string {
 		return "materialize"
 	case KindRematerialize:
 		return "rematerialize"
+	case KindRefresh:
+		return "refresh"
 	}
 	return "unknown"
 }

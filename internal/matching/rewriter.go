@@ -60,6 +60,12 @@ type Rewriter struct {
 	// PhysicalOnly restricts matching to exact signature equality (no
 	// compensation) — ReStore-style physical matching.
 	PhysicalOnly bool
+	// Stale, when non-nil, reports views whose stored content lags their
+	// base tables (a pending ingest refresh). A stale view's pool
+	// content is skipped — rewriting through it would serve rows missing
+	// the appended suffix — but its virtual rewriting still accumulates
+	// statistics, so the view stays a live candidate.
+	Stale func(id string) bool
 }
 
 // ComputeRewritings implements COMPUTEREWRITINGS of Algorithm 1: it
@@ -107,6 +113,9 @@ func (r *Rewriter) ComputeRewritings(root query.Node) ([]Rewriting, engine.Cost,
 func (r *Rewriter) buildRewritings(root, target query.Node, entry *Entry, comp signature.Compensation) ([]Rewriting, error) {
 	var out []Rewriting
 	pv := r.Pool.View(entry.ID)
+	if pv != nil && r.Stale != nil && r.Stale(entry.ID) {
+		pv = nil // stale content must not serve queries; fall through to virtual
+	}
 	if pv != nil {
 		attrs := make([]string, 0, len(pv.Parts))
 		for a := range pv.Parts {

@@ -258,6 +258,22 @@ func (p *Pool) DropViewFile(id string) {
 	p.emit(datastore.Record{Op: "drop_view_file", View: id})
 }
 
+// Invalidate bumps a view's generation without touching its contents —
+// the staleness signal of the ingest path. A base-table append leaves
+// the view's files in place (they still answer exactly for the
+// pre-append prefix) but must unreach every cached result that read
+// them, which the generation bump does through the result cache's
+// dependency validation.
+func (p *Pool) Invalidate(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.views[id]; !ok {
+		return
+	}
+	p.bumpGen(id)
+	p.emit(datastore.Record{Op: "inval_view", View: id})
+}
+
 // EnsurePartition returns the view's partition on attr, creating an
 // empty one on first use. The view must already exist (Ensure).
 func (p *Pool) EnsurePartition(id, attr string, dom interval.Interval, overlapping bool) *partition.Partition {

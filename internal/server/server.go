@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /query   — run one query (body: QuerySpec JSON)
+//	POST /append  — ingest a batch of base-table rows (body: ingest.Spec JSON)
 //	GET  /healthz — liveness + degradation summary
 //	GET  /statz   — full operational snapshot (health, admission, serving)
 //	GET  /poolz   — materialized-pool contents
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"deepsea"
+	"deepsea/internal/ingest"
 )
 
 // Config tunes the serving layer. The zero value is usable: defaults
@@ -65,6 +67,13 @@ type Config struct {
 	// the journal tail — and therefore recovery time — short. Pointless
 	// without deepsea.WithDatastore (default 0 = off).
 	SnapshotEvery time.Duration
+	// AppendMaxRows seals an append group-commit batch at this many rows
+	// (default 4096); AppendLinger is how long the first contributor of a
+	// batch waits for stragglers before the batch lands (default 2ms).
+	// Concurrent POST /append calls for the same table coalesce into one
+	// journal write and one view-refresh round.
+	AppendMaxRows int
+	AppendLinger  time.Duration
 }
 
 func (c *Config) fill() {
@@ -95,16 +104,22 @@ type ServingStats struct {
 	Shed       uint64 `json:"shed"`
 	TimedOut   uint64 `json:"timed_out"`
 	BadRequest uint64 `json:"bad_request"`
+	// Appends counts successful POST /append requests; AppendBatches the
+	// coalesced group commits that landed them (Appends/AppendBatches is
+	// the group-commit amortization under concurrent ingest).
+	Appends       uint64 `json:"appends"`
+	AppendBatches uint64 `json:"append_batches"`
 }
 
 // Server serves queries over one deepsea.System. Create with New,
 // expose Handler over any http.Server, stop with Shutdown.
 type Server struct {
-	cfg Config
-	sys *deepsea.System
-	lim *limiter
-	bat *batcher
-	mux *http.ServeMux
+	cfg  Config
+	sys  *deepsea.System
+	lim  *limiter
+	bat  *batcher
+	coal *ingest.Coalescer[deepsea.AppendReport]
+	mux  *http.ServeMux
 
 	// baseCtx parents every request's query context; cancel kills
 	// stragglers when a drain deadline passes.
@@ -139,6 +154,7 @@ type Server struct {
 	shed       atomic.Uint64
 	timedOut   atomic.Uint64
 	badRequest atomic.Uint64
+	appends    atomic.Uint64
 
 	// completions feeds the drain-rate estimate behind Retry-After.
 	completions completionRing
@@ -161,8 +177,13 @@ func New(sys *deepsea.System, cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	s.coal = ingest.NewCoalescer(cfg.AppendMaxRows, cfg.AppendLinger,
+		func(table string, rows [][]any) (deepsea.AppendReport, error) {
+			return sys.Append(table, rows)
+		})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/poolz", s.handlePoolz)
@@ -214,6 +235,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.reqWG.Wait()
 		s.bat.close()
+		s.coal.Close()
 		close(done)
 	}()
 	var err error
@@ -447,6 +469,141 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// AppendResponse is the JSON body of a successful POST /append: the
+// shared report of the group-commit batch the request's rows landed in.
+type AppendResponse struct {
+	Table      string   `json:"table"`
+	NewCount   int64    `json:"new_count"`
+	StaleViews []string `json:"stale_views,omitempty"`
+	Refreshed  []string `json:"refreshed,omitempty"`
+	Dropped    []string `json:"dropped,omitempty"`
+	// Deferred marks refresh work handed to the background maintenance
+	// pool (views may be briefly stale but are never served stale).
+	Deferred bool `json:"deferred,omitempty"`
+}
+
+// checkAppendOwnership is checkOwnership for the ingest path: a sharded
+// server rejects stale-epoch appends and batches whose routing keys fall
+// outside the owned range, both as 409s carrying the true ownership.
+// Tables without a routing key (replicated dimensions) pass the range
+// check on any shard.
+func (s *Server) checkAppendOwnership(sp *ingest.Spec) (rangeErrResponse, bool) {
+	or, owned := s.sys.OwnedRange()
+	if !owned {
+		return rangeErrResponse{}, true
+	}
+	mk := func(format string, args ...any) rangeErrResponse {
+		return rangeErrResponse{
+			Error:      fmt.Sprintf(format, args...),
+			OwnedLo:    or.Lo,
+			OwnedHi:    or.Hi,
+			RangeEpoch: or.Epoch,
+		}
+	}
+	if sp.Epoch != 0 && sp.Epoch != or.Epoch {
+		return mk("stale routing epoch %d: shard owns [%d,%d] at epoch %d",
+			sp.Epoch, or.Lo, or.Hi, or.Epoch), false
+	}
+	if ki := s.sys.RoutingKeyIndex(sp.Table); ki >= 0 {
+		if lo, hi, ok := sp.ItemRange(ki); ok && (lo < or.Lo || hi > or.Hi) {
+			return mk("append keys [%d,%d] not owned: shard owns [%d,%d] at epoch %d",
+				lo, hi, or.Lo, or.Hi, or.Epoch), false
+		}
+	}
+	return rangeErrResponse{}, true
+}
+
+// handleAppend is POST /append: the online ingest path. It runs behind
+// the same drain/fence/admission protections as /query, pre-validates
+// the batch against the table schema (so one caller's bad rows 400
+// instead of failing a shared group commit), and lands the rows through
+// the coalescer — journaled, dependent views refreshed incrementally.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: ErrDraining.Error()})
+		return
+	}
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: ErrDraining.Error()})
+		return
+	}
+
+	// Appends count toward the handoff fence like queries: a range
+	// handoff drains in-flight ingest before the epoch advances.
+	s.activeQueries.Add(1)
+	defer s.activeQueries.Add(-1)
+	if s.fencing.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "range handoff in progress"})
+		return
+	}
+
+	sp, err := ingest.DecodeSpec(r.Body)
+	if err != nil {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	if resp, ok := s.checkAppendOwnership(sp); !ok {
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	if err := s.sys.ValidateRows(sp.Table, sp.Rows); err != nil {
+		s.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+
+	ctx, cancelReq := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+
+	// Ingest shares the admission limiter with queries: under overload
+	// both shed, so an append burst cannot starve reads of slots (nor
+	// the reverse).
+	if err := s.lim.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, ErrShed):
+			s.writeShed(w)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: "deadline exceeded in queue"})
+		default:
+			s.failed.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer func() {
+		s.lim.release()
+		s.completions.note(time.Now())
+	}()
+
+	rep, err := s.coal.Add(sp.Table, sp.Rows)
+	if err != nil {
+		// Rows were pre-validated, so a flush failure is a server-side
+		// journal or refresh error, not this request's fault.
+		s.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+		return
+	}
+	s.appends.Add(1)
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Table:      rep.Table,
+		NewCount:   rep.NewCount,
+		StaleViews: rep.StaleViews,
+		Refreshed:  rep.Refreshed,
+		Dropped:    rep.Dropped,
+		Deferred:   rep.Deferred,
+	})
+}
+
 // healthzResponse is GET /healthz: a liveness summary. Status is "ok",
 // "degraded" (quarantined files, blacklisted views, journal append
 // errors, a saturated maintenance queue, or a recovery that fell back
@@ -484,8 +641,15 @@ type healthzResponse struct {
 	RangeEpoch uint64 `json:"range_epoch,omitempty"`
 	// RangeRole is the replica role the last handoff assigned ("primary"
 	// or "follower"; absent when standalone).
-	RangeRole string         `json:"range_role,omitempty"`
-	Admission AdmissionStats `json:"admission"`
+	RangeRole string `json:"range_role,omitempty"`
+	// Ingest summary: appended batches and rows landed, incremental view
+	// refreshes applied, and views currently stale awaiting a background
+	// refresh (transient; stale views are never served).
+	IngestAppends    uint64         `json:"ingest_appends,omitempty"`
+	IngestRows       uint64         `json:"ingest_rows,omitempty"`
+	IngestRefreshes  uint64         `json:"ingest_refreshes,omitempty"`
+	IngestStaleViews int            `json:"ingest_stale_views,omitempty"`
+	Admission        AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -512,6 +676,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OwnedHi:             h.OwnedHi,
 		RangeEpoch:          h.RangeEpoch,
 		RangeRole:           s.Role(),
+		IngestAppends:       h.IngestAppends,
+		IngestRows:          h.IngestAppendedRows,
+		IngestRefreshes:     h.IngestRefreshes,
+		IngestStaleViews:    h.IngestStaleViews,
 		Admission:           adm,
 	}
 	status := http.StatusOK
@@ -550,15 +718,18 @@ type statzResponse struct {
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	h := s.sys.Health()
 	adm, inflight, depth := s.lim.snapshot()
+	_, appendBatches := s.coal.Stats()
 	resp := statzResponse{
 		Health:    h,
 		Admission: adm,
 		Serving: ServingStats{
-			Served:     s.served.Load(),
-			Failed:     s.failed.Load(),
-			Shed:       s.shed.Load(),
-			TimedOut:   s.timedOut.Load(),
-			BadRequest: s.badRequest.Load(),
+			Served:        s.served.Load(),
+			Failed:        s.failed.Load(),
+			Shed:          s.shed.Load(),
+			TimedOut:      s.timedOut.Load(),
+			BadRequest:    s.badRequest.Load(),
+			Appends:       s.appends.Load(),
+			AppendBatches: appendBatches,
 		},
 		InFlightSlots:      inflight,
 		QueueDepth:         depth,

@@ -72,6 +72,12 @@ type Config struct {
 
 	// Seed drives the failover jitter (default 1 — deterministic runs).
 	Seed int64
+
+	// KeyIndex maps each base table to the column index of its routing
+	// key, for POST /append scatter: a keyed table's batch splits by key
+	// range across the owning groups. Tables absent from the map are
+	// replicated dimensions — their appends broadcast to every group.
+	KeyIndex map[string]int
 }
 
 // failoverBackoffCap bounds the exponential failover backoff.
@@ -152,6 +158,9 @@ type Coordinator struct {
 	hedgeWins  atomic.Uint64 // hedges that beat the first attempt
 	refreshes  atomic.Uint64 // 409-driven routing-table refreshes
 
+	appendsRouted atomic.Uint64 // POST /append batches routed
+	appendRows    atomic.Uint64 // rows in routed batches
+
 	proberStop chan struct{}
 	proberDone chan struct{}
 }
@@ -229,6 +238,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/append", c.handleAppend)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/statz", c.handleStatz)
 	mux.HandleFunc("/admin/rebalance", c.handleRebalance)
@@ -1256,6 +1266,10 @@ type statzResponse struct {
 	Hedges    uint64 `json:"hedges"`
 	HedgeWins uint64 `json:"hedge_wins"`
 	Refreshes uint64 `json:"refreshes"`
+	// AppendsRouted/AppendRows count POST /append batches scattered by
+	// routing key and the rows they carried.
+	AppendsRouted uint64 `json:"appends_routed"`
+	AppendRows    uint64 `json:"append_rows"`
 	// Breaker aggregates across every replica.
 	BreakerOpens         uint64 `json:"breaker_opens"`
 	BreakerShortCircuits uint64 `json:"breaker_short_circuits"`
@@ -1279,15 +1293,17 @@ type shardStatz struct {
 func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
 	shards := c.Shards()
 	resp := statzResponse{
-		Queries:    c.queries.Load(),
-		Scattered:  c.scattered.Load(),
-		Attempts:   c.attempts.Load(),
-		Failures:   c.failures.Load(),
-		Rebalances: c.rebalances.Load(),
-		Failovers:  c.failovers.Load(),
-		Hedges:     c.hedges.Load(),
-		HedgeWins:  c.hedgeWins.Load(),
-		Refreshes:  c.refreshes.Load(),
+		Queries:       c.queries.Load(),
+		Scattered:     c.scattered.Load(),
+		Attempts:      c.attempts.Load(),
+		Failures:      c.failures.Load(),
+		Rebalances:    c.rebalances.Load(),
+		Failovers:     c.failovers.Load(),
+		Hedges:        c.hedges.Load(),
+		HedgeWins:     c.hedgeWins.Load(),
+		Refreshes:     c.refreshes.Load(),
+		AppendsRouted: c.appendsRouted.Load(),
+		AppendRows:    c.appendRows.Load(),
 	}
 	for _, rs := range c.replicas {
 		opens, shorts, probes := rs.br.Counters()

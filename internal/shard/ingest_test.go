@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deepsea"
+	"deepsea/internal/ingest"
+	"deepsea/internal/server"
+	"deepsea/internal/workload"
+)
+
+// testKeyIndex is the workload's routing-key map: fact tables split by
+// their item_sk column; dimensions (absent) broadcast to every group.
+var testKeyIndex = map[string]int{
+	"store_sales":     0,
+	"web_clickstream": 0,
+	"product_reviews": 0,
+}
+
+// newKeyedCluster is newCluster plus the ingest routing-key config.
+func newKeyedCluster(t *testing.T, k int) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	clusterDataOnce.Do(func() { clusterData = workload.Generate(1, 1, nil) })
+	var servers []*httptest.Server
+	var addrs []string
+	for i := 0; i < k; i++ {
+		sys := deepsea.New()
+		if err := workload.Load(sys, clusterData); err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(sys, server.Config{MaxInFlight: 8})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		servers = append(servers, ts)
+		addrs = append(addrs, ts.URL)
+	}
+	c, err := New(Config{
+		Addrs:          addrs,
+		DomainLo:       workload.ItemSkLo,
+		DomainHi:       workload.ItemSkHi,
+		RequestTimeout: 30 * time.Second,
+		KeyIndex:       testKeyIndex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+// salesBatch builds n valid store_sales rows whose item keys are spread
+// over the whole domain (so a k>1 cluster must split the batch) and
+// whose foreign keys land on existing dimension rows.
+func salesBatch(seed int64, n int) [][]any {
+	rng := rand.New(rand.NewSource(9000 + seed))
+	rows := make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []any{
+			clusterData.ItemKeys[rng.Intn(len(clusterData.ItemKeys))],
+			int64(rng.Intn(200)),
+			int64(rng.Intn(20)),
+			int64(rng.Intn(20) + 1),
+			float64(rng.Intn(50000)) / 100,
+			int64(rng.Intn(365)),
+			"",
+		})
+	}
+	return rows
+}
+
+// coordAppend posts one append spec to the coordinator.
+func coordAppend(t *testing.T, c *Coordinator, sp ingest.Spec) (int, AppendResponse, errResponse) {
+	t.Helper()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	body, err := json.Marshal(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var out AppendResponse
+	var eresp errResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("decode: %v (body %q)", err, buf.String())
+		}
+	} else {
+		if err := json.Unmarshal(buf.Bytes(), &eresp); err != nil {
+			t.Fatalf("decode error body: %v (body %q)", err, buf.String())
+		}
+	}
+	return resp.StatusCode, out, eresp
+}
+
+func coordStatz(t *testing.T, c *Coordinator) map[string]any {
+	t.Helper()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCoordinatorAppendRoutesAndMatches is the sharded half of the
+// ingest identity claim: the same appends routed through 1- and 2-group
+// clusters leave every template's full-domain result byte-identical.
+// Keyed batches split per owning group; the keyless customer batch
+// broadcasts to every group.
+func TestCoordinatorAppendRoutesAndMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	specs := []string{
+		fmt.Sprintf(`{"template":"Q1","lo":%d,"hi":%d}`, workload.ItemSkLo, workload.ItemSkHi),
+		fmt.Sprintf(`{"template":"Q7","lo":%d,"hi":%d}`, workload.ItemSkLo, workload.ItemSkHi),
+		fmt.Sprintf(`{"template":"Q9","lo":%d,"hi":%d}`, workload.ItemSkLo, workload.ItemSkHi),
+		fmt.Sprintf(`{"template":"Q16","lo":%d,"hi":%d}`, workload.ItemSkLo, workload.ItemSkHi),
+	}
+	var want []string
+	for _, k := range []int{1, 2} {
+		c, _ := newKeyedCluster(t, k)
+
+		// Keyed fact append: item keys span the domain, so every group
+		// owns a slice.
+		sales := salesBatch(42, 150)
+		status, out, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: sales})
+		if status != http.StatusOK {
+			t.Fatalf("k=%d sales append: status %d: %s", k, status, eresp.Error)
+		}
+		if out.Rows != 150 || out.GroupsContacted != k || out.ReplicasAppended != k {
+			t.Fatalf("k=%d sales append routing: %+v (want rows=150 groups=%d replicas=%d)", k, out, k, k)
+		}
+
+		// Keyless dimension append: broadcasts whole to every group. The
+		// new customers join nothing yet, so results must not change —
+		// but a group missing the broadcast would diverge later.
+		cust := [][]any{
+			{int64(5000), int64(41), 75000.0, ""},
+			{int64(5001), int64(29), 52000.0, ""},
+		}
+		status, out, eresp = coordAppend(t, c, ingest.Spec{Table: "customer", Rows: cust})
+		if status != http.StatusOK {
+			t.Fatalf("k=%d customer append: status %d: %s", k, status, eresp.Error)
+		}
+		if out.GroupsContacted != k || out.ReplicasAppended != k {
+			t.Fatalf("k=%d customer broadcast: %+v (want groups=%d)", k, out, k)
+		}
+
+		for si, spec := range specs {
+			resp, qout, qerr := coordQuery(t, c, spec)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("k=%d spec %d: status %d: %s", k, si, resp.StatusCode, qerr.Error)
+			}
+			fp := fingerprint(t, qout.Columns, qout.Rows)
+			if k == 1 {
+				want = append(want, fp)
+				continue
+			}
+			if fp != want[si] {
+				t.Errorf("k=%d spec %d: post-append result differs from 1-group run", k, si)
+			}
+		}
+
+		st := coordStatz(t, c)
+		if got := st["appends_routed"].(float64); got != 2 {
+			t.Fatalf("k=%d statz appends_routed = %v, want 2", k, got)
+		}
+		if got := st["append_rows"].(float64); got != 152 {
+			t.Fatalf("k=%d statz append_rows = %v, want 152", k, got)
+		}
+	}
+}
+
+// TestCoordinatorAppendSplitLandsOnOwnersOnly checks a keyed batch whose
+// keys all fall in one group's range contacts exactly that group.
+func TestCoordinatorAppendSplitLandsOnOwnersOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	c, _ := newKeyedCluster(t, 3)
+	sh := c.Shards()[1]
+	rows := [][]any{
+		{sh.Lo, int64(1), int64(1), int64(2), 9.75, int64(10), ""},
+		{sh.Hi, int64(2), int64(2), int64(3), 4.25, int64(11), ""},
+	}
+	status, out, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: rows})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, eresp.Error)
+	}
+	if out.GroupsContacted != 1 || out.ReplicasAppended != 1 {
+		t.Fatalf("single-range batch contacted %d groups / %d replicas, want 1/1", out.GroupsContacted, out.ReplicasAppended)
+	}
+}
+
+// TestCoordinatorAppendBadKeys covers the 400 paths: a routing key
+// outside the domain, a non-integer key, and a row too narrow for the
+// key index. None of them may land any rows.
+func TestCoordinatorAppendBadKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	c, _ := newKeyedCluster(t, 1)
+	cases := []ingest.Spec{
+		{Table: "store_sales", Rows: [][]any{{workload.ItemSkHi + 1, int64(1), int64(1), int64(1), 1.0, int64(1), ""}}},
+		{Table: "store_sales", Rows: [][]any{{"not-a-key", int64(1), int64(1), int64(1), 1.0, int64(1), ""}}},
+		{Table: "store_sales", Rows: [][]any{{}}},
+	}
+	for i, sp := range cases {
+		status, _, eresp := coordAppend(t, c, sp)
+		if status != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400 (%s)", i, status, eresp.Error)
+		}
+	}
+	st := coordStatz(t, c)
+	if got := st["appends_routed"].(float64); got != 0 {
+		t.Fatalf("bad appends counted as routed: %v", got)
+	}
+}
+
+// TestCoordinatorAppendDeadGroupFails kills one group and checks a
+// spanning append fails with 502 naming the dead range — writes have no
+// routing-around — while a batch owned entirely by a live group still
+// lands.
+func TestCoordinatorAppendDeadGroupFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	c, servers := newKeyedCluster(t, 3)
+	dead := c.Shards()[1]
+	servers[1].Close()
+
+	status, _, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: salesBatch(77, 60)})
+	if status != http.StatusBadGateway {
+		t.Fatalf("spanning append with dead group: status %d, want 502", status)
+	}
+	if eresp.FailedLo == nil || eresp.FailedHi == nil ||
+		*eresp.FailedLo != dead.Lo || *eresp.FailedHi != dead.Hi {
+		t.Fatalf("502 does not name the dead range [%d,%d]: %+v", dead.Lo, dead.Hi, eresp)
+	}
+
+	live := c.Shards()[0]
+	rows := [][]any{{live.Lo, int64(1), int64(1), int64(1), 1.0, int64(1), ""}}
+	status, out, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: rows})
+	if status != http.StatusOK {
+		t.Fatalf("live-group append: status %d: %s", status, eresp.Error)
+	}
+	if out.GroupsContacted != 1 {
+		t.Fatalf("live-group append contacted %d groups", out.GroupsContacted)
+	}
+}
+
+// TestCoordinatorAppendStaleEpochRefreshes advances a shard's epoch
+// behind the coordinator's back; the first append attempt draws a 409,
+// the coordinator refreshes its routing table from the shard's claimed
+// ownership, and the retry lands.
+func TestCoordinatorAppendStaleEpochRefreshes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	c, servers := newKeyedCluster(t, 1)
+	sh := c.Shards()[0]
+
+	// Fenced handoff directly against the shard: same range, newer epoch.
+	body := fmt.Sprintf(`{"lo":%d,"hi":%d,"epoch":%d}`, sh.Lo, sh.Hi, sh.Epoch+5)
+	resp, err := http.Post(servers[0].URL+"/admin/range", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct handoff: status %d", resp.StatusCode)
+	}
+
+	status, out, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: salesBatch(5, 20)})
+	if status != http.StatusOK {
+		t.Fatalf("append after shard-side epoch bump: status %d: %s", status, eresp.Error)
+	}
+	if out.Rows != 20 {
+		t.Fatalf("append response: %+v", out)
+	}
+	if got := c.Shards()[0].Epoch; got != sh.Epoch+5 {
+		t.Fatalf("routing table epoch = %d, want %d (refresh did not adopt)", got, sh.Epoch+5)
+	}
+	if c.refreshes.Load() == 0 {
+		t.Fatal("no routing refresh recorded")
+	}
+}

@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"deepsea/internal/ingest"
+)
+
+// AppendResponse is the coordinator's POST /append body: how the batch
+// was routed. Rows landed exactly once per owning group — every replica
+// of a group receives its slice, so any replica can keep answering the
+// group's range.
+type AppendResponse struct {
+	Table string `json:"table"`
+	Rows  int    `json:"rows"`
+	// GroupsContacted is how many range groups received a slice of the
+	// batch; ReplicasAppended the total replica-level appends landed.
+	GroupsContacted  int `json:"groups_contacted"`
+	ReplicasAppended int `json:"replicas_appended"`
+	// Deferred is true when some replica handed its view refreshes to
+	// background maintenance instead of applying them inline.
+	Deferred bool `json:"deferred,omitempty"`
+}
+
+// handleAppend is the coordinator's POST /append: split the batch by
+// routing key across the range groups that own each row, and forward
+// each slice to every replica of its owning group (replicas hold
+// independent copies, and any of them may answer the group's range).
+// Tables without a configured routing key are replicated dimensions:
+// the whole batch broadcasts to every group. A 409 from a shard that is
+// ahead of the routing table triggers one routing refresh and retry,
+// mirroring the query path.
+func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	sp, err := ingest.DecodeSpec(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		status, body, refresh := c.appendOnce(r.Context(), sp)
+		if refresh && attempt == 0 {
+			if rerr := c.refreshRouting(r.Context()); rerr == nil {
+				continue
+			} else if er, ok := body.(errResponse); ok {
+				er.Error += "; routing refresh failed: " + rerr.Error()
+				body = er
+			}
+		}
+		if status == http.StatusOK {
+			c.appendsRouted.Add(1)
+			c.appendRows.Add(uint64(len(sp.Rows)))
+		} else {
+			c.failures.Add(1)
+		}
+		writeJSON(w, status, body)
+		return
+	}
+}
+
+// appendOnce routes one append batch through the current table. refresh
+// is true when a shard reported a newer epoch than the routing table —
+// the caller should refresh and retry once.
+func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec) (int, any, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.shards) == 0 {
+		return http.StatusServiceUnavailable,
+			errResponse{Error: "no routing table (cluster not initialized?)"}, false
+	}
+
+	// Slice the batch: keyed tables split by owning range (row order
+	// within each slice preserved); keyless tables broadcast whole.
+	slices := make([][][]any, len(c.shards))
+	ki, keyed := c.cfg.KeyIndex[sp.Table]
+	if keyed {
+		for _, row := range sp.Rows {
+			if ki < 0 || ki >= len(row) {
+				return http.StatusBadRequest, errResponse{
+					Error: fmt.Sprintf("table %s routing key index %d out of row width %d",
+						sp.Table, ki, len(row))}, false
+			}
+			k, ok := row[ki].(int64)
+			if !ok {
+				return http.StatusBadRequest, errResponse{
+					Error: fmt.Sprintf("table %s routing key must be an integer, got %T", sp.Table, row[ki])}, false
+			}
+			if k < c.cfg.DomainLo || k > c.cfg.DomainHi {
+				return http.StatusBadRequest, errResponse{
+					Error: fmt.Sprintf("routing key %d outside domain [%d,%d]",
+						k, c.cfg.DomainLo, c.cfg.DomainHi)}, false
+			}
+			gi := -1
+			for i, sh := range c.shards {
+				if k >= sh.Lo && k <= sh.Hi {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				return http.StatusServiceUnavailable, errResponse{
+					Error: fmt.Sprintf("no shard owns key %d", k)}, false
+			}
+			slices[gi] = append(slices[gi], row)
+		}
+	} else {
+		for gi := range c.shards {
+			slices[gi] = sp.Rows
+		}
+	}
+
+	type groupResult struct {
+		replicas int
+		deferred bool
+		conflict *conflict409
+		err      error
+	}
+	results := make([]groupResult, len(c.shards))
+	var wg sync.WaitGroup
+	for gi := range c.shards {
+		if len(slices[gi]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			r := &results[gi]
+			r.replicas, r.deferred, r.conflict, r.err =
+				c.appendGroup(ctx, gi, sp.Table, slices[gi])
+		}(gi)
+	}
+	wg.Wait()
+
+	resp := AppendResponse{Table: sp.Table, Rows: len(sp.Rows)}
+	for gi, res := range results {
+		if res.conflict != nil && res.conflict.Epoch > c.shards[gi].Epoch {
+			return http.StatusServiceUnavailable, errResponse{
+				Error: fmt.Sprintf("routing table stale for group %s: replica reports epoch %d > table epoch %d (%s)",
+					c.shards[gi].Addr, res.conflict.Epoch, c.shards[gi].Epoch, res.conflict.Msg),
+				Shard: c.shards[gi].Addr,
+			}, true
+		}
+		if res.err != nil || res.conflict != nil {
+			cause := res.err
+			if cause == nil {
+				cause = res.conflict
+			}
+			flo, fhi := c.shards[gi].Lo, c.shards[gi].Hi
+			return http.StatusBadGateway, errResponse{
+				Error: fmt.Sprintf("append to group %s (range [%d,%d]) failed: %v",
+					c.shards[gi].Addr, flo, fhi, cause),
+				Shard:    c.shards[gi].Addr,
+				FailedLo: &flo,
+				FailedHi: &fhi,
+			}, false
+		}
+		if res.replicas > 0 {
+			resp.GroupsContacted++
+			resp.ReplicasAppended += res.replicas
+			resp.Deferred = resp.Deferred || res.deferred
+		}
+	}
+	return http.StatusOK, resp, false
+}
+
+// appendGroup lands one slice on every replica of one group. Appends
+// are writes, not reads: a replica that misses the batch would serve
+// stale rows if failover or a preferred-replica switch later routed the
+// range to it, so all replicas must accept — there is no routing-around
+// for ingest. A replica's 409 propagates for the epoch-refresh path.
+func (c *Coordinator) appendGroup(ctx context.Context, gi int, table string, rows [][]any) (int, bool, *conflict409, error) {
+	sub := ingest.Spec{Table: table, Rows: rows, Epoch: c.shards[gi].Epoch}
+	body, err := json.Marshal(&sub)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	landed := 0
+	deferred := false
+	for _, addr := range c.shards[gi].Replicas {
+		c.attempts.Add(1)
+		def, conflict, err := c.doAppend(ctx, addr, body)
+		if conflict != nil {
+			return landed, deferred, conflict, nil
+		}
+		if err != nil {
+			return landed, deferred, nil, fmt.Errorf("%s: %w", addr, err)
+		}
+		landed++
+		deferred = deferred || def
+	}
+	return landed, deferred, nil, nil
+}
+
+// doAppend runs one replica-level POST /append.
+func (c *Coordinator) doAppend(ctx context.Context, addr string, body []byte) (bool, *conflict409, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/append", bytes.NewReader(body))
+	if err != nil {
+		return false, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		var re struct {
+			Error      string `json:"error"`
+			OwnedLo    int64  `json:"owned_lo"`
+			OwnedHi    int64  `json:"owned_hi"`
+			RangeEpoch uint64 `json:"range_epoch"`
+		}
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&re); derr != nil {
+			return false, nil, fmt.Errorf("decoding 409 body: %w", derr)
+		}
+		return false, &conflict409{
+			OwnedLo: re.OwnedLo, OwnedHi: re.OwnedHi, Epoch: re.RangeEpoch, Msg: re.Error,
+		}, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var ar struct {
+		Deferred bool `json:"deferred"`
+	}
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ar); derr != nil {
+		return false, nil, fmt.Errorf("decoding append response: %w", derr)
+	}
+	return ar.Deferred, nil, nil
+}

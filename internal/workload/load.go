@@ -62,6 +62,12 @@ func Load(sys *deepsea.System, d *Data) error {
 			}
 		}
 	}
+	// The catalog is re-created: replay any base-table appends the
+	// datastore recovered, so a warm restart resumes with the ingested
+	// rows and a reconciled view pool. No-op without recovered appends.
+	if _, err := sys.ApplyRecoveredAppends(); err != nil {
+		return fmt.Errorf("workload: replay recovered appends: %w", err)
+	}
 	return nil
 }
 

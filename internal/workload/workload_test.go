@@ -214,3 +214,28 @@ func TestRangeAtClamping(t *testing.T) {
 		t.Errorf("oversized range not clamped: %v", got)
 	}
 }
+
+func TestKeyIndexes(t *testing.T) {
+	got := Generate(1, 1, nil).KeyIndexes()
+	want := map[string]int{
+		"item":            0,
+		"store_sales":     0,
+		"web_clickstream": 0,
+		"product_reviews": 0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("KeyIndexes = %v, want %v", got, want)
+	}
+	for table, idx := range want {
+		if g, ok := got[table]; !ok || g != idx {
+			t.Errorf("KeyIndexes[%q] = %d (present %v), want %d", table, g, ok, idx)
+		}
+	}
+	// Replicated dimensions must stay out of the map so coordinators
+	// broadcast their appends.
+	for _, table := range []string{"customer", "store"} {
+		if _, ok := got[table]; ok {
+			t.Errorf("KeyIndexes unexpectedly contains replicated table %q", table)
+		}
+	}
+}

@@ -20,8 +20,8 @@
 #       installs it; local runs skip it with a note — and a workflow
 #       warning annotation — rather than demanding the tool)
 #    9. bench smoke: cachespeed + lockspeed + faultspeed + servespeed +
-#       persistspeed + maintspeed + shardspeed + failspeed at short
-#       scale with JSON reports (the maintspeed run also captures CPU
+#       persistspeed + maintspeed + shardspeed + failspeed + ingestspeed
+#       at short scale with JSON reports (the maintspeed run also captures CPU
 #       and mutex profiles as artifacts), then a benchcheck preflight
 #       (every *speed experiment must have registered floors) and
 #       benchcheck gating the host-independent metrics (determinism,
@@ -40,6 +40,16 @@
 #       a primary mid-burst with zero client-visible failures and
 #       byte-identical results; and the failover/hedging/breaker suite
 #       (with its goroutine-leak checks) re-runs fresh
+#   11. ingest smoke — the batched append path under the race detector:
+#       the core delta-propagation suite, the all-template
+#       delta-vs-remat property tests, the serving tier's /append suite
+#       (an append burst racing a query burst, bad-request and
+#       ownership rejections, a kill -9 mid-ingest whose warm restart
+#       replays the journal to byte-identical results), and the
+#       coordinator routing suite (keyed split, keyless broadcast,
+#       epoch refresh); ingestspeed runs in the bench smoke with its
+#       floors (incremental == remat across templates and shard counts,
+#       sublinear refresh cost, bounded read p99 under ingest)
 #
 # Reports land in BENCH_DIR (default ./bench-reports) as BENCH_<id>.json;
 # the workflow uploads them as artifacts.
@@ -120,6 +130,7 @@ $GO build -o "$BENCH_DIR/benchcheck" ./cmd/benchcheck
     -cpuprofile maintspeed.cpu.pprof -mutexprofile maintspeed.mutex.pprof)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment shardspeed -params short -json)
 (cd "$BENCH_DIR" && ./deepsea-bench -experiment failspeed -params short -json)
+(cd "$BENCH_DIR" && ./deepsea-bench -experiment ingestspeed -params short -json)
 
 echo "==> benchcheck"
 "$BENCH_DIR/benchcheck" -preflight
@@ -129,5 +140,11 @@ echo "==> sharded-cluster smoke (race)"
 $GO test -race ./internal/shard
 $GO test -race -count=1 -run 'TestShardClusterSmoke|TestReplicatedClusterSmoke' ./internal/shard
 $GO test -race -count=1 -run 'TestFailover|TestHedged|TestBreaker|TestProber|TestCoordinatorAdoptsTrueOwnershipOn409' ./internal/shard
+
+echo "==> ingest smoke (race)"
+$GO test -race -count=1 -run 'TestAppend|TestCacheInvalidationOnAppend|TestRematOnAppend|TestBackgroundRefresh|TestEmptyAppend' ./internal/core
+$GO test -race -count=1 -run 'TestDeltaRefresh' .
+$GO test -race -count=1 -run 'TestAppendEndpoint|TestAppendBadRequests|TestAppendOwnership|TestAppendQueryConcurrentSmoke|TestCrashRecoveryMidIngest' ./internal/server
+$GO test -race -count=1 -run 'TestCoordinatorAppend' ./internal/shard
 
 echo "==> ci passed"
