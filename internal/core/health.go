@@ -81,12 +81,16 @@ type Health struct {
 	MaintKinds []MaintKindHealth
 
 	// Ingest path: batched appends and the incremental refresh of
-	// dependent views. IngestStaleViews is the degraded signal — views
-	// currently unreadable while their refresh is pending.
+	// dependent views. IngestStaleViews counts views currently
+	// unreadable while their refresh is pending (transient in background
+	// mode). IngestRetryBacklog is the degraded signal: views stuck
+	// still-stale in inline mode, with no retry pending until a later
+	// append happens to land.
 	IngestAppends        uint64
 	IngestAppendedRows   uint64
 	IngestTrackedViews   int
 	IngestStaleViews     int
+	IngestRetryBacklog   int
 	IngestRefreshes      uint64
 	IngestEmptyRefreshes uint64
 	IngestPrimes         uint64
@@ -215,6 +219,7 @@ func (d *DeepSea) Health() Health {
 	h.IngestAppendedRows = is.AppendedRows
 	h.IngestTrackedViews = is.TrackedViews
 	h.IngestStaleViews = is.StaleViews
+	h.IngestRetryBacklog = is.RetryBacklog
 	h.IngestRefreshes = is.Refreshes
 	h.IngestEmptyRefreshes = is.EmptyRefreshes
 	h.IngestPrimes = is.Primes

@@ -65,6 +65,17 @@ type ingestMeta struct {
 
 // ingestState is the instance-wide ingest registry.
 type ingestState struct {
+	// appendMu serializes one append's base-table apply, its append_rows
+	// journal record, and its append-log entry as a single atomic step:
+	// concurrent Appends to the same table would otherwise journal (and
+	// snapshot) in a different order than they applied in memory, and a
+	// warm restart — which replays in journal order — would rebuild the
+	// table with a different row order than the live instance, breaking
+	// the byte-identical-to-remat invariant of surviving views. Acquired
+	// before mu and before the engine/datastore locks; nothing acquires
+	// it while holding any other lock.
+	appendMu sync.Mutex
+
 	mu      sync.Mutex
 	views   map[string]*ingestMeta
 	byTable map[string]map[string]bool
@@ -77,6 +88,11 @@ type ingestState struct {
 	// restart rebuild the grown tables from the host's re-added
 	// originals.
 	appLog map[string]*relation.Table
+	// retry is the inline-mode retry backlog: views a refresh left
+	// still-stale (pinned files blocked a drop, a write fault poisoned
+	// an apply). Inline mode has no maintenance pool to re-enqueue them,
+	// so every later Append — to any table — drains this set.
+	retry map[string]bool
 
 	appends        uint64
 	appendRows     uint64
@@ -93,6 +109,7 @@ func newIngestState() *ingestState {
 		byTable: make(map[string]map[string]bool),
 		dropped: make(map[string]bool),
 		appLog:  make(map[string]*relation.Table),
+		retry:   make(map[string]bool),
 	}
 }
 
@@ -107,6 +124,11 @@ type IngestStats struct {
 	// StaleViews how many of them currently lag their base tables.
 	TrackedViews int `json:"tracked_views"`
 	StaleViews   int `json:"stale_views"`
+	// RetryBacklog is the number of views stuck still-stale in inline
+	// mode (no maintenance pool to retry them); they stay unreadable
+	// until a later append drains the backlog, so a persistently
+	// nonzero value is an operator signal.
+	RetryBacklog int `json:"retry_backlog"`
 	// Refreshes counts applied refreshes (incremental, including
 	// empty-delta fast paths, counted separately in EmptyRefreshes);
 	// Primes counts lazy refresh-state builds (each linear in the base,
@@ -133,6 +155,7 @@ func (d *DeepSea) IngestStats() IngestStats {
 		Appends:           s.appends,
 		AppendedRows:      s.appendRows,
 		TrackedViews:      len(s.views),
+		RetryBacklog:      len(s.retry),
 		Refreshes:         s.refreshes,
 		EmptyRefreshes:    s.emptyRefreshes,
 		Primes:            s.primes,
@@ -174,9 +197,10 @@ type AppendReport struct {
 	NewCount int64
 	// StaleViews lists the dependent views marked stale.
 	StaleViews []string
-	// Refreshed and Dropped list the dependent views brought fresh
-	// incrementally / dropped during the synchronous (inline-mode)
-	// refresh. Both empty when Deferred.
+	// Refreshed and Dropped list the views brought fresh incrementally /
+	// dropped during the synchronous (inline-mode) refresh: this
+	// append's dependents, plus any retry-backlog views earlier inline
+	// rounds left still-stale. Both empty when Deferred.
 	Refreshed []string
 	Dropped   []string
 	// Deferred reports the refreshes were enqueued to the background
@@ -201,8 +225,13 @@ func (d *DeepSea) Append(table string, rows []relation.Row) (AppendReport, error
 		counts := d.Eng.BaseCounts([]string{table})
 		return AppendReport{Table: table, NewCount: counts[table]}, nil
 	}
+	// appendMu makes apply + journal + append-log one atomic step, so
+	// journal replay order always matches in-memory apply order (see the
+	// field comment).
+	d.ingest.appendMu.Lock()
 	newCount, err := d.Eng.AppendBase(table, rows)
 	if err != nil {
+		d.ingest.appendMu.Unlock()
 		return AppendReport{}, err
 	}
 	schema := d.Eng.BaseTable(table).Schema
@@ -210,6 +239,7 @@ func (d *DeepSea) Append(table string, rows []relation.Row) (AppendReport, error
 	d.appendRecord(datastore.Record{Op: "append_rows", Rows: deltaTbl, Size: newCount})
 
 	ids := d.markDependentsStale(table, deltaTbl)
+	d.ingest.appendMu.Unlock()
 	for _, id := range ids {
 		// Generation bump: unreaches every cached result whose plan read
 		// the view (defense in depth next to the count-qualified keys).
@@ -223,7 +253,10 @@ func (d *DeepSea) Append(table string, rows []relation.Row) (AppendReport, error
 		rep.Deferred = len(ids) > 0
 		return rep, nil
 	}
-	for _, id := range ids {
+	// Inline refresh covers this append's dependents plus the retry
+	// backlog: views an earlier inline round left still-stale have no
+	// other retry trigger.
+	for _, id := range d.inlineRefreshSet(ids) {
 		held := d.views.lockViews([]string{id})
 		cost, outcome := d.applyRefreshLocked(id)
 		d.views.unlockViews(held)
@@ -302,7 +335,9 @@ const (
 	refreshDropped
 	// refreshStillStale: the view is still stale (pinned files blocked a
 	// drop, a write fault interrupted the apply, or appends kept racing
-	// past the retry bound); in background mode a retry is enqueued.
+	// past the retry bound). In background mode a retry is enqueued; in
+	// inline mode the view joins the retry backlog, drained by the next
+	// Append to any table.
 	refreshStillStale
 )
 
@@ -418,16 +453,33 @@ func (d *DeepSea) applyRefreshLocked(id string) (engine.Cost, refreshOutcome) {
 			c, aerr := d.applyViewAppend(id, res.Rows)
 			total.Add(c)
 			if aerr != nil {
-				// A write fault mid-apply: the files extended so far are
-				// prefixes of the correct new content, which a retry (or
-				// the eventual drop) resolves; the view stays stale and
-				// unreadable meanwhile.
+				// A write fault mid-apply is not retryable: each
+				// AppendMaterialized is atomic per file, but the
+				// multi-file apply is not — files extended before the
+				// fault already hold the delta, and re-running the apply
+				// (marks unchanged, same delta) would append it to them a
+				// second time. The only safe completion is dropping the
+				// view. Poison the marks first so that if pinned files
+				// block the drop, every later attempt drops instead of
+				// re-applying. (Crash recovery is safe the same way: the
+				// view was journaled stale, and recovery drops stale
+				// views.)
+				m.marks = nil
+				m.rp = nil
+				if d.dropStaleView(id) {
+					return total, refreshDropped
+				}
 				return total, d.refreshRetry(id)
 			}
 		case engine.DeltaAgg:
 			c, aerr := d.applyViewReplace(id, res.Rows)
 			total.Add(c)
 			if aerr != nil {
+				// Unlike the append path, a partial replace IS retryable:
+				// WriteMaterialized rewrites whole files, the retained
+				// states only advance on success (MergeAggStates copies),
+				// so a retry recomputes the same content and overwrites
+				// every file idempotently.
 				return total, d.refreshRetry(id)
 			}
 			m.rp.States = res.States
@@ -451,11 +503,45 @@ func (d *DeepSea) applyRefreshLocked(id string) (engine.Cost, refreshOutcome) {
 	}
 }
 
-// refreshRetry re-enqueues a still-stale view in background mode; the
-// next append retries it in inline mode.
+// refreshRetry re-enqueues a still-stale view in background mode; in
+// inline mode it joins the retry backlog the next Append drains.
 func (d *DeepSea) refreshRetry(id string) refreshOutcome {
-	d.enqueueRefresh(id)
+	if d.maint != nil {
+		d.enqueueRefresh(id)
+	} else {
+		s := d.ingest
+		s.mu.Lock()
+		s.retry[id] = true
+		s.mu.Unlock()
+	}
 	return refreshStillStale
+}
+
+// inlineRefreshSet merges one append's dependent views with the inline
+// retry backlog (drained here; a view that stays stale re-enters it via
+// refreshRetry). Returns the union sorted by id.
+func (d *DeepSea) inlineRefreshSet(ids []string) []string {
+	s := d.ingest
+	s.mu.Lock()
+	if len(s.retry) == 0 {
+		s.mu.Unlock()
+		return ids
+	}
+	set := make(map[string]bool, len(ids)+len(s.retry))
+	for _, id := range ids {
+		set[id] = true
+	}
+	for id := range s.retry {
+		set[id] = true
+	}
+	s.retry = make(map[string]bool)
+	s.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // finalizeRefresh publishes a refresh's new consistency point: marks
@@ -475,6 +561,7 @@ func (d *DeepSea) finalizeRefresh(id string, m *ingestMeta, counts map[string]in
 	fresh := countsEqual(cur, counts, m.tables)
 	if fresh {
 		m.stale = false
+		delete(s.retry, id)
 		s.refreshes++
 		if empty {
 			s.emptyRefreshes++
@@ -640,6 +727,7 @@ func (d *DeepSea) dropStaleView(id string) bool {
 		delete(s.views, id)
 	}
 	s.dropped[id] = true
+	delete(s.retry, id)
 	s.drops++
 	s.mu.Unlock()
 	return true
@@ -703,8 +791,15 @@ func (d *DeepSea) registerIngestView(id string, plan query.Node, planCounts map[
 		}
 		s.byTable[t][id] = true
 	}
-	if m.stale && d.maint != nil {
-		d.enqueueRefresh(id)
+	if m.stale {
+		if d.maint != nil {
+			d.enqueueRefresh(id)
+		} else {
+			// Inline mode: without a backlog entry this view's first
+			// refresh (which will drop it — no valid marks) would only
+			// ever trigger on an append to one of its own tables.
+			s.retry[id] = true
+		}
 	}
 }
 

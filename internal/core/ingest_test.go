@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"deepsea/internal/query"
 	"deepsea/internal/relation"
 )
 
@@ -275,6 +276,145 @@ func TestAppendRecoveryWarmRestart(t *testing.T) {
 	}
 	if got := resultJSON(t, run(t, d3, q30(0, 4999))); got != want {
 		t.Errorf("snapshot-recovered result diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// appendMaintainedView finds the warmed pool's append-maintained view
+// (non-aggregate root, fragment-partitioned — the DeltaAppend refresh
+// path) and returns its id plus its fragment paths in partition order.
+func appendMaintainedView(t *testing.T, d *DeepSea) (string, []string) {
+	t.Helper()
+	s := d.ingest
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, m := range s.views {
+		if _, isAgg := m.plan.(*query.Aggregate); isAgg {
+			continue
+		}
+		pv := d.Pool.View(id)
+		if pv == nil {
+			continue
+		}
+		var paths []string
+		for _, attr := range pv.PartAttrs() {
+			for _, fr := range pv.Parts[attr].Fragments() {
+				paths = append(paths, fr.Path)
+			}
+		}
+		if len(paths) > 1 {
+			return id, paths
+		}
+	}
+	t.Fatal("warmed pool has no fragment-partitioned append-maintained view")
+	return "", nil
+}
+
+// TestAppendPartialApplyDropsView: a write fault partway through a
+// multi-file DeltaAppend apply leaves fragments extended before the
+// fault already holding the delta, so the refresh must DROP the view —
+// re-running the apply would append the delta to those files a second
+// time. The instance comes out with no stale views, no retry backlog,
+// and query results identical to a fresh baseline.
+func TestAppendPartialApplyDropsView(t *testing.T) {
+	d := newTestSystem(t, nil)
+	persistWorkload(t, d)
+	id, frags := appendMaintainedView(t, d)
+
+	// Sabotage the last fragment's backing file: the apply extends every
+	// earlier fragment, then faults — a genuine partial apply.
+	d.Eng.DeleteMaterialized(frags[len(frags)-1])
+
+	b := appendRows(8, 300)
+	rep, err := d.Append("sales", b)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	dropped := false
+	for _, v := range rep.Dropped {
+		dropped = dropped || v == id
+	}
+	if !dropped {
+		t.Fatalf("partially applied view not dropped: %+v", rep)
+	}
+	for _, v := range rep.Refreshed {
+		if v == id {
+			t.Fatal("partially applied view reported refreshed")
+		}
+	}
+	is := d.IngestStats()
+	if is.Drops == 0 || is.StaleViews != 0 || is.RetryBacklog != 0 {
+		t.Fatalf("post-fault stats = %+v, want the view dropped cleanly", is)
+	}
+
+	base := freshWithAppends(t, b)
+	for _, q := range []struct{ lo, hi int64 }{{0, 4999}, {1000, 2999}} {
+		got := resultJSON(t, run(t, d, q30(q.lo, q.hi)))
+		want := resultJSON(t, run(t, base, q30(q.lo, q.hi)))
+		if got != want {
+			t.Errorf("q30(%d,%d) after partial-apply drop diverges (delta applied twice?):\n got %s\nwant %s",
+				q.lo, q.hi, got, want)
+		}
+	}
+}
+
+// TestInlineRetryBacklogDrains: when a faulted view's drop is blocked by
+// a pinned file in inline mode, the view joins the retry backlog (the
+// operator-visible degraded signal) instead of being stuck forever, and
+// the next Append — after the pin releases — drains the backlog.
+func TestInlineRetryBacklogDrains(t *testing.T) {
+	d := newTestSystem(t, nil)
+	persistWorkload(t, d)
+	id, frags := appendMaintainedView(t, d)
+
+	// A concurrent query holds the first fragment pinned; the last
+	// fragment's backing file is gone, so the refresh faults mid-apply
+	// and the pin blocks the only safe completion (the drop).
+	d.pin(frags[:1])
+	d.Eng.DeleteMaterialized(frags[len(frags)-1])
+
+	b1 := appendRows(9, 300)
+	rep1, err := d.Append("sales", b1)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	for _, v := range append(rep1.Refreshed, rep1.Dropped...) {
+		if v == id {
+			t.Fatalf("pinned faulted view reported resolved: %+v", rep1)
+		}
+	}
+	is := d.IngestStats()
+	if is.RetryBacklog != 1 || is.StaleViews != 1 {
+		t.Fatalf("stuck view not in retry backlog: %+v", is)
+	}
+	if h := d.Health(); h.IngestRetryBacklog != 1 {
+		t.Fatalf("Health.IngestRetryBacklog = %d, want 1", h.IngestRetryBacklog)
+	}
+
+	// Pin released: the next append (same or different dependents) drains
+	// the backlog, and the poisoned marks force the drop.
+	d.unpin(frags[:1])
+	b2 := appendRows(10, 200)
+	rep2, err := d.Append("sales", b2)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	dropped := false
+	for _, v := range rep2.Dropped {
+		dropped = dropped || v == id
+	}
+	if !dropped {
+		t.Fatalf("backlog view not dropped on the next append: %+v", rep2)
+	}
+	is = d.IngestStats()
+	if is.RetryBacklog != 0 || is.StaleViews != 0 || is.Drops == 0 {
+		t.Fatalf("backlog did not drain: %+v", is)
+	}
+
+	base := freshWithAppends(t, b1, b2)
+	got := resultJSON(t, run(t, d, q30(0, 4999)))
+	want := resultJSON(t, run(t, base, q30(0, 4999)))
+	if got != want {
+		t.Errorf("post-drain result diverges:\n got %s\nwant %s", got, want)
 	}
 }
 

@@ -31,10 +31,19 @@ import (
 // like a query's: a shard whose ownership epoch differs rejects with
 // 409 so stale routing fails fast instead of appending rows to a shard
 // that no longer owns their range.
+//
+// Token, when nonempty, is the batch's idempotency key: a serving tier
+// remembers recently applied tokens and answers a repeated token with
+// the remembered result instead of appending the rows again, so a
+// retry after a partial failure (a coordinator's 409-refresh retry, a
+// client retrying a 502 whose batch landed on some replicas) cannot
+// duplicate rows. The window is bounded and in-memory — idempotence
+// holds within a serving process's lifetime, not across its restarts.
 type Spec struct {
 	Table string  `json:"table"`
 	Rows  [][]any `json:"rows"`
 	Epoch uint64  `json:"epoch,omitempty"`
+	Token string  `json:"token,omitempty"`
 }
 
 // Validate checks the structural invariants a handler should 400 on.

@@ -139,6 +139,72 @@ func TestAppendEndpoint(t *testing.T) {
 	}
 }
 
+// TestAppendIdempotencyToken: a repeated Spec.Token replays the first
+// request's result without landing the rows twice — the property that
+// makes coordinator and client retries safe — while a fresh token (or
+// no token) appends normally.
+func TestAppendIdempotencyToken(t *testing.T) {
+	leakcheck.Check(t)
+	data := workload.Generate(1, 1, nil)
+	sys := newTestSystem(t)
+	_, ts := newTestServer(t, sys, Config{})
+	before := int64(len(data.Tables["store_sales"].Rows))
+
+	batch := appendBatch(data, 11, 120)
+	sp := ingest.Spec{Table: "store_sales", Rows: batch, Token: "tok-1"}
+	code, first, msg := postAppend(t, ts.URL, sp)
+	if code != http.StatusOK || first.Deduped {
+		t.Fatalf("first tokened append: status %d deduped %v: %s", code, first.Deduped, msg)
+	}
+	if first.NewCount != before+120 {
+		t.Fatalf("first append count = %d, want %d", first.NewCount, before+120)
+	}
+
+	// Exact retry: same token, same rows. The response replays the first
+	// result and nothing lands.
+	code, again, msg := postAppend(t, ts.URL, sp)
+	if code != http.StatusOK {
+		t.Fatalf("retried append: status %d: %s", code, msg)
+	}
+	if !again.Deduped {
+		t.Fatal("retried token not marked deduped")
+	}
+	if again.NewCount != first.NewCount {
+		t.Fatalf("dedup replayed count %d, want first result %d", again.NewCount, first.NewCount)
+	}
+	if is := sys.IngestStats(); is.AppendedRows != 120 {
+		t.Fatalf("rows landed twice under one token: %d appended", is.AppendedRows)
+	}
+
+	// A different token with the same rows is a new batch.
+	code, second, msg := postAppend(t, ts.URL, ingest.Spec{Table: "store_sales", Rows: batch, Token: "tok-2"})
+	if code != http.StatusOK || second.Deduped {
+		t.Fatalf("fresh-token append: status %d deduped %v: %s", code, second.Deduped, msg)
+	}
+	if second.NewCount != before+240 {
+		t.Fatalf("fresh-token count = %d, want %d", second.NewCount, before+240)
+	}
+
+	// Tokenless appends never dedup against each other.
+	for i := 0; i < 2; i++ {
+		code, out, msg := postAppend(t, ts.URL, ingest.Spec{Table: "store_sales", Rows: appendBatch(data, 12, 50)})
+		if code != http.StatusOK || out.Deduped {
+			t.Fatalf("tokenless append %d: status %d deduped %v: %s", i, code, out.Deduped, msg)
+		}
+	}
+	if is := sys.IngestStats(); is.AppendedRows != 340 {
+		t.Fatalf("appended rows = %d, want 340", is.AppendedRows)
+	}
+
+	var sz struct {
+		Serving ServingStats `json:"serving"`
+	}
+	crashGet(t, ts.Listener.Addr().String(), "/statz", &sz)
+	if sz.Serving.AppendDedups != 1 {
+		t.Errorf("statz append_dedups = %d, want 1", sz.Serving.AppendDedups)
+	}
+}
+
 // TestAppendBadRequests: malformed specs 400, wrong method 405 — and
 // nothing lands.
 func TestAppendBadRequests(t *testing.T) {

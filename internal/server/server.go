@@ -74,6 +74,12 @@ type Config struct {
 	// journal write and one view-refresh round.
 	AppendMaxRows int
 	AppendLinger  time.Duration
+	// AppendDedupWindow is how many recently applied append tokens the
+	// server remembers for idempotent retries (ingest.Spec.Token); a
+	// repeated token within the window returns the original result
+	// instead of appending the rows again. Default 4096; negative
+	// disables dedup.
+	AppendDedupWindow int
 }
 
 func (c *Config) fill() {
@@ -94,6 +100,9 @@ func (c *Config) fill() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
 	}
+	if c.AppendDedupWindow == 0 {
+		c.AppendDedupWindow = 4096
+	}
 }
 
 // ServingStats counts frontend traffic (admission counters live in
@@ -109,6 +118,10 @@ type ServingStats struct {
 	// the group-commit amortization under concurrent ingest).
 	Appends       uint64 `json:"appends"`
 	AppendBatches uint64 `json:"append_batches"`
+	// AppendDedups counts append requests answered from the idempotency
+	// window (a repeated token: the rows were already applied by an
+	// earlier request, so nothing landed twice).
+	AppendDedups uint64 `json:"append_dedups"`
 }
 
 // Server serves queries over one deepsea.System. Create with New,
@@ -116,10 +129,11 @@ type ServingStats struct {
 type Server struct {
 	cfg  Config
 	sys  *deepsea.System
-	lim  *limiter
-	bat  *batcher
-	coal *ingest.Coalescer[deepsea.AppendReport]
-	mux  *http.ServeMux
+	lim   *limiter
+	bat   *batcher
+	coal  *ingest.Coalescer[deepsea.AppendReport]
+	dedup *appendDedup // nil when AppendDedupWindow < 0
+	mux   *http.ServeMux
 
 	// baseCtx parents every request's query context; cancel kills
 	// stragglers when a drain deadline passes.
@@ -149,12 +163,13 @@ type Server struct {
 	snapDone chan struct{}
 	snapErrs atomic.Uint64
 
-	served     atomic.Uint64
-	failed     atomic.Uint64
-	shed       atomic.Uint64
-	timedOut   atomic.Uint64
-	badRequest atomic.Uint64
-	appends    atomic.Uint64
+	served       atomic.Uint64
+	failed       atomic.Uint64
+	shed         atomic.Uint64
+	timedOut     atomic.Uint64
+	badRequest   atomic.Uint64
+	appends      atomic.Uint64
+	appendDedups atomic.Uint64
 
 	// completions feeds the drain-rate estimate behind Retry-After.
 	completions completionRing
@@ -181,6 +196,9 @@ func New(sys *deepsea.System, cfg Config) *Server {
 		func(table string, rows [][]any) (deepsea.AppendReport, error) {
 			return sys.Append(table, rows)
 		})
+	if cfg.AppendDedupWindow > 0 {
+		s.dedup = newAppendDedup(cfg.AppendDedupWindow)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/append", s.handleAppend)
@@ -480,6 +498,10 @@ type AppendResponse struct {
 	// Deferred marks refresh work handed to the background maintenance
 	// pool (views may be briefly stale but are never served stale).
 	Deferred bool `json:"deferred,omitempty"`
+	// Deduped marks a repeated idempotency token: the batch was already
+	// applied by an earlier request and the response replays that
+	// request's result — no rows landed twice.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // checkAppendOwnership is checkOwnership for the ingest path: a sharded
@@ -585,7 +607,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.completions.note(time.Now())
 	}()
 
-	rep, err := s.coal.Add(sp.Table, sp.Rows)
+	rep, deduped, err := s.landAppend(sp)
 	if err != nil {
 		// Rows were pre-validated, so a flush failure is a server-side
 		// journal or refresh error, not this request's fault.
@@ -594,6 +616,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.appends.Add(1)
+	if deduped {
+		s.appendDedups.Add(1)
+	}
 	writeJSON(w, http.StatusOK, AppendResponse{
 		Table:      rep.Table,
 		NewCount:   rep.NewCount,
@@ -601,13 +626,39 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Refreshed:  rep.Refreshed,
 		Dropped:    rep.Dropped,
 		Deferred:   rep.Deferred,
+		Deduped:    deduped,
 	})
+}
+
+// landAppend applies one batch through the coalescer, deduplicating by
+// the spec's idempotency token: a token already applied within the
+// window returns the remembered result (deduped true) instead of
+// appending the rows again. A token whose owning attempt failed is
+// released — the waiter carries the same rows, so it retries as a fresh
+// owner.
+func (s *Server) landAppend(sp *ingest.Spec) (deepsea.AppendReport, bool, error) {
+	if sp.Token == "" || s.dedup == nil {
+		rep, err := s.coal.Add(sp.Table, sp.Rows)
+		return rep, false, err
+	}
+	for {
+		e, owner := s.dedup.claim(sp.Token)
+		if owner {
+			rep, err := s.coal.Add(sp.Table, sp.Rows)
+			s.dedup.finish(sp.Token, e, rep, err == nil)
+			return rep, false, err
+		}
+		<-e.done
+		if e.ok {
+			return e.rep, true, nil
+		}
+	}
 }
 
 // healthzResponse is GET /healthz: a liveness summary. Status is "ok",
 // "degraded" (quarantined files, blacklisted views, journal append
-// errors, a saturated maintenance queue, or a recovery that fell back
-// to a cold start) or "draining".
+// errors, a saturated maintenance queue, a stuck ingest retry backlog,
+// or a recovery that fell back to a cold start) or "draining".
 type healthzResponse struct {
 	Status      string   `json:"status"`
 	InFlight    int64    `json:"in_flight"`
@@ -645,11 +696,15 @@ type healthzResponse struct {
 	// Ingest summary: appended batches and rows landed, incremental view
 	// refreshes applied, and views currently stale awaiting a background
 	// refresh (transient; stale views are never served).
-	IngestAppends    uint64         `json:"ingest_appends,omitempty"`
-	IngestRows       uint64         `json:"ingest_rows,omitempty"`
-	IngestRefreshes  uint64         `json:"ingest_refreshes,omitempty"`
-	IngestStaleViews int            `json:"ingest_stale_views,omitempty"`
-	Admission        AdmissionStats `json:"admission"`
+	// IngestRetryBacklog > 0 degrades the status: those views are stuck
+	// still-stale with no refresh scheduled — in inline mode only a
+	// later append retries them, so an operator should notice.
+	IngestAppends      uint64         `json:"ingest_appends,omitempty"`
+	IngestRows         uint64         `json:"ingest_rows,omitempty"`
+	IngestRefreshes    uint64         `json:"ingest_refreshes,omitempty"`
+	IngestStaleViews   int            `json:"ingest_stale_views,omitempty"`
+	IngestRetryBacklog int            `json:"ingest_retry_backlog,omitempty"`
+	Admission          AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -680,11 +735,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		IngestRows:          h.IngestAppendedRows,
 		IngestRefreshes:     h.IngestRefreshes,
 		IngestStaleViews:    h.IngestStaleViews,
+		IngestRetryBacklog:  h.IngestRetryBacklog,
 		Admission:           adm,
 	}
 	status := http.StatusOK
 	if len(h.Quarantined) > 0 || len(h.Blacklisted) > 0 ||
-		h.JournalAppendErrors > 0 || h.RecoveryError != "" || h.MaintSaturated {
+		h.JournalAppendErrors > 0 || h.RecoveryError != "" || h.MaintSaturated ||
+		h.IngestRetryBacklog > 0 {
 		resp.Status = "degraded"
 	}
 	if s.draining.Load() {
@@ -730,6 +787,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			BadRequest:    s.badRequest.Load(),
 			Appends:       s.appends.Load(),
 			AppendBatches: appendBatches,
+			AppendDedups:  s.appendDedups.Load(),
 		},
 		InFlightSlots:      inflight,
 		QueueDepth:         depth,

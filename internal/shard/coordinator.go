@@ -3,6 +3,8 @@ package shard
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -160,6 +162,12 @@ type Coordinator struct {
 
 	appendsRouted atomic.Uint64 // POST /append batches routed
 	appendRows    atomic.Uint64 // rows in routed batches
+	// appendNonce + appendSeq generate per-batch idempotency tokens for
+	// clients that did not supply their own (the nonce is random per
+	// coordinator process, so a restarted coordinator cannot collide
+	// with tokens a serving tier still remembers).
+	appendNonce string
+	appendSeq   atomic.Uint64
 
 	proberStop chan struct{}
 	proberDone chan struct{}
@@ -227,14 +235,17 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		client = &http.Client{Transport: rt}
 	}
+	var nonce [8]byte
+	_, _ = crand.Read(nonce[:]) // best-effort; an all-zero nonce still dedups within one process
 	c := &Coordinator{
-		cfg:       cfg,
-		groups:    groups,
-		client:    client,
-		replicas:  replicas,
-		preferred: make([]atomic.Int32, len(groups)),
-		heat:      newHeatMap(cfg.DomainLo, cfg.DomainHi),
-		rng:       newLockedRand(cfg.Seed),
+		cfg:         cfg,
+		groups:      groups,
+		client:      client,
+		replicas:    replicas,
+		preferred:   make([]atomic.Int32, len(groups)),
+		heat:        newHeatMap(cfg.DomainLo, cfg.DomainHi),
+		rng:         newLockedRand(cfg.Seed),
+		appendNonce: hex.EncodeToString(nonce[:]),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
@@ -476,6 +487,11 @@ type errResponse struct {
 	Shard    string `json:"shard,omitempty"`
 	FailedLo *int64 `json:"failed_lo,omitempty"`
 	FailedHi *int64 `json:"failed_hi,omitempty"`
+	// Token is the append batch's idempotency key (client-supplied or
+	// coordinator-generated). A failed append may have landed on some
+	// replicas; retrying the batch with this exact token lets the
+	// serving tier deduplicate the slices that already applied.
+	Token string `json:"token,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

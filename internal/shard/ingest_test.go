@@ -273,6 +273,88 @@ func TestCoordinatorAppendDeadGroupFails(t *testing.T) {
 	}
 }
 
+// TestCoordinatorAppendRetryDoesNotDuplicate is the partial-failure
+// retry acceptance: in a 2-group cluster where one group's epoch was
+// bumped behind the coordinator's back, a spanning append lands its
+// slice on the current-epoch group, draws a 409 from the other, and the
+// post-refresh retry re-sends both slices — the already-landed group
+// must answer from its dedup window, so the cluster holds each row
+// exactly once.
+func TestCoordinatorAppendRetryDoesNotDuplicate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system cluster test")
+	}
+	c, servers := newKeyedCluster(t, 2)
+	sh := c.Shards()[1]
+
+	// Fenced handoff directly against group 1: same range, newer epoch.
+	body := fmt.Sprintf(`{"lo":%d,"hi":%d,"epoch":%d}`, sh.Lo, sh.Hi, sh.Epoch+5)
+	resp, err := http.Post(servers[1].URL+"/admin/range", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct handoff: status %d", resp.StatusCode)
+	}
+
+	const n = 60
+	status, out, eresp := coordAppend(t, c, ingest.Spec{Table: "store_sales", Rows: salesBatch(21, n), Token: "batch-21"})
+	if status != http.StatusOK {
+		t.Fatalf("spanning append after epoch bump: status %d: %s", status, eresp.Error)
+	}
+	if out.Rows != n || out.GroupsContacted != 2 || out.ReplicasAppended != 2 {
+		t.Fatalf("append routing after retry: %+v", out)
+	}
+	if out.Token != "batch-21" {
+		t.Fatalf("response token = %q, want the client's batch-21", out.Token)
+	}
+	if c.refreshes.Load() == 0 {
+		t.Fatal("no routing refresh recorded: the retry path never ran")
+	}
+
+	// Every row exactly once: the per-server ingest counters sum to the
+	// batch size (a duplicated slice on group 0 would overshoot), and the
+	// group that saw both attempts answered the second from its dedup
+	// window.
+	var total uint64
+	var dedups uint64
+	for _, ts := range servers {
+		var hz struct {
+			IngestRows uint64 `json:"ingest_rows"`
+		}
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		total += hz.IngestRows
+		var sz struct {
+			Serving struct {
+				AppendDedups uint64 `json:"append_dedups"`
+			} `json:"serving"`
+		}
+		r, err = http.Get(ts.URL + "/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&sz); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		dedups += sz.Serving.AppendDedups
+	}
+	if total != n {
+		t.Fatalf("cluster holds %d appended rows, want exactly %d (retry duplicated a slice)", total, n)
+	}
+	if dedups != 1 {
+		t.Fatalf("append_dedups across servers = %d, want 1 (the re-sent landed slice)", dedups)
+	}
+}
+
 // TestCoordinatorAppendStaleEpochRefreshes advances a shard's epoch
 // behind the coordinator's back; the first append attempt draws a 409,
 // the coordinator refreshes its routing table from the shard's claimed

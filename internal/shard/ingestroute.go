@@ -20,12 +20,18 @@ type AppendResponse struct {
 	Table string `json:"table"`
 	Rows  int    `json:"rows"`
 	// GroupsContacted is how many range groups received a slice of the
-	// batch; ReplicasAppended the total replica-level appends landed.
+	// batch; ReplicasAppended the total replica-level appends landed
+	// (dedup-confirmed replicas — slices a replica already applied under
+	// the same token — count as landed; they hold the rows).
 	GroupsContacted  int `json:"groups_contacted"`
 	ReplicasAppended int `json:"replicas_appended"`
 	// Deferred is true when some replica handed its view refreshes to
 	// background maintenance instead of applying them inline.
 	Deferred bool `json:"deferred,omitempty"`
+	// Token is the batch's idempotency key: the client's Spec.Token, or
+	// a coordinator-generated one. Retrying the batch with this token
+	// cannot duplicate rows on replicas that already applied it.
+	Token string `json:"token,omitempty"`
 }
 
 // handleAppend is the coordinator's POST /append: split the batch by
@@ -36,6 +42,15 @@ type AppendResponse struct {
 // the whole batch broadcasts to every group. A 409 from a shard that is
 // ahead of the routing table triggers one routing refresh and retry,
 // mirroring the query path.
+//
+// Retries never duplicate rows: every replica-level send carries an
+// idempotency token derived from the batch token and the slice's range,
+// so replicas that applied a slice in an earlier attempt answer the
+// retry from their dedup window instead of appending again. If the
+// refreshed routing table re-ranges groups that already landed rows —
+// the one case where the retry would re-slice landed rows differently —
+// the coordinator refuses to retry and reports the token so the caller
+// can retry safely once routing stabilizes.
 func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
@@ -46,8 +61,13 @@ func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
 		return
 	}
+	token := sp.Token
+	if token == "" {
+		token = fmt.Sprintf("%s-%d", c.appendNonce, c.appendSeq.Add(1))
+	}
+	landed := make(map[string]bool)
 	for attempt := 0; ; attempt++ {
-		status, body, refresh := c.appendOnce(r.Context(), sp)
+		status, body, refresh := c.appendOnce(r.Context(), sp, token, landed)
 		if refresh && attempt == 0 {
 			if rerr := c.refreshRouting(r.Context()); rerr == nil {
 				continue
@@ -67,15 +87,46 @@ func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// appendRangeKey identifies a group's range for landed-slice tracking
+// and per-slice idempotency tokens.
+func appendRangeKey(lo, hi int64) string { return fmt.Sprintf("%d:%d", lo, hi) }
+
 // appendOnce routes one append batch through the current table. refresh
 // is true when a shard reported a newer epoch than the routing table —
-// the caller should refresh and retry once.
-func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec) (int, any, bool) {
+// the caller should refresh and retry once. landed accumulates, across
+// attempts, the range keys of groups where at least one replica
+// accepted its slice; a retry consults it to decide whether re-sending
+// is provably safe.
+func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec, token string, landed map[string]bool) (int, any, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if len(c.shards) == 0 {
 		return http.StatusServiceUnavailable,
-			errResponse{Error: "no routing table (cluster not initialized?)"}, false
+			errResponse{Error: "no routing table (cluster not initialized?)", Token: token}, false
+	}
+
+	// Retry-safety guard: rows from an earlier attempt already landed on
+	// the groups in `landed`, keyed by range. Re-sending is safe only
+	// because identical ranges re-slice the batch identically, so the
+	// per-slice tokens match and the landed replicas deduplicate. If the
+	// refreshed table moved any of those range boundaries, the retry
+	// would scatter already-landed rows under different slices/tokens —
+	// refuse rather than duplicate.
+	if len(landed) > 0 {
+		current := make(map[string]bool, len(c.shards))
+		for _, sh := range c.shards {
+			current[appendRangeKey(sh.Lo, sh.Hi)] = true
+		}
+		for rk := range landed {
+			if !current[rk] {
+				return http.StatusBadGateway, errResponse{
+					Error: fmt.Sprintf("routing ranges changed under a partially applied append "+
+						"(rows landed for range %s, which no longer exists): not retrying to avoid "+
+						"duplication; retry the batch with the same token once routing stabilizes", rk),
+					Token: token,
+				}, false
+			}
+		}
 	}
 
 	// Slice the batch: keyed tables split by owning range (row order
@@ -135,18 +186,29 @@ func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec) (int, any
 			defer wg.Done()
 			r := &results[gi]
 			r.replicas, r.deferred, r.conflict, r.err =
-				c.appendGroup(ctx, gi, sp.Table, slices[gi])
+				c.appendGroup(ctx, gi, sp.Table, token, slices[gi])
 		}(gi)
 	}
 	wg.Wait()
 
-	resp := AppendResponse{Table: sp.Table, Rows: len(sp.Rows)}
+	// Record every group that accepted rows — including groups that then
+	// hit a conflict or a failed replica — before deciding the outcome,
+	// so a retry (coordinator-internal or a client re-POST with the same
+	// token) knows which ranges hold partial state.
+	for gi, res := range results {
+		if res.replicas > 0 {
+			landed[appendRangeKey(c.shards[gi].Lo, c.shards[gi].Hi)] = true
+		}
+	}
+
+	resp := AppendResponse{Table: sp.Table, Rows: len(sp.Rows), Token: token}
 	for gi, res := range results {
 		if res.conflict != nil && res.conflict.Epoch > c.shards[gi].Epoch {
 			return http.StatusServiceUnavailable, errResponse{
 				Error: fmt.Sprintf("routing table stale for group %s: replica reports epoch %d > table epoch %d (%s)",
 					c.shards[gi].Addr, res.conflict.Epoch, c.shards[gi].Epoch, res.conflict.Msg),
 				Shard: c.shards[gi].Addr,
+				Token: token,
 			}, true
 		}
 		if res.err != nil || res.conflict != nil {
@@ -161,6 +223,7 @@ func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec) (int, any
 				Shard:    c.shards[gi].Addr,
 				FailedLo: &flo,
 				FailedHi: &fhi,
+				Token:    token,
 			}, false
 		}
 		if res.replicas > 0 {
@@ -177,8 +240,18 @@ func (c *Coordinator) appendOnce(ctx context.Context, sp *ingest.Spec) (int, any
 // stale rows if failover or a preferred-replica switch later routed the
 // range to it, so all replicas must accept — there is no routing-around
 // for ingest. A replica's 409 propagates for the epoch-refresh path.
-func (c *Coordinator) appendGroup(ctx context.Context, gi int, table string, rows [][]any) (int, bool, *conflict409, error) {
-	sub := ingest.Spec{Table: table, Rows: rows, Epoch: c.shards[gi].Epoch}
+//
+// The slice's idempotency token scopes the batch token to this group's
+// range: identical ranges slice the batch identically, so a retried
+// send carries the same token and rows, and replicas that already
+// applied it answer from their dedup window instead of appending twice.
+func (c *Coordinator) appendGroup(ctx context.Context, gi int, table, token string, rows [][]any) (int, bool, *conflict409, error) {
+	sub := ingest.Spec{
+		Table: table,
+		Rows:  rows,
+		Epoch: c.shards[gi].Epoch,
+		Token: token + "@" + appendRangeKey(c.shards[gi].Lo, c.shards[gi].Hi),
+	}
 	body, err := json.Marshal(&sub)
 	if err != nil {
 		return 0, false, nil, err
